@@ -1,0 +1,466 @@
+//! `Heu` — cost-based heuristic FD repair, after Bohannon et al. (SIGMOD'05,
+//! "A cost-based model and effective heuristic for repairing constraints by
+//! value modification").
+//!
+//! The published algorithm repairs each violation with the **cheapest**
+//! value modification, measured in changed cells: tuples that disagree with
+//! their group's majority on a few RHS attributes are conformed to the
+//! majority. [`HeuConfig::lhs_eviction`] additionally enables a cheap-side
+//! repair: a tuple that disagrees on *more* RHS cells than its LHS has
+//! attributes is detached by setting its LHS cells to fresh values outside
+//! every active domain (cost = |LHS| cells). The classical equivalence-class
+//! implementations the paper benchmarked conform RHS cells only, and the
+//! paper's measured Heu precision collapse under active-domain noise matches
+//! that behaviour, so eviction defaults to **off**; turning it on isolates
+//! how much of Heu's precision loss comes from key-corrupted tuples (see the
+//! `ablation` benches and EXPERIMENTS.md).
+//!
+//! Because grouping uses the *dirty* LHS values, an error on an LHS
+//! attribute still drags an innocent tuple into a foreign group; with few
+//! deviating cells the majority then overwrites the tuple's correct RHS —
+//! the paper's explanation for why heuristic repairs lose precision as
+//! active-domain errors grow (Fig 10(a)). Rounds repeat until no FD is
+//! violated or `max_rounds` is reached (repairing one FD's RHS can perturb
+//! another FD whose LHS overlaps it).
+
+use std::collections::HashMap;
+
+use fd::partition::Partition;
+use fd::violation::satisfies_all;
+use fd::Fd;
+use relation::{Symbol, SymbolTable, Table};
+
+/// Configuration for [`heu_repair_with`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct HeuConfig {
+    /// Repair key-suspect tuples by detaching their LHS (fresh values)
+    /// instead of conforming their RHS cells when that is cheaper.
+    pub lhs_eviction: bool,
+}
+
+/// Statistics of a `Heu` run.
+#[derive(Debug, Clone, Default)]
+pub struct HeuOutcome {
+    /// Cells changed.
+    pub updates: usize,
+    /// Tuples repaired by LHS modification (detached into fresh groups).
+    pub evictions: usize,
+    /// Rows quarantined by the last-resort fallback (all FD-covered cells
+    /// freshened — the value-modification analogue of tuple deletion).
+    pub quarantined: usize,
+    /// Full rounds executed.
+    pub rounds: usize,
+    /// Whether the final table satisfies every FD.
+    pub consistent: bool,
+}
+
+/// Repair `table` in place against `fds`.
+///
+/// `symbols` is needed to mint the fresh LHS values used by cheap-side
+/// repairs.
+pub fn heu_repair(
+    table: &mut Table,
+    fds: &[Fd],
+    max_rounds: usize,
+    symbols: &mut SymbolTable,
+) -> HeuOutcome {
+    heu_repair_with(table, fds, max_rounds, symbols, HeuConfig::default())
+}
+
+/// [`heu_repair`] with explicit configuration.
+pub fn heu_repair_with(
+    table: &mut Table,
+    fds: &[Fd],
+    max_rounds: usize,
+    symbols: &mut SymbolTable,
+    config: HeuConfig,
+) -> HeuOutcome {
+    let mut outcome = HeuOutcome::default();
+    let mut fresh_counter = 0usize;
+    for _ in 0..max_rounds.max(1) {
+        outcome.rounds += 1;
+        let mut changed = 0usize;
+        for fd in fds {
+            let rhs_attrs: Vec<_> = fd.rhs().to_vec();
+            let partition = Partition::build(table, fd.lhs());
+            // Collect per-group majorities first (immutable borrow), then
+            // apply the cost-based repairs.
+            #[allow(clippy::type_complexity)]
+            let mut planned: Vec<(usize, Vec<(relation::AttrId, Symbol)>)> = Vec::new();
+            let mut evict: Vec<usize> = Vec::new();
+            for (_, rows) in partition.non_singleton_groups() {
+                // Majority value per RHS attribute (ties: smaller symbol).
+                let majorities: Vec<Symbol> = rhs_attrs
+                    .iter()
+                    .map(|&a| {
+                        let mut counts: HashMap<Symbol, usize> = HashMap::new();
+                        for &r in rows {
+                            *counts.entry(table.cell(r, a)).or_insert(0) += 1;
+                        }
+                        counts
+                            .into_iter()
+                            .max_by(|x, y| x.1.cmp(&y.1).then(y.0.cmp(&x.0)))
+                            .map(|(v, _)| v)
+                            .expect("non-empty group")
+                    })
+                    .collect();
+                for &r in rows {
+                    let deviations: Vec<(relation::AttrId, Symbol)> = rhs_attrs
+                        .iter()
+                        .zip(majorities.iter())
+                        .filter(|(&a, &m)| table.cell(r, a) != m)
+                        .map(|(&a, &m)| (a, m))
+                        .collect();
+                    if deviations.is_empty() {
+                        continue;
+                    }
+                    if config.lhs_eviction && deviations.len() > fd.lhs().len() {
+                        // Cheaper to repair the LHS: detach the tuple.
+                        evict.push(r);
+                    } else {
+                        planned.push((r, deviations));
+                    }
+                }
+            }
+            for (r, deviations) in planned {
+                for (a, m) in deviations {
+                    table.set_cell(r, a, m);
+                    changed += 1;
+                }
+            }
+            for r in evict {
+                for &a in fd.lhs() {
+                    let fresh = symbols.intern(&format!("__heu_fresh_{fresh_counter}"));
+                    fresh_counter += 1;
+                    table.set_cell(r, a, fresh);
+                    changed += 1;
+                }
+                outcome.evictions += 1;
+            }
+        }
+        outcome.updates += changed;
+        if satisfies_all(table, fds) {
+            outcome.consistent = true;
+            return outcome;
+        }
+        if changed == 0 {
+            break;
+        }
+    }
+    // Convergence ladder. Interacting FDs that share a RHS attribute can
+    // make per-group majorities flip-flop forever (group A says `1`, group
+    // B says `0`, each round undoes the other). Escalate:
+    // 1. one equivalence-class pass — transitive merging assigns every
+    //    linked cell a single value, which settles pure RHS interactions;
+    // 2. quarantine any still-violating rows by freshening all their
+    //    FD-covered cells: every group they belong to becomes a singleton,
+    //    so consistency is guaranteed. This is the value-modification
+    //    analogue of the tuple-deletion repairs in the minimal-change
+    //    literature.
+    if !satisfies_all(table, fds) {
+        let eq = heu_repair_equiv(table, fds, 3);
+        outcome.updates += eq.updates;
+        outcome.rounds += eq.rounds;
+    }
+    if !satisfies_all(table, fds) {
+        let mut covered: Vec<relation::AttrId> = fds
+            .iter()
+            .flat_map(|fd| fd.lhs().iter().chain(fd.rhs().iter()).copied())
+            .collect();
+        covered.sort();
+        covered.dedup();
+        let singles: Vec<Fd> = fds.iter().flat_map(|fd| fd.split_rhs()).collect();
+        loop {
+            let mut violating: Vec<usize> = Vec::new();
+            for fd in &singles {
+                for v in fd::violation::detect_violations(table, fd) {
+                    // Quarantine every non-majority row of the group.
+                    let majority = v.majority_value();
+                    for (value, rows) in &v.values {
+                        if *value != majority {
+                            violating.extend(rows.iter().copied());
+                        }
+                    }
+                }
+            }
+            if violating.is_empty() {
+                break;
+            }
+            violating.sort_unstable();
+            violating.dedup();
+            for r in violating {
+                for &a in &covered {
+                    let fresh = symbols.intern(&format!("__heu_fresh_{fresh_counter}"));
+                    fresh_counter += 1;
+                    table.set_cell(r, a, fresh);
+                    outcome.updates += 1;
+                }
+                outcome.quarantined += 1;
+            }
+        }
+    }
+    outcome.consistent = satisfies_all(table, fds);
+    outcome
+}
+
+/// The global equivalence-class variant, closest to Bohannon et al.'s
+/// published algorithm: one union–find node per `(row, RHS-attribute)`
+/// cell; for every single-RHS FD, the RHS cells of each LHS group are
+/// unioned (they must agree in any repair — including transitively across
+/// FDs); every class then takes its weighted-majority original value.
+///
+/// Compared to [`heu_repair`]'s per-FD-group majorities, class merging
+/// propagates a corrupted key's damage across *all* FDs sharing the RHS
+/// attribute, which is the strongest form of the paper's "erroneously
+/// connect tuples" effect — precision under active-domain noise drops even
+/// further.
+pub fn heu_repair_equiv(table: &mut Table, fds: &[Fd], max_rounds: usize) -> HeuOutcome {
+    let singles: Vec<Fd> = fds.iter().flat_map(|fd| fd.split_rhs()).collect();
+    let arity = table.schema().arity();
+    let mut outcome = HeuOutcome::default();
+    for _ in 0..max_rounds.max(1) {
+        outcome.rounds += 1;
+        let mut uf = crate::unionfind::UnionFind::new(table.len() * arity);
+        for fd in &singles {
+            let rhs = fd.rhs()[0];
+            let partition = Partition::build(table, fd.lhs());
+            for (_, rows) in partition.non_singleton_groups() {
+                let first = rows[0] * arity + rhs.index();
+                for &r in &rows[1..] {
+                    uf.union(first, r * arity + rhs.index());
+                }
+            }
+        }
+        let rhs_attrs: Vec<relation::AttrId> = {
+            let mut v: Vec<relation::AttrId> = singles.iter().map(|fd| fd.rhs()[0]).collect();
+            v.sort();
+            v.dedup();
+            v
+        };
+        let mut class_counts: HashMap<usize, HashMap<Symbol, usize>> = HashMap::new();
+        for row in 0..table.len() {
+            for &attr in &rhs_attrs {
+                let root = uf.find(row * arity + attr.index());
+                *class_counts
+                    .entry(root)
+                    .or_default()
+                    .entry(table.cell(row, attr))
+                    .or_insert(0) += 1;
+            }
+        }
+        let targets: HashMap<usize, Symbol> = class_counts
+            .into_iter()
+            .map(|(root, counts)| {
+                let best = counts
+                    .into_iter()
+                    .max_by(|x, y| x.1.cmp(&y.1).then(y.0.cmp(&x.0)))
+                    .map(|(v, _)| v)
+                    .expect("non-empty class");
+                (root, best)
+            })
+            .collect();
+        let mut changed = 0usize;
+        for row in 0..table.len() {
+            for &attr in &rhs_attrs {
+                let target = targets[&uf.find(row * arity + attr.index())];
+                if table.cell(row, attr) != target {
+                    table.set_cell(row, attr, target);
+                    changed += 1;
+                }
+            }
+        }
+        outcome.updates += changed;
+        if satisfies_all(table, fds) {
+            outcome.consistent = true;
+            return outcome;
+        }
+        if changed == 0 {
+            break;
+        }
+    }
+    outcome.consistent = satisfies_all(table, fds);
+    outcome
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use relation::Schema;
+
+    fn setup() -> (Schema, SymbolTable) {
+        (
+            Schema::new("T", ["country", "capital", "city"]).unwrap(),
+            SymbolTable::new(),
+        )
+    }
+
+    #[test]
+    fn majority_wins_within_group() {
+        let (s, mut sy) = setup();
+        let mut t = Table::new(s.clone());
+        for row in [
+            ["China", "Beijing", "a"],
+            ["China", "Beijing", "b"],
+            ["China", "Shanghai", "c"],
+        ] {
+            t.push_strs(&mut sy, &row).unwrap();
+        }
+        let fd = Fd::from_names(&s, ["country"], ["capital"]).unwrap();
+        let out = heu_repair(&mut t, &[fd], 5, &mut sy);
+        assert!(out.consistent);
+        assert_eq!(out.updates, 1);
+        assert_eq!(out.evictions, 0);
+        assert_eq!(sy.resolve(t.cell(2, s.attr("capital").unwrap())), "Beijing");
+    }
+
+    #[test]
+    fn produces_consistent_database() {
+        // Even with no majority (2 values, 1 row each) a consistent result
+        // is produced — the "compute a consistent database" objective.
+        let (s, mut sy) = setup();
+        let mut t = Table::new(s.clone());
+        t.push_strs(&mut sy, &["China", "Beijing", "a"]).unwrap();
+        t.push_strs(&mut sy, &["China", "Shanghai", "b"]).unwrap();
+        let fd = Fd::from_names(&s, ["country"], ["capital"]).unwrap();
+        let out = heu_repair(&mut t, &[fd], 5, &mut sy);
+        assert!(out.consistent);
+        let cap = s.attr("capital").unwrap();
+        assert_eq!(t.cell(0, cap), t.cell(1, cap));
+    }
+
+    #[test]
+    fn lhs_error_with_few_deviations_still_clobbers() {
+        // The precision-loss mechanism survives the cost model: one
+        // deviating RHS cell (≤ |LHS|) is conformed to the foreign
+        // majority.
+        let (s, mut sy) = setup();
+        let mut t = Table::new(s.clone());
+        for row in [
+            ["China", "Beijing", "a"],
+            ["China", "Beijing", "b"],
+            ["China", "Ottawa", "c"], // truly (Canada, Ottawa)
+        ] {
+            t.push_strs(&mut sy, &row).unwrap();
+        }
+        let fd = Fd::from_names(&s, ["country"], ["capital"]).unwrap();
+        heu_repair(&mut t, &[fd], 5, &mut sy);
+        assert_eq!(sy.resolve(t.cell(2, s.attr("capital").unwrap())), "Beijing");
+    }
+
+    #[test]
+    fn many_deviations_trigger_cheap_lhs_eviction() {
+        // A row disagreeing on both RHS cells of a 1-attribute-LHS FD is
+        // cheaper to detach than to conform (2 > 1).
+        let s = Schema::new("T", ["k", "x", "y"]).unwrap();
+        let mut sy = SymbolTable::new();
+        let mut t = Table::new(s.clone());
+        for row in [
+            ["g", "1", "2"],
+            ["g", "1", "2"],
+            ["g", "9", "8"], // foreign record with wrong key
+        ] {
+            t.push_strs(&mut sy, &row).unwrap();
+        }
+        let fd = Fd::from_names(&s, ["k"], ["x", "y"]).unwrap();
+        let out = heu_repair_with(&mut t, &[fd], 5, &mut sy, HeuConfig { lhs_eviction: true });
+        assert!(out.consistent);
+        assert_eq!(out.evictions, 1);
+        // The foreign record keeps its own x/y; only its key changed.
+        assert_eq!(sy.resolve(t.cell(2, s.attr("x").unwrap())), "9");
+        assert_eq!(sy.resolve(t.cell(2, s.attr("y").unwrap())), "8");
+        assert!(sy
+            .resolve(t.cell(2, s.attr("k").unwrap()))
+            .starts_with("__heu_fresh_"));
+    }
+
+    #[test]
+    fn chained_fds_converge_within_rounds() {
+        let s = Schema::new("T", ["zip", "state", "mc", "avg"]).unwrap();
+        let mut sy = SymbolTable::new();
+        let mut t = Table::new(s.clone());
+        for row in [
+            ["10001", "NY", "m1", "x"],
+            ["10001", "NJ", "m1", "x"],
+            ["10001", "NY", "m1", "y"],
+        ] {
+            t.push_strs(&mut sy, &row).unwrap();
+        }
+        let fds = vec![
+            Fd::from_names(&s, ["zip"], ["state"]).unwrap(),
+            Fd::from_names(&s, ["state", "mc"], ["avg"]).unwrap(),
+        ];
+        let out = heu_repair(&mut t, &fds, 10, &mut sy);
+        assert!(out.consistent, "rounds: {}", out.rounds);
+        let state = s.attr("state").unwrap();
+        assert_eq!(t.cell(0, state), t.cell(1, state));
+    }
+
+    #[test]
+    fn default_config_conforms_instead_of_evicting() {
+        // Without eviction (the paper's measured behaviour), the foreign
+        // record's RHS cells are clobbered by the majority.
+        let s = Schema::new("T", ["k", "x", "y"]).unwrap();
+        let mut sy = SymbolTable::new();
+        let mut t = Table::new(s.clone());
+        for row in [["g", "1", "2"], ["g", "1", "2"], ["g", "9", "8"]] {
+            t.push_strs(&mut sy, &row).unwrap();
+        }
+        let fd = Fd::from_names(&s, ["k"], ["x", "y"]).unwrap();
+        let out = heu_repair(&mut t, &[fd], 5, &mut sy);
+        assert!(out.consistent);
+        assert_eq!(out.evictions, 0);
+        assert_eq!(sy.resolve(t.cell(2, s.attr("x").unwrap())), "1");
+        assert_eq!(sy.resolve(t.cell(2, s.attr("y").unwrap())), "2");
+    }
+
+    #[test]
+    fn equiv_variant_reaches_consistency_and_merges_transitively() {
+        // Two FDs sharing the RHS attribute `state`: the equivalence-class
+        // variant must union across both and still converge.
+        let s = Schema::new("T", ["zip", "phn", "state"]).unwrap();
+        let mut sy = SymbolTable::new();
+        let mut t = Table::new(s.clone());
+        for row in [
+            ["10001", "p1", "NY"],
+            ["10001", "p2", "NJ"], // zip group: {NY, NJ}
+            ["10002", "p2", "NY"], // phn p2 group: {NJ, NY}
+        ] {
+            t.push_strs(&mut sy, &row).unwrap();
+        }
+        let fds = vec![
+            Fd::from_names(&s, ["zip"], ["state"]).unwrap(),
+            Fd::from_names(&s, ["phn"], ["state"]).unwrap(),
+        ];
+        let out = heu_repair_equiv(&mut t, &fds, 10);
+        assert!(out.consistent, "{out:?}");
+        // Transitive merge pulls all three cells into one class: all equal.
+        let state = s.attr("state").unwrap();
+        assert_eq!(t.cell(0, state), t.cell(1, state));
+        assert_eq!(t.cell(1, state), t.cell(2, state));
+    }
+
+    #[test]
+    fn equiv_variant_clean_table_untouched() {
+        let (s, mut sy) = setup();
+        let mut t = Table::new(s.clone());
+        t.push_strs(&mut sy, &["China", "Beijing", "a"]).unwrap();
+        t.push_strs(&mut sy, &["Japan", "Tokyo", "b"]).unwrap();
+        let fd = Fd::from_names(&s, ["country"], ["capital"]).unwrap();
+        let out = heu_repair_equiv(&mut t, &[fd], 5);
+        assert!(out.consistent);
+        assert_eq!(out.updates, 0);
+    }
+
+    #[test]
+    fn clean_table_is_untouched() {
+        let (s, mut sy) = setup();
+        let mut t = Table::new(s.clone());
+        t.push_strs(&mut sy, &["China", "Beijing", "a"]).unwrap();
+        t.push_strs(&mut sy, &["Japan", "Tokyo", "b"]).unwrap();
+        let fd = Fd::from_names(&s, ["country"], ["capital"]).unwrap();
+        let out = heu_repair(&mut t, &[fd], 5, &mut sy);
+        assert!(out.consistent);
+        assert_eq!(out.updates, 0);
+        assert_eq!(out.rounds, 1);
+    }
+}

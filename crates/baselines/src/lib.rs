@@ -1,0 +1,25 @@
+//! Comparator algorithms for the fixing-rules evaluation (§7).
+//!
+//! The paper compares fixing rules against:
+//!
+//! * [`heu`] — `Heu`: the cost-based heuristic FD repair of Bohannon et al.
+//!   (SIGMOD'05), reimplemented via cell equivalence classes and weighted
+//!   majority targets.
+//! * [`csm`] — `Csm`: cardinality-set-minimal repair sampling of Beskales
+//!   et al. (PVLDB'10), a randomized set-minimal repair generator.
+//! * [`editing`] — `Edit`: the automated editing-rules simulation of
+//!   Exp-2(d): fixing rules with their negative patterns stripped, evidence
+//!   matches auto-confirmed.
+//!
+//! All three are reimplementations of the published algorithms' cores, not
+//! the authors' binaries — see DESIGN.md §5 for why this preserves the
+//! comparison's shape.
+
+pub mod csm;
+pub mod editing;
+pub mod heu;
+pub mod unionfind;
+
+pub use csm::csm_repair;
+pub use editing::{edit_repair, EditRuleSet};
+pub use heu::{heu_repair, heu_repair_equiv, heu_repair_with, HeuConfig};

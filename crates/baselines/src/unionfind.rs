@@ -1,0 +1,105 @@
+//! Union–find over table cells, the substrate of the `Heu` equivalence
+//! classes.
+
+/// Disjoint-set forest with path halving and union by size.
+#[derive(Debug, Clone)]
+pub struct UnionFind {
+    parent: Vec<u32>,
+    size: Vec<u32>,
+}
+
+impl UnionFind {
+    /// `n` singleton sets.
+    pub fn new(n: usize) -> Self {
+        UnionFind {
+            parent: (0..n as u32).collect(),
+            size: vec![1; n],
+        }
+    }
+
+    /// Representative of `x`'s set.
+    pub fn find(&mut self, mut x: usize) -> usize {
+        loop {
+            let p = self.parent[x] as usize;
+            if p == x {
+                return x;
+            }
+            let gp = self.parent[p];
+            self.parent[x] = gp;
+            x = gp as usize;
+        }
+    }
+
+    /// Merge the sets of `a` and `b`; returns the new representative.
+    pub fn union(&mut self, a: usize, b: usize) -> usize {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return ra;
+        }
+        let (big, small) = if self.size[ra] >= self.size[rb] {
+            (ra, rb)
+        } else {
+            (rb, ra)
+        };
+        self.parent[small] = big as u32;
+        self.size[big] += self.size[small];
+        big
+    }
+
+    /// Are `a` and `b` in the same set?
+    pub fn same(&mut self, a: usize, b: usize) -> bool {
+        self.find(a) == self.find(b)
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.parent.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.parent.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn singletons_start_separate() {
+        let mut uf = UnionFind::new(4);
+        assert!(!uf.same(0, 1));
+        assert_eq!(uf.find(2), 2);
+    }
+
+    #[test]
+    fn union_links_transitively() {
+        let mut uf = UnionFind::new(5);
+        uf.union(0, 1);
+        uf.union(1, 2);
+        assert!(uf.same(0, 2));
+        assert!(!uf.same(0, 3));
+    }
+
+    #[test]
+    fn union_is_idempotent() {
+        let mut uf = UnionFind::new(3);
+        let r1 = uf.union(0, 1);
+        let r2 = uf.union(0, 1);
+        assert_eq!(r1, r2);
+    }
+
+    #[test]
+    fn large_chain_is_flattened() {
+        let n = 1000;
+        let mut uf = UnionFind::new(n);
+        for i in 1..n {
+            uf.union(i - 1, i);
+        }
+        let root = uf.find(0);
+        for i in 0..n {
+            assert_eq!(uf.find(i), root);
+        }
+    }
+}

@@ -1,0 +1,163 @@
+//! Ablations for the design choices called out in DESIGN.md §7:
+//!
+//! * `assured_bitset` — the `u128` [`relation::AttrSet`] assured set vs a
+//!   `HashSet<AttrId>` model of the same chase;
+//! * `pairwise_vs_chase` — Prop 3's pairwise consistency check vs deciding
+//!   the same pair by the all-orders chase over enumerated tuples;
+//! * `scratch_reuse` — lRepair's epoch-stamped counter reuse vs allocating
+//!   fresh scratch per tuple.
+
+use std::collections::HashSet;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use fixrules::consistency::characterize::check_pair;
+use fixrules::consistency::enumerate::check_pair_enumerate;
+use fixrules::repair::{lrepair_tuple, LRepairIndex, LRepairScratch};
+use fixrules::semantics::matches;
+use relation::{AttrId, AttrSet, Symbol};
+
+/// A chase step with the production bitset assured set.
+fn chase_bitset(rules: &fixrules::RuleSet, row: &mut [Symbol]) -> usize {
+    let mut assured = AttrSet::EMPTY;
+    let mut applied = 0;
+    let mut progressed = true;
+    while progressed {
+        progressed = false;
+        for rule in rules.rules() {
+            if assured.contains(rule.b()) || !matches(rule, row) {
+                continue;
+            }
+            row[rule.b().index()] = rule.fact();
+            assured.union_with(rule.assured_delta());
+            applied += 1;
+            progressed = true;
+        }
+    }
+    applied
+}
+
+/// The same chase with a `HashSet<AttrId>` assured set (the ablated
+/// design).
+fn chase_hashset(rules: &fixrules::RuleSet, row: &mut [Symbol]) -> usize {
+    let mut assured: HashSet<AttrId> = HashSet::new();
+    let mut applied = 0;
+    let mut progressed = true;
+    while progressed {
+        progressed = false;
+        for rule in rules.rules() {
+            if assured.contains(&rule.b()) || !matches(rule, row) {
+                continue;
+            }
+            row[rule.b().index()] = rule.fact();
+            assured.extend(rule.x().iter().copied());
+            assured.insert(rule.b());
+            applied += 1;
+            progressed = true;
+        }
+    }
+    applied
+}
+
+fn bench_ablations(c: &mut Criterion) {
+    let w = bench::hosp_workload(4_000, 200);
+    let rows: Vec<Vec<Symbol>> = (0..w.dirty.len().min(2_000))
+        .map(|i| w.dirty.row(i).to_vec())
+        .collect();
+
+    // 1. Assured-set representation.
+    let mut group = c.benchmark_group("ablation_assured_set");
+    group.bench_function("bitset", |b| {
+        b.iter(|| {
+            let mut total = 0;
+            for r in &rows {
+                let mut row = r.clone();
+                total += chase_bitset(&w.rules, &mut row);
+            }
+            total
+        })
+    });
+    group.bench_function("hashset", |b| {
+        b.iter(|| {
+            let mut total = 0;
+            for r in &rows {
+                let mut row = r.clone();
+                total += chase_hashset(&w.rules, &mut row);
+            }
+            total
+        })
+    });
+    group.finish();
+
+    // 2. Pairwise characterization (Fig 4) vs tuple-enumeration chase for
+    // deciding the same pairs.
+    let mut group = c.benchmark_group("ablation_pair_decision");
+    let pairs: Vec<(usize, usize)> = (0..w.rules.len().min(60))
+        .flat_map(|i| ((i + 1)..w.rules.len().min(60)).map(move |j| (i, j)))
+        .collect();
+    let arity = w.dataset.schema.arity();
+    group.bench_function("characterize", |b| {
+        b.iter(|| {
+            pairs
+                .iter()
+                .filter(|&&(i, j)| {
+                    check_pair(
+                        w.rules.rule(fixrules::RuleId(i as u32)),
+                        w.rules.rule(fixrules::RuleId(j as u32)),
+                    )
+                    .is_some()
+                })
+                .count()
+        })
+    });
+    group.bench_function("enumerate", |b| {
+        b.iter(|| {
+            pairs
+                .iter()
+                .filter(|&&(i, j)| {
+                    check_pair_enumerate(
+                        w.rules.rule(fixrules::RuleId(i as u32)),
+                        w.rules.rule(fixrules::RuleId(j as u32)),
+                        arity,
+                    )
+                    .is_some()
+                })
+                .count()
+        })
+    });
+    group.finish();
+
+    // 3. lRepair scratch reuse.
+    let index = LRepairIndex::build(&w.rules);
+    let mut group = c.benchmark_group("ablation_scratch_reuse");
+    group.bench_function("reused_epoch_scratch", |b| {
+        b.iter(|| {
+            let mut scratch = LRepairScratch::new(w.rules.len());
+            let mut total = 0;
+            for r in &rows {
+                let mut row = r.clone();
+                total += lrepair_tuple(&w.rules, &index, &mut scratch, &mut row).len();
+            }
+            total
+        })
+    });
+    group.bench_function("fresh_scratch_per_tuple", |b| {
+        b.iter(|| {
+            let mut total = 0;
+            for r in &rows {
+                let mut scratch = LRepairScratch::new(w.rules.len());
+                let mut row = r.clone();
+                total += lrepair_tuple(&w.rules, &index, &mut scratch, &mut row).len();
+            }
+            total
+        })
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_ablations
+}
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! Shared fixtures for the criterion benches.
+
+use datagen::noise::{inject, NoiseConfig};
+use eval::rules::{build_ruleset, RuleGenConfig};
+use fixrules::RuleSet;
+use relation::Table;
+
+/// A prepared bench workload: dirty table + consistent rules.
+pub struct Workload {
+    /// The dataset (schema/symbols/truth/FDs).
+    pub dataset: datagen::Dataset,
+    /// Dirty instance to repair.
+    pub dirty: Table,
+    /// Consistent rules from the §7.1 pipeline.
+    pub rules: RuleSet,
+}
+
+/// Build a hosp workload of `rows` rows and `rules` rules.
+pub fn hosp_workload(rows: usize, rules: usize) -> Workload {
+    workload(datagen::hosp::generate(rows, 7), rules)
+}
+
+/// Build a uis workload of `rows` rows and `rules` rules.
+pub fn uis_workload(rows: usize, rules: usize) -> Workload {
+    workload(datagen::uis::generate(rows, 7), rules)
+}
+
+fn workload(mut dataset: datagen::Dataset, target: usize) -> Workload {
+    let attrs = dataset.constrained_attrs();
+    let mut dirty = dataset.clean.clone();
+    inject(
+        &mut dirty,
+        &mut dataset.symbols,
+        &attrs,
+        NoiseConfig {
+            rate: 0.10,
+            typo_fraction: 0.5,
+            seed: 7,
+        },
+    );
+    let (rules, _) = build_ruleset(
+        &mut dataset,
+        &dirty,
+        RuleGenConfig {
+            target,
+            seed: 7,
+            enrich_factor: 1.0,
+        },
+    );
+    Workload {
+        dataset,
+        dirty,
+        rules,
+    }
+}

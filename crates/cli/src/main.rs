@@ -1,0 +1,363 @@
+//! `fixctl` — repair CSV data with fixing rules from the command line.
+//!
+//! ```text
+//! fixctl check   --rules rules.frl --data data.csv        # consistency report
+//! fixctl resolve --rules rules.frl --data data.csv --out fixed_rules.frl
+//!                [--strategy shrink|drop]                 # §5.3 workflow
+//! fixctl repair  --rules rules.frl --data dirty.csv --out repaired.csv
+//!                [--algo lrepair|crepair] [--log updates.csv]
+//! fixctl stats   --rules rules.frl --data data.csv        # rule-set statistics
+//! ```
+//!
+//! The schema is taken from the CSV header; rule files use the
+//! [`fixrules::io`] line format:
+//!
+//! ```text
+//! IF country = "China" AND capital IN {"Shanghai", "Hongkong"} THEN capital := "Beijing"
+//! ```
+
+use std::collections::HashMap;
+use std::process::ExitCode;
+
+use fixrules::consistency::resolve::{ensure_consistent, Strategy};
+use fixrules::io::{format_rules, parse_rules};
+use fixrules::repair::{crepair_table, lrepair_table, LRepairIndex, RepairOutcome};
+use fixrules::RuleSet;
+use relation::{SymbolTable, Table};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("fixctl: {msg}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+struct Flags {
+    values: HashMap<String, String>,
+}
+
+impl Flags {
+    fn parse(args: &[String]) -> Result<Flags, String> {
+        let mut values = HashMap::new();
+        let mut i = 0;
+        while i < args.len() {
+            let flag = args[i]
+                .strip_prefix("--")
+                .ok_or_else(|| format!("expected --flag, found `{}`", args[i]))?;
+            let value = args
+                .get(i + 1)
+                .ok_or_else(|| format!("--{flag} needs a value"))?;
+            values.insert(flag.to_string(), value.clone());
+            i += 2;
+        }
+        Ok(Flags { values })
+    }
+
+    fn required(&self, name: &str) -> Result<&str, String> {
+        self.values
+            .get(name)
+            .map(|s| s.as_str())
+            .ok_or_else(|| format!("missing required flag --{name}"))
+    }
+
+    fn optional(&self, name: &str) -> Option<&str> {
+        self.values.get(name).map(|s| s.as_str())
+    }
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    let Some(command) = args.first() else {
+        return Err(usage());
+    };
+    let flags = Flags::parse(&args[1..])?;
+    match command.as_str() {
+        "check" => cmd_check(&flags),
+        "convert" => cmd_convert(&flags),
+        "detect" => cmd_detect(&flags),
+        "discover" => cmd_discover(&flags),
+        "resolve" => cmd_resolve(&flags),
+        "repair" => cmd_repair(&flags),
+        "stats" => cmd_stats(&flags),
+        "help" | "--help" | "-h" => {
+            println!("{}", usage());
+            Ok(())
+        }
+        other => Err(format!("unknown command `{other}`\n{}", usage())),
+    }
+}
+
+fn usage() -> String {
+    "usage: fixctl <check|detect|discover|resolve|repair|stats|convert> --rules FILE --data FILE.csv \
+     [--out FILE] [--algo lrepair|crepair|stream] [--strategy shrink|drop] [--log FILE] \
+     | discover --data FILE.csv --fds FILE --out rules.frl [--min-support N] [--min-confidence F]"
+        .to_string()
+}
+
+/// Convert between the `.frl` line format and the portable JSON document,
+/// picking the direction from the output extension.
+fn cmd_convert(flags: &Flags) -> Result<(), String> {
+    let out = flags.required("out")?;
+    let (_table, rules, symbols) = load(flags)?;
+    if out.ends_with(".json") {
+        let doc = fixrules::io::to_portable(&rules, &symbols);
+        let json = serde_json::to_string_pretty(&doc).map_err(|e| e.to_string())?;
+        std::fs::write(out, json).map_err(|e| format!("writing {out}: {e}"))?;
+    } else {
+        std::fs::write(out, format_rules(&rules, &symbols))
+            .map_err(|e| format!("writing {out}: {e}"))?;
+    }
+    println!("wrote {out} ({} rules)", rules.len());
+    Ok(())
+}
+
+/// Discover fixing rules from the data alone (support/confidence over FD
+/// groups) and write them as a rule file.
+fn cmd_discover(flags: &Flags) -> Result<(), String> {
+    let data_path = flags.required("data")?;
+    let fds_path = flags.required("fds")?;
+    let out = flags.required("out")?;
+    let mut symbols = SymbolTable::new();
+    let table = relation::csv_io::read_csv_file(data_path, "data", &mut symbols)
+        .map_err(|e| format!("reading {data_path}: {e}"))?;
+    let fds_text =
+        std::fs::read_to_string(fds_path).map_err(|e| format!("reading {fds_path}: {e}"))?;
+    let fds = fd::parse::parse_fds(table.schema(), &fds_text)
+        .map_err(|e| format!("parsing {fds_path}: {e}"))?;
+    let mut config = fixrules::discovery::DiscoveryConfig::default();
+    if let Some(s) = flags.optional("min-support") {
+        config.min_support = s.parse().map_err(|_| "--min-support N".to_string())?;
+    }
+    if let Some(c) = flags.optional("min-confidence") {
+        config.min_confidence = c.parse().map_err(|_| "--min-confidence F".to_string())?;
+    }
+    let discovered = fixrules::discovery::discover_all(&table, &fds, config);
+    let mut rules = RuleSet::new(table.schema().clone());
+    for d in &discovered {
+        rules.push(d.rule.clone());
+    }
+    let log = fixrules::consistency::resolve::ensure_consistent_batch(&mut rules);
+    println!(
+        "discovered {} rule(s) from {} FD(s); {} resolution action(s) applied",
+        rules.len(),
+        fds.len(),
+        log.actions.len()
+    );
+    std::fs::write(out, format_rules(&rules, &symbols))
+        .map_err(|e| format!("writing {out}: {e}"))?;
+    println!("wrote {out}");
+    Ok(())
+}
+
+/// Audit mode: report and explain every update a repair would apply,
+/// without writing anything.
+fn cmd_detect(flags: &Flags) -> Result<(), String> {
+    let (table, rules, symbols) = load(flags)?;
+    let report = rules.check_consistency();
+    if !report.is_consistent() {
+        return Err(format!(
+            "rule set has {} conflict(s); run `fixctl resolve` first",
+            report.conflicts.len()
+        ));
+    }
+    let index = LRepairIndex::build(&rules);
+    let plan = fixrules::repair::detect_table(&rules, &index, &table);
+    println!(
+        "{} planned update(s) across {} row(s) of {}",
+        plan.total_updates(),
+        plan.rows_touched(),
+        table.len()
+    );
+    for u in plan.updates.iter().take(100) {
+        println!(
+            "  {}",
+            fixrules::repair::explain(u, &rules, table.schema(), &symbols)
+        );
+    }
+    if plan.total_updates() > 100 {
+        println!("  ... and {} more", plan.total_updates() - 100);
+    }
+    Ok(())
+}
+
+/// Load the CSV (schema from header) and the rule file against it.
+fn load(flags: &Flags) -> Result<(Table, RuleSet, SymbolTable), String> {
+    let data_path = flags.required("data")?;
+    let rules_path = flags.required("rules")?;
+    let mut symbols = SymbolTable::new();
+    let table = relation::csv_io::read_csv_file(data_path, "data", &mut symbols)
+        .map_err(|e| format!("reading {data_path}: {e}"))?;
+    let text =
+        std::fs::read_to_string(rules_path).map_err(|e| format!("reading {rules_path}: {e}"))?;
+    let rules = parse_rules(&text, table.schema(), &mut symbols)
+        .map_err(|e| format!("parsing {rules_path}: {e}"))?;
+    Ok((table, rules, symbols))
+}
+
+fn cmd_check(flags: &Flags) -> Result<(), String> {
+    let (_table, rules, symbols) = load(flags)?;
+    let report = rules.check_consistency();
+    println!(
+        "{} rules, size(Σ) = {}, {} pairs checked",
+        rules.len(),
+        rules.size(),
+        report.pairs_checked
+    );
+    if report.is_consistent() {
+        println!("consistent ✓");
+        Ok(())
+    } else {
+        println!(
+            "INCONSISTENT — {} conflicting pair(s):",
+            report.conflicts.len()
+        );
+        for c in report.conflicts.iter().take(20) {
+            println!("  [{}] vs [{}]  ({:?})", c.first.0, c.second.0, c.case);
+            println!(
+                "    {}",
+                rules.rule(c.first).display(rules.schema(), &symbols)
+            );
+            println!(
+                "    {}",
+                rules.rule(c.second).display(rules.schema(), &symbols)
+            );
+        }
+        if report.conflicts.len() > 20 {
+            println!("  ... and {} more", report.conflicts.len() - 20);
+        }
+        Err("rule set is inconsistent (run `fixctl resolve`)".into())
+    }
+}
+
+fn cmd_resolve(flags: &Flags) -> Result<(), String> {
+    let (_table, mut rules, symbols) = load(flags)?;
+    let strategy = match flags.optional("strategy").unwrap_or("shrink") {
+        "shrink" => Strategy::ShrinkNegatives,
+        "drop" => Strategy::Conservative,
+        other => return Err(format!("unknown strategy `{other}` (shrink|drop)")),
+    };
+    let before = rules.len();
+    let log = ensure_consistent(&mut rules, strategy);
+    println!(
+        "resolved in {} round(s): {} negative pattern(s) removed, {} rule(s) removed ({} -> {})",
+        log.rounds,
+        log.negatives_removed(),
+        log.rules_removed(),
+        before,
+        rules.len()
+    );
+    let out = flags.required("out")?;
+    std::fs::write(out, format_rules(&rules, &symbols))
+        .map_err(|e| format!("writing {out}: {e}"))?;
+    println!("wrote {out}");
+    Ok(())
+}
+
+fn cmd_repair(flags: &Flags) -> Result<(), String> {
+    let (mut table, rules, symbols) = load(flags)?;
+    let report = rules.check_consistency();
+    if !report.is_consistent() {
+        return Err(format!(
+            "rule set has {} conflict(s); run `fixctl resolve` first",
+            report.conflicts.len()
+        ));
+    }
+    let algo = flags.optional("algo").unwrap_or("lrepair");
+    if algo == "stream" {
+        // One-pass constant-memory repair: re-read the data file and write
+        // records as they are repaired.
+        let data_path = flags.required("data")?;
+        let out = flags.required("out")?;
+        let mut symbols2 = SymbolTable::new();
+        // Rebuild the rules against a schema taken from the header so the
+        // attribute ids align with the stream (load() used its own table).
+        let header_table = relation::csv_io::read_csv_file(data_path, "data", &mut symbols2)
+            .map_err(|e| format!("reading {data_path}: {e}"))?;
+        let text = std::fs::read_to_string(flags.required("rules")?)
+            .map_err(|e| format!("re-reading rules: {e}"))?;
+        let rules2 = parse_rules(&text, header_table.schema(), &mut symbols2)
+            .map_err(|e| format!("parsing rules: {e}"))?;
+        let index = LRepairIndex::build(&rules2);
+        let reader =
+            std::fs::File::open(data_path).map_err(|e| format!("opening {data_path}: {e}"))?;
+        let writer = std::io::BufWriter::new(
+            std::fs::File::create(out).map_err(|e| format!("creating {out}: {e}"))?,
+        );
+        let stats =
+            fixrules::repair::stream_repair_csv(&rules2, &index, &mut symbols2, reader, writer)
+                .map_err(|e| format!("streaming: {e}"))?;
+        println!(
+            "{} update(s) across {} row(s) of {} (streamed)",
+            stats.updates, stats.rows_touched, stats.rows
+        );
+        println!("wrote {out}");
+        return Ok(());
+    }
+    let outcome: RepairOutcome = match algo {
+        "lrepair" => {
+            let index = LRepairIndex::build(&rules);
+            lrepair_table(&rules, &index, &mut table)
+        }
+        "crepair" => crepair_table(&rules, &mut table),
+        other => return Err(format!("unknown algo `{other}` (lrepair|crepair|stream)")),
+    };
+    println!(
+        "{} update(s) across {} row(s) of {}",
+        outcome.total_updates(),
+        outcome.rows_touched(),
+        table.len()
+    );
+    let out = flags.required("out")?;
+    relation::csv_io::write_csv_file(out, &table, &symbols)
+        .map_err(|e| format!("writing {out}: {e}"))?;
+    println!("wrote {out}");
+    if let Some(log_path) = flags.optional("log") {
+        let mut w = String::from("row,attribute,old,new,rule\n");
+        for u in &outcome.updates {
+            w.push_str(&format!(
+                "{},{},{},{},{}\n",
+                u.row,
+                table.schema().attr_name(u.attr),
+                symbols.resolve(u.old),
+                symbols.resolve(u.new),
+                u.rule.0
+            ));
+        }
+        std::fs::write(log_path, w).map_err(|e| format!("writing {log_path}: {e}"))?;
+        println!("wrote {log_path}");
+    }
+    Ok(())
+}
+
+fn cmd_stats(flags: &Flags) -> Result<(), String> {
+    let (table, rules, _symbols) = load(flags)?;
+    println!("schema: {}", table.schema());
+    println!("data:   {} rows", table.len());
+    println!("rules:  {} (size(Σ) = {})", rules.len(), rules.size());
+    let mut by_b: HashMap<&str, usize> = HashMap::new();
+    let mut neg_total = 0usize;
+    let mut neg_max = 0usize;
+    for (_, rule) in rules.iter() {
+        *by_b.entry(table.schema().attr_name(rule.b())).or_insert(0) += 1;
+        neg_total += rule.neg().len();
+        neg_max = neg_max.max(rule.neg().len());
+    }
+    if !rules.is_empty() {
+        println!(
+            "negative patterns: {} total, {:.1} avg, {} max",
+            neg_total,
+            neg_total as f64 / rules.len() as f64,
+            neg_max
+        );
+    }
+    let mut attrs: Vec<(&str, usize)> = by_b.into_iter().collect();
+    attrs.sort_by_key(|&(_, n)| std::cmp::Reverse(n));
+    println!("rules per repaired attribute:");
+    for (attr, n) in attrs {
+        println!("  {attr:<20} {n}");
+    }
+    Ok(())
+}

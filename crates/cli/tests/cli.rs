@@ -1,0 +1,385 @@
+//! End-to-end tests driving the `fixctl` binary.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn fixctl(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_fixctl"))
+        .args(args)
+        .output()
+        .expect("spawn fixctl")
+}
+
+fn tmpdir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("fixctl_test_{name}_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+const TRAVEL_CSV: &str = "\
+name,country,capital,city,conf
+George,China,Beijing,Beijing,SIGMOD
+Ian,China,Shanghai,Hongkong,ICDE
+Peter,China,Tokyo,Tokyo,ICDE
+Mike,Canada,Toronto,Toronto,VLDB
+";
+
+const GOOD_RULES: &str = r#"
+IF country = "China" AND capital IN {"Shanghai", "Hongkong"} THEN capital := "Beijing"
+IF country = "Canada" AND capital IN {"Toronto"} THEN capital := "Ottawa"
+IF capital = "Tokyo" AND city = "Tokyo" AND conf = "ICDE" AND country IN {"China"} THEN country := "Japan"
+"#;
+
+const BAD_RULES: &str = r#"
+IF country = "China" AND capital IN {"Shanghai", "Hongkong", "Tokyo"} THEN capital := "Beijing"
+IF capital = "Tokyo" AND city = "Tokyo" AND conf = "ICDE" AND country IN {"China"} THEN country := "Japan"
+"#;
+
+#[test]
+fn check_accepts_consistent_rules() {
+    let dir = tmpdir("check_ok");
+    let data = dir.join("t.csv");
+    let rules = dir.join("r.frl");
+    std::fs::write(&data, TRAVEL_CSV).unwrap();
+    std::fs::write(&rules, GOOD_RULES).unwrap();
+    let out = fixctl(&[
+        "check",
+        "--rules",
+        rules.to_str().unwrap(),
+        "--data",
+        data.to_str().unwrap(),
+    ]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(String::from_utf8_lossy(&out.stdout).contains("consistent ✓"));
+}
+
+#[test]
+fn check_rejects_inconsistent_rules_with_nonzero_exit() {
+    let dir = tmpdir("check_bad");
+    let data = dir.join("t.csv");
+    let rules = dir.join("r.frl");
+    std::fs::write(&data, TRAVEL_CSV).unwrap();
+    std::fs::write(&rules, BAD_RULES).unwrap();
+    let out = fixctl(&[
+        "check",
+        "--rules",
+        rules.to_str().unwrap(),
+        "--data",
+        data.to_str().unwrap(),
+    ]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("INCONSISTENT"));
+}
+
+#[test]
+fn resolve_then_repair_round_trip() {
+    let dir = tmpdir("resolve_repair");
+    let data = dir.join("t.csv");
+    let rules = dir.join("r.frl");
+    let fixed_rules = dir.join("fixed.frl");
+    let repaired = dir.join("repaired.csv");
+    let log = dir.join("updates.csv");
+    std::fs::write(&data, TRAVEL_CSV).unwrap();
+    std::fs::write(&rules, BAD_RULES).unwrap();
+
+    let out = fixctl(&[
+        "resolve",
+        "--rules",
+        rules.to_str().unwrap(),
+        "--data",
+        data.to_str().unwrap(),
+        "--out",
+        fixed_rules.to_str().unwrap(),
+    ]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    let out = fixctl(&[
+        "repair",
+        "--rules",
+        fixed_rules.to_str().unwrap(),
+        "--data",
+        data.to_str().unwrap(),
+        "--out",
+        repaired.to_str().unwrap(),
+        "--log",
+        log.to_str().unwrap(),
+    ]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let csv = std::fs::read_to_string(&repaired).unwrap();
+    // r3 repaired to Japan (φ'1 lost Tokyo in resolution, φ3 wins).
+    assert!(csv.contains("Peter,Japan,Tokyo,Tokyo,ICDE"), "{csv}");
+    let log_text = std::fs::read_to_string(&log).unwrap();
+    assert!(log_text.starts_with("row,attribute,old,new,rule"));
+    assert!(log_text.contains("country,China,Japan"));
+}
+
+#[test]
+fn repair_refuses_inconsistent_rules() {
+    let dir = tmpdir("repair_refuse");
+    let data = dir.join("t.csv");
+    let rules = dir.join("r.frl");
+    std::fs::write(&data, TRAVEL_CSV).unwrap();
+    std::fs::write(&rules, BAD_RULES).unwrap();
+    let out = fixctl(&[
+        "repair",
+        "--rules",
+        rules.to_str().unwrap(),
+        "--data",
+        data.to_str().unwrap(),
+        "--out",
+        dir.join("x.csv").to_str().unwrap(),
+    ]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("resolve"));
+}
+
+#[test]
+fn stream_algo_matches_lrepair() {
+    let dir = tmpdir("stream");
+    let data = dir.join("t.csv");
+    let rules = dir.join("r.frl");
+    std::fs::write(&data, TRAVEL_CSV).unwrap();
+    std::fs::write(&rules, GOOD_RULES).unwrap();
+    let mut outputs = Vec::new();
+    for algo in ["lrepair", "stream"] {
+        let out_path = dir.join(format!("{algo}.csv"));
+        let out = fixctl(&[
+            "repair",
+            "--rules",
+            rules.to_str().unwrap(),
+            "--data",
+            data.to_str().unwrap(),
+            "--out",
+            out_path.to_str().unwrap(),
+            "--algo",
+            algo,
+        ]);
+        assert!(
+            out.status.success(),
+            "{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        outputs.push(std::fs::read_to_string(&out_path).unwrap());
+    }
+    assert_eq!(outputs[0], outputs[1]);
+}
+
+#[test]
+fn crepair_algo_matches_lrepair() {
+    let dir = tmpdir("algos");
+    let data = dir.join("t.csv");
+    let rules = dir.join("r.frl");
+    std::fs::write(&data, TRAVEL_CSV).unwrap();
+    std::fs::write(&rules, GOOD_RULES).unwrap();
+    let mut outputs = Vec::new();
+    for algo in ["lrepair", "crepair"] {
+        let out_path = dir.join(format!("{algo}.csv"));
+        let out = fixctl(&[
+            "repair",
+            "--rules",
+            rules.to_str().unwrap(),
+            "--data",
+            data.to_str().unwrap(),
+            "--out",
+            out_path.to_str().unwrap(),
+            "--algo",
+            algo,
+        ]);
+        assert!(
+            out.status.success(),
+            "{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        outputs.push(std::fs::read_to_string(&out_path).unwrap());
+    }
+    assert_eq!(outputs[0], outputs[1]);
+}
+
+#[test]
+fn stats_reports_rule_shape() {
+    let dir = tmpdir("stats");
+    let data = dir.join("t.csv");
+    let rules = dir.join("r.frl");
+    std::fs::write(&data, TRAVEL_CSV).unwrap();
+    std::fs::write(&rules, GOOD_RULES).unwrap();
+    let out = fixctl(&[
+        "stats",
+        "--rules",
+        rules.to_str().unwrap(),
+        "--data",
+        data.to_str().unwrap(),
+    ]);
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("rules:  3"));
+    assert!(stdout.contains("capital"));
+}
+
+#[test]
+fn detect_explains_without_writing() {
+    let dir = tmpdir("detect");
+    let data = dir.join("t.csv");
+    let rules = dir.join("r.frl");
+    std::fs::write(&data, TRAVEL_CSV).unwrap();
+    std::fs::write(&rules, GOOD_RULES).unwrap();
+    let before = std::fs::read_to_string(&data).unwrap();
+    let out = fixctl(&[
+        "detect",
+        "--rules",
+        rules.to_str().unwrap(),
+        "--data",
+        data.to_str().unwrap(),
+    ]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("3 planned update(s)"), "{stdout}");
+    assert!(stdout.contains("known wrong value given"), "{stdout}");
+    // Data untouched.
+    assert_eq!(before, std::fs::read_to_string(&data).unwrap());
+}
+
+#[test]
+fn convert_to_json_and_back() {
+    let dir = tmpdir("convert");
+    let data = dir.join("t.csv");
+    let rules = dir.join("r.frl");
+    let json = dir.join("r.json");
+    let frl2 = dir.join("r2.frl");
+    std::fs::write(&data, TRAVEL_CSV).unwrap();
+    std::fs::write(&rules, GOOD_RULES).unwrap();
+    let out = fixctl(&[
+        "convert",
+        "--rules",
+        rules.to_str().unwrap(),
+        "--data",
+        data.to_str().unwrap(),
+        "--out",
+        json.to_str().unwrap(),
+    ]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let doc = std::fs::read_to_string(&json).unwrap();
+    assert!(doc.contains("\"relation\""));
+    assert!(doc.contains("Beijing"));
+    // Round-trip frl -> frl is a normalization pass.
+    let out = fixctl(&[
+        "convert",
+        "--rules",
+        rules.to_str().unwrap(),
+        "--data",
+        data.to_str().unwrap(),
+        "--out",
+        frl2.to_str().unwrap(),
+    ]);
+    assert!(out.status.success());
+    let text = std::fs::read_to_string(&frl2).unwrap();
+    assert!(text.contains("THEN capital := \"Beijing\""));
+}
+
+#[test]
+fn discover_learns_rules_from_redundant_data() {
+    let dir = tmpdir("discover");
+    let data = dir.join("t.csv");
+    let fds = dir.join("fds.txt");
+    let out_rules = dir.join("learned.frl");
+    // Redundant country→capital data with one lone dissenter.
+    let mut csv = String::from("country,capital\n");
+    for _ in 0..5 {
+        csv.push_str("China,Beijing\n");
+    }
+    csv.push_str("China,Shanghai\n");
+    for _ in 0..4 {
+        csv.push_str("Canada,Ottawa\n");
+    }
+    csv.push_str("Canada,Toronto\n");
+    std::fs::write(&data, csv).unwrap();
+    std::fs::write(&fds, "country -> capital\n").unwrap();
+    let out = fixctl(&[
+        "discover",
+        "--data",
+        data.to_str().unwrap(),
+        "--fds",
+        fds.to_str().unwrap(),
+        "--out",
+        out_rules.to_str().unwrap(),
+    ]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = std::fs::read_to_string(&out_rules).unwrap();
+    assert!(text.contains("THEN capital := \"Beijing\""), "{text}");
+    assert!(text.contains("THEN capital := \"Ottawa\""), "{text}");
+    // The learned rules repair the data they were learned from.
+    let repaired = dir.join("repaired.csv");
+    let out = fixctl(&[
+        "repair",
+        "--rules",
+        out_rules.to_str().unwrap(),
+        "--data",
+        data.to_str().unwrap(),
+        "--out",
+        repaired.to_str().unwrap(),
+    ]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let fixed = std::fs::read_to_string(&repaired).unwrap();
+    assert!(!fixed.contains("Shanghai"));
+    assert!(!fixed.contains("Toronto"));
+}
+
+#[test]
+fn missing_flags_produce_usage_errors() {
+    let out = fixctl(&["repair", "--data", "/nonexistent.csv"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--rules"));
+    let out = fixctl(&["frobnicate"]);
+    assert!(!out.status.success());
+    let out = fixctl(&[]);
+    assert!(!out.status.success());
+}
+
+#[test]
+fn bad_rule_file_reports_line() {
+    let dir = tmpdir("bad_rule");
+    let data = dir.join("t.csv");
+    let rules = dir.join("r.frl");
+    std::fs::write(&data, TRAVEL_CSV).unwrap();
+    std::fs::write(
+        &rules,
+        "IF country = \"China\" THEN capital := \"Beijing\"\n",
+    )
+    .unwrap();
+    let out = fixctl(&[
+        "check",
+        "--rules",
+        rules.to_str().unwrap(),
+        "--data",
+        data.to_str().unwrap(),
+    ]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("line 1"));
+}

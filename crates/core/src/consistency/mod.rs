@@ -1,0 +1,197 @@
+//! Consistency analysis of rule sets (§4.2, §5).
+//!
+//! A set `Σ` is *consistent* iff every tuple has a unique fix. Proposition 3
+//! reduces this to **pairwise** consistency, so both checkers enumerate
+//! pairs of distinct rules and decide each pair:
+//!
+//! * [`characterize`] — `isConsist_r` (Fig 4): decide a pair by a constant
+//!   number of pattern-set tests; `O(size(Σ)²)` overall.
+//! * [`enumerate`] — `isConsist_t` (§5.2.1): build the finite witness-tuple
+//!   space from the pair's constants and chase every candidate in all
+//!   orders.
+//!
+//! [`resolve`] implements the §5.3 strategies for repairing an inconsistent
+//! rule set (conservative removal; negative-pattern shrinking).
+
+pub mod characterize;
+pub mod enumerate;
+pub mod resolve;
+
+pub use characterize::is_consistent_characterize;
+pub use enumerate::is_consistent_enumerate;
+
+use relation::Symbol;
+
+use crate::ruleset::{RuleId, RuleSet};
+
+/// Which of the Fig 4 cases witnessed the conflict.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConflictCase {
+    /// Case 1: `Bi = Bj`, overlapping negative patterns, different facts.
+    SameBDifferentFacts,
+    /// Case 2(a): `Bi ∈ Xj`, `Bj ∉ Xi`, `tp_j[Bi] ∈ Tp_i[Bi]`.
+    BiInXj,
+    /// Case 2(b): symmetric to 2(a).
+    BjInXi,
+    /// Case 2(c): mutual — `Bi ∈ Xj` and `Bj ∈ Xi`, both pattern conditions.
+    Mutual,
+}
+
+/// A pair of rules that can drive some tuple to two different fixpoints.
+#[derive(Debug, Clone)]
+pub struct Conflict {
+    /// First rule of the pair (smaller id).
+    pub first: RuleId,
+    /// Second rule of the pair.
+    pub second: RuleId,
+    /// Which characterization case fired.
+    pub case: ConflictCase,
+    /// A witness tuple reaching two fixpoints, when produced by the
+    /// enumeration checker (`isConsist_r` decides without materialising
+    /// one).
+    pub witness: Option<Vec<Symbol>>,
+}
+
+/// Result of a consistency check.
+#[derive(Debug, Clone, Default)]
+pub struct ConsistencyReport {
+    /// Conflicting pairs found (bounded by the checker's `max_conflicts`).
+    pub conflicts: Vec<Conflict>,
+    /// Number of rule pairs examined before returning.
+    pub pairs_checked: usize,
+}
+
+impl ConsistencyReport {
+    /// True when no conflict was found.
+    pub fn is_consistent(&self) -> bool {
+        self.conflicts.is_empty()
+    }
+
+    /// Distinct rules participating in some conflict.
+    pub fn conflicting_rules(&self) -> Vec<RuleId> {
+        let mut ids: Vec<RuleId> = self
+            .conflicts
+            .iter()
+            .flat_map(|c| [c.first, c.second])
+            .collect();
+        ids.sort();
+        ids.dedup();
+        ids
+    }
+}
+
+/// Decide whether the evidence patterns of two rules are *compatible*:
+/// `Xi ∩ Xj = ∅` or `tp_i[Xi ∩ Xj] = tp_j[Xi ∩ Xj]` (line 2 of Fig 4).
+/// Incompatible evidence means no tuple can match both rules, so the pair is
+/// consistent by Lemma 4.
+pub(crate) fn evidence_compatible(
+    a: &crate::rule::FixingRule,
+    b: &crate::rule::FixingRule,
+) -> bool {
+    let shared = a.x_set().intersect(b.x_set());
+    shared
+        .iter()
+        .all(|attr| a.evidence_value(attr) == b.evidence_value(attr))
+}
+
+/// Incrementally check one candidate rule against an already-consistent
+/// set: by Proposition 3 only the `|Σ|` new pairs need inspection, so
+/// authoring workflows can validate each added rule in `O(size(Σ))` instead
+/// of re-running the full `O(size(Σ)²)` check.
+///
+/// Returns the conflicts the candidate would introduce (empty = safe to
+/// push).
+pub fn check_candidate(rules: &RuleSet, candidate: &crate::rule::FixingRule) -> Vec<Conflict> {
+    let candidate_id = RuleId(rules.len() as u32);
+    rules
+        .iter()
+        .filter_map(|(id, existing)| {
+            characterize::check_pair(existing, candidate).map(|case| Conflict {
+                first: id,
+                second: candidate_id,
+                case,
+                witness: None,
+            })
+        })
+        .collect()
+}
+
+/// Convenience: check a whole rule set with both algorithms and assert they
+/// agree (used by tests and the eval harness in debug runs).
+pub fn check_both_agree(rules: &RuleSet) -> (ConsistencyReport, ConsistencyReport) {
+    let r = is_consistent_characterize(rules, usize::MAX);
+    let t = is_consistent_enumerate(rules, usize::MAX);
+    debug_assert_eq!(r.is_consistent(), t.is_consistent());
+    (r, t)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use relation::{Schema, SymbolTable};
+
+    #[test]
+    fn evidence_compatibility() {
+        let schema = Schema::new("Travel", ["name", "country", "capital", "city", "conf"]).unwrap();
+        let mut sy = SymbolTable::new();
+        let china = crate::rule::FixingRule::from_named(
+            &schema,
+            &mut sy,
+            &[("country", "China")],
+            "capital",
+            &["Shanghai"],
+            "Beijing",
+        )
+        .unwrap();
+        let canada = crate::rule::FixingRule::from_named(
+            &schema,
+            &mut sy,
+            &[("country", "Canada")],
+            "capital",
+            &["Toronto"],
+            "Ottawa",
+        )
+        .unwrap();
+        let disjoint = crate::rule::FixingRule::from_named(
+            &schema,
+            &mut sy,
+            &[("conf", "ICDE")],
+            "city",
+            &["Paris"],
+            "Tokyo",
+        )
+        .unwrap();
+        // Same X, different constants: incompatible.
+        assert!(!evidence_compatible(&china, &canada));
+        // Disjoint X: compatible.
+        assert!(evidence_compatible(&china, &disjoint));
+        // Identity: compatible.
+        assert!(evidence_compatible(&china, &china));
+    }
+
+    #[test]
+    fn report_collects_conflicting_rules() {
+        let report = ConsistencyReport {
+            conflicts: vec![
+                Conflict {
+                    first: RuleId(0),
+                    second: RuleId(2),
+                    case: ConflictCase::Mutual,
+                    witness: None,
+                },
+                Conflict {
+                    first: RuleId(2),
+                    second: RuleId(3),
+                    case: ConflictCase::BiInXj,
+                    witness: None,
+                },
+            ],
+            pairs_checked: 6,
+        };
+        assert!(!report.is_consistent());
+        assert_eq!(
+            report.conflicting_rules(),
+            vec![RuleId(0), RuleId(2), RuleId(3)]
+        );
+    }
+}

@@ -1,0 +1,675 @@
+//! Textual rule files.
+//!
+//! A line-oriented, human-editable serialization of fixing rules, so rule
+//! sets can be authored in a file, versioned, and shared between the CLI
+//! and the library:
+//!
+//! ```text
+//! # φ1 of the paper
+//! IF country = "China" AND capital IN {"Shanghai", "Hongkong"} THEN capital := "Beijing"
+//! ```
+//!
+//! Grammar (one rule per line, `#` comments, blank lines ignored):
+//!
+//! ```text
+//! rule  := "IF" cond ("AND" cond)* "THEN" attr ":=" value
+//! cond  := attr "=" value                       (evidence cell)
+//!        | attr "IN" "{" value ("," value)* "}" (negative patterns of B)
+//! value := '"' escaped-string '"'
+//! ```
+//!
+//! Exactly one `IN` condition is required and its attribute must match the
+//! `THEN` attribute. Values are double-quoted with `\"` and `\\` escapes,
+//! so arbitrary cell content round-trips.
+
+use std::fmt::Write as _;
+
+use relation::{Schema, SymbolTable};
+
+use crate::rule::FixingRule;
+use crate::ruleset::RuleSet;
+
+/// Errors raised while parsing a rule file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RuleParseError {
+    /// Line did not match the grammar.
+    Syntax {
+        /// 1-based line number.
+        line: usize,
+        /// What went wrong.
+        message: String,
+    },
+    /// The parsed rule failed validation (e.g. fact among negatives).
+    Invalid {
+        /// 1-based line number.
+        line: usize,
+        /// The validation failure.
+        source: crate::rule::FixRuleError,
+    },
+}
+
+impl std::fmt::Display for RuleParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RuleParseError::Syntax { line, message } => {
+                write!(f, "line {line}: {message}")
+            }
+            RuleParseError::Invalid { line, source } => {
+                write!(f, "line {line}: invalid rule: {source}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RuleParseError {}
+
+/// Serialize one rule as a rule-file line.
+pub fn format_rule(rule: &FixingRule, schema: &Schema, symbols: &SymbolTable) -> String {
+    let mut out = String::from("IF ");
+    for (i, (&attr, &val)) in rule.x().iter().zip(rule.tp().iter()).enumerate() {
+        if i > 0 {
+            out.push_str(" AND ");
+        }
+        let _ = write!(
+            out,
+            "{} = {}",
+            schema.attr_name(attr),
+            quote(symbols.resolve(val))
+        );
+    }
+    let _ = write!(out, " AND {} IN {{", schema.attr_name(rule.b()));
+    for (i, &neg) in rule.neg().iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        out.push_str(&quote(symbols.resolve(neg)));
+    }
+    let _ = write!(
+        out,
+        "}} THEN {} := {}",
+        schema.attr_name(rule.b()),
+        quote(symbols.resolve(rule.fact()))
+    );
+    out
+}
+
+/// Serialize a whole rule set (with a header comment).
+pub fn format_rules(rules: &RuleSet, symbols: &SymbolTable) -> String {
+    let mut out = format!(
+        "# {} fixing rules over schema {}\n",
+        rules.len(),
+        rules.schema()
+    );
+    for (_, rule) in rules.iter() {
+        out.push_str(&format_rule(rule, rules.schema(), symbols));
+        out.push('\n');
+    }
+    out
+}
+
+/// Parse a rule file into a [`RuleSet`] over `schema`, interning values
+/// into `symbols`.
+///
+/// ```
+/// use relation::{Schema, SymbolTable};
+/// let schema = Schema::new("T", ["country", "capital"]).unwrap();
+/// let mut sy = SymbolTable::new();
+/// let rules = fixrules::io::parse_rules(
+///     r#"IF country = "China" AND capital IN {"Shanghai"} THEN capital := "Beijing""#,
+///     &schema,
+///     &mut sy,
+/// ).unwrap();
+/// assert_eq!(rules.len(), 1);
+/// assert!(rules.check_consistency().is_consistent());
+/// ```
+pub fn parse_rules(
+    text: &str,
+    schema: &Schema,
+    symbols: &mut SymbolTable,
+) -> Result<RuleSet, RuleParseError> {
+    let mut rules = RuleSet::new(schema.clone());
+    for (i, raw) in text.lines().enumerate() {
+        let line_no = i + 1;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let rule = parse_rule_line(line, line_no, schema, symbols)?;
+        rules.push(rule);
+    }
+    Ok(rules)
+}
+
+/// Parse a single rule line.
+pub fn parse_rule_line(
+    line: &str,
+    line_no: usize,
+    schema: &Schema,
+    symbols: &mut SymbolTable,
+) -> Result<FixingRule, RuleParseError> {
+    let syntax = |message: String| RuleParseError::Syntax {
+        line: line_no,
+        message,
+    };
+    let mut lex = Lexer::new(line);
+    lex.expect_word("IF").map_err(&syntax)?;
+
+    let mut evidence: Vec<(&str, String)> = Vec::new();
+    let mut neg_clause: Option<(&str, Vec<String>)> = None;
+    loop {
+        let attr = lex.ident().map_err(&syntax)?;
+        if lex.try_word("=") {
+            let value = lex.quoted().map_err(&syntax)?;
+            evidence.push((attr, value));
+        } else if lex.try_word("IN") {
+            if neg_clause.is_some() {
+                return Err(syntax("more than one IN clause".into()));
+            }
+            lex.expect_word("{").map_err(&syntax)?;
+            let mut values = Vec::new();
+            loop {
+                values.push(lex.quoted().map_err(&syntax)?);
+                if lex.try_word(",") {
+                    continue;
+                }
+                lex.expect_word("}").map_err(&syntax)?;
+                break;
+            }
+            neg_clause = Some((attr, values));
+        } else {
+            return Err(syntax(format!("expected `=` or `IN` after `{attr}`")));
+        }
+        if lex.try_word("AND") {
+            continue;
+        }
+        lex.expect_word("THEN").map_err(&syntax)?;
+        break;
+    }
+    let then_attr = lex.ident().map_err(&syntax)?;
+    lex.expect_word(":=").map_err(&syntax)?;
+    let fact = lex.quoted().map_err(&syntax)?;
+    lex.expect_end().map_err(&syntax)?;
+
+    let Some((neg_attr, neg_values)) = neg_clause else {
+        return Err(syntax("missing IN clause (negative patterns)".into()));
+    };
+    if neg_attr != then_attr {
+        return Err(syntax(format!(
+            "IN attribute `{neg_attr}` does not match THEN attribute `{then_attr}`"
+        )));
+    }
+
+    let resolve = |name: &str| {
+        schema
+            .attr(name)
+            .ok_or_else(|| syntax(format!("attribute `{name}` is not in schema {schema}")))
+    };
+    let mut ev = Vec::with_capacity(evidence.len());
+    for (attr, value) in evidence {
+        ev.push((resolve(attr)?, symbols.intern(&value)));
+    }
+    let b = resolve(then_attr)?;
+    let neg = neg_values.iter().map(|v| symbols.intern(v)).collect();
+    let fact = symbols.intern(&fact);
+    FixingRule::new(ev, b, neg, fact).map_err(|source| RuleParseError::Invalid {
+        line: line_no,
+        source,
+    })
+}
+
+/// A fixing rule in schema-independent, serializable form (attribute names
+/// and string values). The bridge between the in-memory interned
+/// representation and JSON/YAML documents via serde.
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct PortableRule {
+    /// Evidence cells: `(attribute, value)` pairs.
+    pub evidence: Vec<(String, String)>,
+    /// The repaired attribute `B`.
+    pub b: String,
+    /// Negative patterns of `B`.
+    pub negatives: Vec<String>,
+    /// The fact written on a match.
+    pub fact: String,
+}
+
+/// A serializable rule-set document: the schema it applies to plus the
+/// rules.
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct PortableRuleSet {
+    /// Relation name.
+    pub relation: String,
+    /// Attribute names in schema order.
+    pub attributes: Vec<String>,
+    /// The rules.
+    pub rules: Vec<PortableRule>,
+}
+
+/// Export a rule set to portable form.
+pub fn to_portable(rules: &RuleSet, symbols: &SymbolTable) -> PortableRuleSet {
+    let schema = rules.schema();
+    PortableRuleSet {
+        relation: schema.name().to_string(),
+        attributes: schema.attr_names().map(str::to_string).collect(),
+        rules: rules
+            .rules()
+            .iter()
+            .map(|r| PortableRule {
+                evidence: r
+                    .x()
+                    .iter()
+                    .zip(r.tp().iter())
+                    .map(|(&a, &v)| {
+                        (
+                            schema.attr_name(a).to_string(),
+                            symbols.resolve(v).to_string(),
+                        )
+                    })
+                    .collect(),
+                b: schema.attr_name(r.b()).to_string(),
+                negatives: r
+                    .neg()
+                    .iter()
+                    .map(|&v| symbols.resolve(v).to_string())
+                    .collect(),
+                fact: symbols.resolve(r.fact()).to_string(),
+            })
+            .collect(),
+    }
+}
+
+/// Errors importing a portable document.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PortableError {
+    /// The document's schema could not be rebuilt.
+    BadSchema(String),
+    /// A rule referenced an unknown attribute or failed validation.
+    BadRule {
+        /// Index of the offending rule in the document.
+        index: usize,
+        /// What went wrong.
+        message: String,
+    },
+}
+
+impl std::fmt::Display for PortableError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PortableError::BadSchema(m) => write!(f, "bad schema: {m}"),
+            PortableError::BadRule { index, message } => {
+                write!(f, "rule #{index}: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PortableError {}
+
+/// Import a portable document, rebuilding the schema it declares.
+pub fn from_portable(
+    doc: &PortableRuleSet,
+    symbols: &mut SymbolTable,
+) -> Result<RuleSet, PortableError> {
+    let schema = Schema::new(doc.relation.clone(), doc.attributes.iter().cloned())
+        .map_err(|e| PortableError::BadSchema(e.to_string()))?;
+    let mut rules = RuleSet::new(schema.clone());
+    for (index, pr) in doc.rules.iter().enumerate() {
+        let evidence: Vec<(&str, &str)> = pr
+            .evidence
+            .iter()
+            .map(|(a, v)| (a.as_str(), v.as_str()))
+            .collect();
+        let negatives: Vec<&str> = pr.negatives.iter().map(String::as_str).collect();
+        let rule = FixingRule::from_named(&schema, symbols, &evidence, &pr.b, &negatives, &pr.fact)
+            .map_err(|e| PortableError::BadRule {
+                index,
+                message: e.to_string(),
+            })?;
+        rules.push(rule);
+    }
+    Ok(rules)
+}
+
+fn quote(value: &str) -> String {
+    let mut out = String::with_capacity(value.len() + 2);
+    out.push('"');
+    for ch in value.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Minimal hand-rolled tokenizer over one line.
+struct Lexer<'a> {
+    rest: &'a str,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(line: &'a str) -> Self {
+        Lexer {
+            rest: line.trim_start(),
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        self.rest = self.rest.trim_start();
+    }
+
+    fn expect_word(&mut self, word: &str) -> Result<(), String> {
+        self.skip_ws();
+        if let Some(stripped) = self.rest.strip_prefix(word) {
+            self.rest = stripped;
+            Ok(())
+        } else {
+            Err(format!(
+                "expected `{word}`, found `{}`",
+                self.rest.chars().take(12).collect::<String>()
+            ))
+        }
+    }
+
+    fn try_word(&mut self, word: &str) -> bool {
+        self.skip_ws();
+        if let Some(stripped) = self.rest.strip_prefix(word) {
+            self.rest = stripped;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Attribute identifier: up to whitespace or a reserved delimiter.
+    fn ident(&mut self) -> Result<&'a str, String> {
+        self.skip_ws();
+        let end = self
+            .rest
+            .find(|c: char| c.is_whitespace() || "={},".contains(c))
+            .unwrap_or(self.rest.len());
+        if end == 0 {
+            return Err(format!(
+                "expected attribute name, found `{}`",
+                self.rest.chars().take(12).collect::<String>()
+            ));
+        }
+        let (ident, rest) = self.rest.split_at(end);
+        self.rest = rest;
+        Ok(ident)
+    }
+
+    /// Double-quoted string with `\"`/`\\` escapes.
+    fn quoted(&mut self) -> Result<String, String> {
+        self.skip_ws();
+        let mut chars = self.rest.char_indices();
+        match chars.next() {
+            Some((_, '"')) => {}
+            _ => {
+                return Err(format!(
+                    "expected quoted value, found `{}`",
+                    self.rest.chars().take(12).collect::<String>()
+                ))
+            }
+        }
+        let mut out = String::new();
+        let mut escaped = false;
+        for (i, ch) in chars {
+            if escaped {
+                match ch {
+                    '"' | '\\' => out.push(ch),
+                    other => return Err(format!("bad escape `\\{other}`")),
+                }
+                escaped = false;
+            } else if ch == '\\' {
+                escaped = true;
+            } else if ch == '"' {
+                self.rest = &self.rest[i + 1..];
+                return Ok(out);
+            } else {
+                out.push(ch);
+            }
+        }
+        Err("unterminated quoted value".into())
+    }
+
+    fn expect_end(&mut self) -> Result<(), String> {
+        self.skip_ws();
+        if self.rest.is_empty() {
+            Ok(())
+        } else {
+            Err(format!("trailing input `{}`", self.rest))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn schema() -> Schema {
+        Schema::new("Travel", ["name", "country", "capital", "city", "conf"]).unwrap()
+    }
+
+    #[test]
+    fn round_trips_phi1() {
+        let schema = schema();
+        let mut sy = SymbolTable::new();
+        let rule = FixingRule::from_named(
+            &schema,
+            &mut sy,
+            &[("country", "China")],
+            "capital",
+            &["Shanghai", "Hongkong"],
+            "Beijing",
+        )
+        .unwrap();
+        let line = format_rule(&rule, &schema, &sy);
+        assert!(
+            line.starts_with("IF country = \"China\" AND capital IN {"),
+            "{line}"
+        );
+        let parsed = parse_rule_line(&line, 1, &schema, &mut sy).unwrap();
+        assert_eq!(parsed, rule);
+    }
+
+    #[test]
+    fn round_trips_multi_evidence() {
+        let schema = schema();
+        let mut sy = SymbolTable::new();
+        let rule = FixingRule::from_named(
+            &schema,
+            &mut sy,
+            &[("capital", "Tokyo"), ("city", "Tokyo"), ("conf", "ICDE")],
+            "country",
+            &["China"],
+            "Japan",
+        )
+        .unwrap();
+        let line = format_rule(&rule, &schema, &sy);
+        let parsed = parse_rule_line(&line, 1, &schema, &mut sy).unwrap();
+        assert_eq!(parsed, rule);
+    }
+
+    #[test]
+    fn round_trips_tricky_values() {
+        let schema = schema();
+        let mut sy = SymbolTable::new();
+        let rule = FixingRule::from_named(
+            &schema,
+            &mut sy,
+            &[("country", "He said \"hi\", twice")],
+            "capital",
+            &["back\\slash", "brace } and , comma"],
+            "plain",
+        )
+        .unwrap();
+        let line = format_rule(&rule, &schema, &sy);
+        let parsed = parse_rule_line(&line, 1, &schema, &mut sy).unwrap();
+        assert_eq!(parsed, rule);
+    }
+
+    #[test]
+    fn parses_file_with_comments_and_blanks() {
+        let schema = schema();
+        let mut sy = SymbolTable::new();
+        let text = r#"
+# φ1 and φ2
+IF country = "China" AND capital IN {"Shanghai", "Hongkong"} THEN capital := "Beijing"
+
+IF country = "Canada" AND capital IN {"Toronto"} THEN capital := "Ottawa"
+"#;
+        let rules = parse_rules(text, &schema, &mut sy).unwrap();
+        assert_eq!(rules.len(), 2);
+        assert!(rules.check_consistency().is_consistent());
+    }
+
+    #[test]
+    fn format_rules_round_trips_a_set() {
+        let schema = schema();
+        let mut sy = SymbolTable::new();
+        let mut rules = RuleSet::new(schema.clone());
+        rules
+            .push_named(
+                &mut sy,
+                &[("country", "China")],
+                "capital",
+                &["Shanghai", "Hongkong"],
+                "Beijing",
+            )
+            .unwrap();
+        rules
+            .push_named(
+                &mut sy,
+                &[("country", "Canada")],
+                "capital",
+                &["Toronto"],
+                "Ottawa",
+            )
+            .unwrap();
+        let text = format_rules(&rules, &sy);
+        let parsed = parse_rules(&text, &schema, &mut sy).unwrap();
+        assert_eq!(parsed.len(), 2);
+        for ((_, a), (_, b)) in rules.iter().zip(parsed.iter()) {
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn error_reports_line_numbers() {
+        let schema = schema();
+        let mut sy = SymbolTable::new();
+        let text = "# ok\nIF country = \"China\" THEN capital := \"Beijing\"\n";
+        let err = parse_rules(text, &schema, &mut sy).unwrap_err();
+        match err {
+            RuleParseError::Syntax { line, message } => {
+                assert_eq!(line, 2);
+                assert!(message.contains("IN"), "{message}");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn mismatched_then_attribute_rejected() {
+        let schema = schema();
+        let mut sy = SymbolTable::new();
+        let line = r#"IF country = "China" AND capital IN {"Shanghai"} THEN city := "Beijing""#;
+        let err = parse_rule_line(line, 1, &schema, &mut sy).unwrap_err();
+        assert!(matches!(err, RuleParseError::Syntax { .. }));
+    }
+
+    #[test]
+    fn unknown_attribute_rejected() {
+        let schema = schema();
+        let mut sy = SymbolTable::new();
+        let line = r#"IF nation = "China" AND capital IN {"Shanghai"} THEN capital := "Beijing""#;
+        let err = parse_rule_line(line, 1, &schema, &mut sy).unwrap_err();
+        assert!(err.to_string().contains("nation"));
+    }
+
+    #[test]
+    fn invalid_rule_surfaces_validation_error() {
+        let schema = schema();
+        let mut sy = SymbolTable::new();
+        // Fact among the negatives.
+        let line = r#"IF country = "China" AND capital IN {"Beijing"} THEN capital := "Beijing""#;
+        let err = parse_rule_line(line, 1, &schema, &mut sy).unwrap_err();
+        assert!(matches!(err, RuleParseError::Invalid { line: 1, .. }));
+    }
+
+    #[test]
+    fn portable_round_trip() {
+        let schema = schema();
+        let mut sy = SymbolTable::new();
+        let mut rules = RuleSet::new(schema.clone());
+        rules
+            .push_named(
+                &mut sy,
+                &[("country", "China")],
+                "capital",
+                &["Shanghai", "Hongkong"],
+                "Beijing",
+            )
+            .unwrap();
+        rules
+            .push_named(
+                &mut sy,
+                &[("capital", "Tokyo"), ("city", "Tokyo"), ("conf", "ICDE")],
+                "country",
+                &["China"],
+                "Japan",
+            )
+            .unwrap();
+        let doc = to_portable(&rules, &sy);
+        let json = serde_json::to_string_pretty(&doc).unwrap();
+        let parsed: PortableRuleSet = serde_json::from_str(&json).unwrap();
+        let mut sy2 = SymbolTable::new();
+        let rebuilt = from_portable(&parsed, &mut sy2).unwrap();
+        assert_eq!(rebuilt.len(), 2);
+        // Semantically identical: same display under the fresh interner.
+        for ((_, a), (_, b)) in rules.iter().zip(rebuilt.iter()) {
+            assert_eq!(a.display(&schema, &sy), b.display(rebuilt.schema(), &sy2));
+        }
+    }
+
+    #[test]
+    fn portable_rejects_bad_rules() {
+        let doc = PortableRuleSet {
+            relation: "R".into(),
+            attributes: vec!["a".into(), "b".into()],
+            rules: vec![PortableRule {
+                evidence: vec![("a".into(), "1".into())],
+                b: "b".into(),
+                negatives: vec!["x".into()],
+                fact: "x".into(), // fact ∈ negatives
+            }],
+        };
+        let mut sy = SymbolTable::new();
+        let err = from_portable(&doc, &mut sy).unwrap_err();
+        assert!(matches!(err, PortableError::BadRule { index: 0, .. }));
+    }
+
+    #[test]
+    fn portable_rejects_bad_schema() {
+        let doc = PortableRuleSet {
+            relation: "R".into(),
+            attributes: vec!["a".into(), "a".into()],
+            rules: vec![],
+        };
+        let mut sy = SymbolTable::new();
+        assert!(matches!(
+            from_portable(&doc, &mut sy),
+            Err(PortableError::BadSchema(_))
+        ));
+    }
+
+    #[test]
+    fn unterminated_quote_rejected() {
+        let schema = schema();
+        let mut sy = SymbolTable::new();
+        let line = r#"IF country = "China AND capital IN {"x"} THEN capital := "y""#;
+        assert!(parse_rule_line(line, 3, &schema, &mut sy).is_err());
+    }
+}

@@ -1,0 +1,160 @@
+//! Parallel table repair.
+//!
+//! Fixing rules read and write a single tuple at a time — unlike FD repair,
+//! no cross-tuple state exists — so a table repair is embarrassingly
+//! parallel: shard the rows, give each worker its own
+//! [`LRepairScratch`], and share the immutable [`LRepairIndex`]. This is an
+//! extension beyond the paper (its experiments are single-threaded); the
+//! `repro` harness uses the sequential drivers so timings stay comparable.
+
+use relation::Table;
+
+use crate::repair::linear::{lrepair_tuple, LRepairIndex, LRepairScratch};
+use crate::repair::{CellUpdate, RepairOutcome};
+use crate::ruleset::RuleSet;
+
+/// Repair a table with `lRepair` across `num_threads` workers.
+///
+/// Produces exactly the same table state and update multiset as the
+/// sequential [`crate::repair::lrepair_table`]; updates are returned sorted
+/// by `(row, application order)`.
+pub fn par_lrepair_table(
+    rules: &RuleSet,
+    index: &LRepairIndex,
+    table: &mut Table,
+    num_threads: usize,
+) -> RepairOutcome {
+    assert!(
+        rules.schema().same_as(table.schema()),
+        "rule set and table must share a schema"
+    );
+    let num_threads = num_threads.max(1);
+    let rows = table.len();
+    if rows == 0 {
+        return RepairOutcome::default();
+    }
+    let arity = table.schema().arity();
+    let chunk_rows = rows.div_ceil(num_threads);
+    let mut all_updates: Vec<CellUpdate> = Vec::new();
+    crossbeam::scope(|scope| {
+        let mut handles = Vec::new();
+        for (chunk_idx, chunk) in table.rows_mut_chunks(chunk_rows).enumerate() {
+            let base_row = chunk_idx * chunk_rows;
+            handles.push(scope.spawn(move |_| {
+                let mut scratch = LRepairScratch::new(rules.len());
+                let mut local = Vec::new();
+                for (r, row) in chunk.chunks_exact_mut(arity).enumerate() {
+                    let mut ups = lrepair_tuple(rules, index, &mut scratch, row);
+                    for u in &mut ups {
+                        u.row = base_row + r;
+                    }
+                    local.extend(ups);
+                }
+                local
+            }));
+        }
+        for h in handles {
+            all_updates.extend(h.join().expect("repair worker panicked"));
+        }
+    })
+    .expect("crossbeam scope failed");
+    all_updates.sort_by_key(|u| u.row);
+    RepairOutcome {
+        updates: all_updates,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::repair::lrepair_table;
+    use relation::{Schema, SymbolTable};
+
+    fn setup(rows: usize) -> (RuleSet, Table, SymbolTable) {
+        let schema = Schema::new("Travel", ["name", "country", "capital", "city", "conf"]).unwrap();
+        let mut sy = SymbolTable::new();
+        let mut rules = RuleSet::new(schema.clone());
+        rules
+            .push_named(
+                &mut sy,
+                &[("country", "China")],
+                "capital",
+                &["Shanghai", "Hongkong"],
+                "Beijing",
+            )
+            .unwrap();
+        rules
+            .push_named(
+                &mut sy,
+                &[("country", "Canada")],
+                "capital",
+                &["Toronto"],
+                "Ottawa",
+            )
+            .unwrap();
+        let mut table = Table::with_capacity(schema, rows);
+        for i in 0..rows {
+            let dirty = i % 3 == 0;
+            let row = if dirty {
+                ["p", "China", "Shanghai", "x", "ICDE"]
+            } else {
+                ["p", "China", "Beijing", "x", "ICDE"]
+            };
+            let _ = i;
+            table.push_strs(&mut sy, &row).unwrap();
+        }
+        (rules, table, sy)
+    }
+
+    #[test]
+    fn matches_sequential_result() {
+        let (rules, table, _sy) = setup(1000);
+        let index = LRepairIndex::build(&rules);
+        let mut seq = table.clone();
+        let mut par = table.clone();
+        let so = lrepair_table(&rules, &index, &mut seq);
+        let po = par_lrepair_table(&rules, &index, &mut par, 4);
+        assert_eq!(seq.diff_cells(&par).unwrap(), 0);
+        assert_eq!(so.total_updates(), po.total_updates());
+    }
+
+    #[test]
+    fn single_thread_degenerates_to_sequential() {
+        let (rules, table, _sy) = setup(10);
+        let index = LRepairIndex::build(&rules);
+        let mut seq = table.clone();
+        let mut par = table.clone();
+        lrepair_table(&rules, &index, &mut seq);
+        par_lrepair_table(&rules, &index, &mut par, 1);
+        assert_eq!(seq.diff_cells(&par).unwrap(), 0);
+    }
+
+    #[test]
+    fn more_threads_than_rows_is_fine() {
+        let (rules, table, _sy) = setup(3);
+        let index = LRepairIndex::build(&rules);
+        let mut par = table.clone();
+        let outcome = par_lrepair_table(&rules, &index, &mut par, 16);
+        assert_eq!(outcome.total_updates(), 1);
+    }
+
+    #[test]
+    fn empty_table_is_noop() {
+        let (rules, mut table, _sy) = setup(0);
+        let index = LRepairIndex::build(&rules);
+        let outcome = par_lrepair_table(&rules, &index, &mut table, 4);
+        assert_eq!(outcome.total_updates(), 0);
+    }
+
+    #[test]
+    fn updates_row_indices_are_global() {
+        let (rules, table, _sy) = setup(100);
+        let index = LRepairIndex::build(&rules);
+        let mut par = table.clone();
+        let outcome = par_lrepair_table(&rules, &index, &mut par, 7);
+        for u in &outcome.updates {
+            assert_eq!(u.row % 3, 0, "only every third row is dirty");
+        }
+        assert_eq!(outcome.total_updates(), 34);
+    }
+}

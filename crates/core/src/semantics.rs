@@ -1,0 +1,320 @@
+//! Repairing semantics (§3.2): matching, proper application, fixes, and the
+//! all-orders chase used by the decision procedures.
+
+use std::collections::BTreeSet;
+
+use relation::{AttrSet, Symbol};
+
+use crate::rule::FixingRule;
+use crate::ruleset::RuleSet;
+
+/// `t ⊢ φ`: the tuple matches the rule — `t[X] = tp[X]` and `t[B] ∈ Tp[B]`.
+#[inline]
+pub fn matches(rule: &FixingRule, row: &[Symbol]) -> bool {
+    rule.x()
+        .iter()
+        .zip(rule.tp().iter())
+        .all(|(&a, &v)| row[a.index()] == v)
+        && rule.neg_contains(row[rule.b().index()])
+}
+
+/// `t →(A,φ) t'`: the rule is *properly applicable* w.r.t. the assured set —
+/// it matches and `B ∉ A` (assured attributes are immutable).
+#[inline]
+pub fn properly_applicable(rule: &FixingRule, row: &[Symbol], assured: AttrSet) -> bool {
+    !assured.contains(rule.b()) && matches(rule, row)
+}
+
+/// Apply a rule: set `t[B] := tp+[B]` and extend the assured set with
+/// `X ∪ {B}`. Caller must have checked [`properly_applicable`].
+#[inline]
+pub fn apply(rule: &FixingRule, row: &mut [Symbol], assured: &mut AttrSet) {
+    row[rule.b().index()] = rule.fact();
+    assured.union_with(rule.assured_delta());
+}
+
+/// Is `row` a fixpoint of `rules` w.r.t. `assured` — i.e. no rule is
+/// properly applicable (condition (2) of the fix definition)?
+pub fn is_fixpoint<'a, I>(rules: I, row: &[Symbol], assured: AttrSet) -> bool
+where
+    I: IntoIterator<Item = &'a FixingRule>,
+{
+    rules
+        .into_iter()
+        .all(|r| !properly_applicable(r, row, assured))
+}
+
+/// Compute **all** fixes of `row` reachable by any order of proper rule
+/// applications — the decision-procedure chase behind consistency
+/// (`isConsist_t`), implication, and the Church–Rosser property tests.
+///
+/// Termination: each application adds `B ∉ A` to the assured set, which
+/// grows strictly up to `|R|` (§4.1), so the DFS depth is bounded by the
+/// arity and the search is finite.
+///
+/// For production repairing use [`crate::repair`] — this routine is
+/// exponential in the worst case and intended for small rule subsets
+/// (pairs, in the consistency check) or small schemas.
+pub fn all_fixes(rules: &[&FixingRule], row: &[Symbol]) -> BTreeSet<Vec<Symbol>> {
+    let mut out = BTreeSet::new();
+    let mut work = row.to_vec();
+    // Rules applied so far along the current DFS path: a rule can be
+    // properly applied at most once per sequence (its B becomes assured),
+    // but tracking used rules explicitly lets us skip re-checking.
+    let mut used = vec![false; rules.len()];
+    dfs(rules, &mut work, AttrSet::EMPTY, &mut used, &mut out);
+    out
+}
+
+fn dfs(
+    rules: &[&FixingRule],
+    row: &mut Vec<Symbol>,
+    assured: AttrSet,
+    used: &mut Vec<bool>,
+    out: &mut BTreeSet<Vec<Symbol>>,
+) {
+    let mut progressed = false;
+    for i in 0..rules.len() {
+        if used[i] || !properly_applicable(rules[i], row, assured) {
+            continue;
+        }
+        progressed = true;
+        let b_idx = rules[i].b().index();
+        let saved = row[b_idx];
+        let mut next_assured = assured;
+        row[b_idx] = rules[i].fact();
+        next_assured.union_with(rules[i].assured_delta());
+        used[i] = true;
+        dfs(rules, row, next_assured, used, out);
+        used[i] = false;
+        row[b_idx] = saved;
+    }
+    if !progressed {
+        out.insert(row.clone());
+    }
+}
+
+/// Compute one fix of `row` under `rules` (first-applicable order) together
+/// with the application count. Used by tests and the implication checker;
+/// for a consistent Σ the result equals every other order's result.
+pub fn fix_first_order(rules: &RuleSet, row: &[Symbol]) -> (Vec<Symbol>, usize) {
+    let mut work = row.to_vec();
+    let mut assured = AttrSet::EMPTY;
+    let mut applied = 0;
+    let mut used = vec![false; rules.len()];
+    loop {
+        let mut progressed = false;
+        for (i, rule) in rules.rules().iter().enumerate() {
+            if used[i] || !properly_applicable(rule, &work, assured) {
+                continue;
+            }
+            apply(rule, &mut work, &mut assured);
+            used[i] = true;
+            applied += 1;
+            progressed = true;
+        }
+        if !progressed {
+            return (work, applied);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use relation::{Schema, SymbolTable};
+
+    fn schema() -> Schema {
+        Schema::new("Travel", ["name", "country", "capital", "city", "conf"]).unwrap()
+    }
+
+    fn row(sy: &mut SymbolTable, vals: [&str; 5]) -> Vec<Symbol> {
+        vals.iter().map(|v| sy.intern(v)).collect()
+    }
+
+    fn phi1(schema: &Schema, sy: &mut SymbolTable) -> FixingRule {
+        FixingRule::from_named(
+            schema,
+            sy,
+            &[("country", "China")],
+            "capital",
+            &["Shanghai", "Hongkong"],
+            "Beijing",
+        )
+        .unwrap()
+    }
+
+    /// φ'1 from Example 8: negative patterns extended with Tokyo.
+    fn phi1_prime(schema: &Schema, sy: &mut SymbolTable) -> FixingRule {
+        FixingRule::from_named(
+            schema,
+            sy,
+            &[("country", "China")],
+            "capital",
+            &["Shanghai", "Hongkong", "Tokyo"],
+            "Beijing",
+        )
+        .unwrap()
+    }
+
+    /// φ3 from Example 8.
+    fn phi3(schema: &Schema, sy: &mut SymbolTable) -> FixingRule {
+        FixingRule::from_named(
+            schema,
+            sy,
+            &[("capital", "Tokyo"), ("city", "Tokyo"), ("conf", "ICDE")],
+            "country",
+            &["China"],
+            "Japan",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn matching_follows_example_3() {
+        let schema = schema();
+        let mut sy = SymbolTable::new();
+        let rule = phi1(&schema, &mut sy);
+        // r1 does not match: capital = Beijing not in negatives.
+        let r1 = row(&mut sy, ["George", "China", "Beijing", "Beijing", "SIGMOD"]);
+        assert!(!matches(&rule, &r1));
+        // r2 matches: China + Shanghai.
+        let r2 = row(&mut sy, ["Ian", "China", "Shanghai", "Hongkong", "ICDE"]);
+        assert!(matches(&rule, &r2));
+    }
+
+    #[test]
+    fn apply_updates_b_and_assures_x_b() {
+        // Examples 5 & 6: applying φ1 to r2 yields capital=Beijing and
+        // assured = {country, capital}.
+        let schema = schema();
+        let mut sy = SymbolTable::new();
+        let rule = phi1(&schema, &mut sy);
+        let mut r2 = row(&mut sy, ["Ian", "China", "Shanghai", "Hongkong", "ICDE"]);
+        let mut assured = AttrSet::EMPTY;
+        assert!(properly_applicable(&rule, &r2, assured));
+        apply(&rule, &mut r2, &mut assured);
+        assert_eq!(sy.resolve(r2[2]), "Beijing");
+        assert_eq!(assured.len(), 2);
+        assert!(assured.contains(schema.attr("country").unwrap()));
+        assert!(assured.contains(schema.attr("capital").unwrap()));
+    }
+
+    #[test]
+    fn assured_b_blocks_application() {
+        let schema = schema();
+        let mut sy = SymbolTable::new();
+        let rule = phi1(&schema, &mut sy);
+        let r2 = row(&mut sy, ["Ian", "China", "Shanghai", "Hongkong", "ICDE"]);
+        let assured = AttrSet::singleton(schema.attr("capital").unwrap());
+        assert!(matches(&rule, &r2));
+        assert!(!properly_applicable(&rule, &r2, assured));
+    }
+
+    #[test]
+    fn fixpoint_detection() {
+        let schema = schema();
+        let mut sy = SymbolTable::new();
+        let rule = phi1(&schema, &mut sy);
+        let clean = row(&mut sy, ["George", "China", "Beijing", "Beijing", "SIGMOD"]);
+        assert!(is_fixpoint([&rule], &clean, AttrSet::EMPTY));
+        let dirty = row(&mut sy, ["Ian", "China", "Shanghai", "Hongkong", "ICDE"]);
+        assert!(!is_fixpoint([&rule], &dirty, AttrSet::EMPTY));
+    }
+
+    #[test]
+    fn example_7_unique_fix() {
+        // r2 has a unique fix under {φ1, φ2}.
+        let schema = schema();
+        let mut sy = SymbolTable::new();
+        let p1 = phi1(&schema, &mut sy);
+        let p2 = FixingRule::from_named(
+            &schema,
+            &mut sy,
+            &[("country", "Canada")],
+            "capital",
+            &["Toronto"],
+            "Ottawa",
+        )
+        .unwrap();
+        let r2 = row(&mut sy, ["Ian", "China", "Shanghai", "Hongkong", "ICDE"]);
+        let fixes = all_fixes(&[&p1, &p2], &r2);
+        assert_eq!(fixes.len(), 1);
+        let fixed = fixes.into_iter().next().unwrap();
+        assert_eq!(sy.resolve(fixed[2]), "Beijing");
+    }
+
+    #[test]
+    fn example_8_two_distinct_fixes() {
+        // r3 = (Peter, China, Tokyo, Tokyo, ICDE) under {φ'1, φ3} reaches
+        // two different fixpoints — the paper's inconsistency witness.
+        let schema = schema();
+        let mut sy = SymbolTable::new();
+        let p1p = phi1_prime(&schema, &mut sy);
+        let p3 = phi3(&schema, &mut sy);
+        let r3 = row(&mut sy, ["Peter", "China", "Tokyo", "Tokyo", "ICDE"]);
+        let fixes = all_fixes(&[&p1p, &p3], &r3);
+        assert_eq!(fixes.len(), 2);
+        let rendered: Vec<Vec<&str>> = fixes
+            .iter()
+            .map(|f| f.iter().map(|&s| sy.resolve(s)).collect())
+            .collect();
+        assert!(rendered.contains(&vec!["Peter", "China", "Beijing", "Tokyo", "ICDE"]));
+        assert!(rendered.contains(&vec!["Peter", "Japan", "Tokyo", "Tokyo", "ICDE"]));
+    }
+
+    #[test]
+    fn chase_terminates_within_arity_applications() {
+        // §4.1: the number of proper applications is bounded by |R|.
+        let schema = schema();
+        let mut sy = SymbolTable::new();
+        let mut rules = RuleSet::new(schema.clone());
+        rules
+            .push_named(
+                &mut sy,
+                &[("country", "China")],
+                "capital",
+                &["Shanghai"],
+                "Beijing",
+            )
+            .unwrap();
+        rules
+            .push_named(
+                &mut sy,
+                &[("capital", "Beijing")],
+                "city",
+                &["Hongkong"],
+                "Shanghai",
+            )
+            .unwrap();
+        let r = row(&mut sy, ["Ian", "China", "Shanghai", "Hongkong", "ICDE"]);
+        let (fixed, applied) = fix_first_order(&rules, &r);
+        assert!(applied <= schema.arity());
+        assert_eq!(applied, 2);
+        assert_eq!(sy.resolve(fixed[3]), "Shanghai");
+    }
+
+    #[test]
+    fn cascading_rules_fire_in_sequence() {
+        // φ4-style cascade from Fig 8: repairing capital enables the city
+        // rule.
+        let schema = schema();
+        let mut sy = SymbolTable::new();
+        let p1 = phi1(&schema, &mut sy);
+        let p4 = FixingRule::from_named(
+            &schema,
+            &mut sy,
+            &[("capital", "Beijing"), ("conf", "ICDE")],
+            "city",
+            &["Hongkong"],
+            "Shanghai",
+        )
+        .unwrap();
+        let r2 = row(&mut sy, ["Ian", "China", "Shanghai", "Hongkong", "ICDE"]);
+        let fixes = all_fixes(&[&p1, &p4], &r2);
+        assert_eq!(fixes.len(), 1);
+        let f = fixes.into_iter().next().unwrap();
+        assert_eq!(sy.resolve(f[2]), "Beijing");
+        assert_eq!(sy.resolve(f[3]), "Shanghai");
+    }
+}

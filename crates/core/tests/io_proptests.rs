@@ -1,0 +1,92 @@
+//! Property tests for the rule-file and portable serializations: arbitrary
+//! rule sets round-trip bit-for-bit through both formats.
+
+use proptest::prelude::*;
+
+use fixrules::io::{format_rules, from_portable, parse_rules, to_portable};
+use fixrules::{FixingRule, RuleSet};
+use relation::{Schema, SymbolTable};
+
+/// Printable-ASCII values including quotes, backslashes, braces, commas.
+fn value() -> impl Strategy<Value = String> {
+    "[ -~]{1,12}"
+}
+
+#[derive(Debug, Clone)]
+struct RawRule {
+    evidence: Vec<(u16, String)>,
+    b: u16,
+    neg: Vec<String>,
+    fact: String,
+}
+
+fn raw_rule() -> impl Strategy<Value = RawRule> {
+    (
+        proptest::collection::vec((0u16..5, value()), 1..3),
+        0u16..5,
+        proptest::collection::vec(value(), 1..4),
+        value(),
+    )
+        .prop_map(|(evidence, b, neg, fact)| RawRule {
+            evidence,
+            b,
+            neg,
+            fact,
+        })
+}
+
+fn build(raws: Vec<RawRule>) -> (RuleSet, SymbolTable) {
+    let schema = Schema::new("R", ["a0", "a1", "a2", "a3", "a4"]).unwrap();
+    let mut sy = SymbolTable::new();
+    let mut rules = RuleSet::new(schema.clone());
+    for raw in raws {
+        let ev: Vec<(&str, &str)> = raw
+            .evidence
+            .iter()
+            .map(|(a, v)| (["a0", "a1", "a2", "a3", "a4"][*a as usize], v.as_str()))
+            .collect();
+        let negs: Vec<&str> = raw.neg.iter().map(String::as_str).collect();
+        let b = ["a0", "a1", "a2", "a3", "a4"][raw.b as usize];
+        if let Ok(rule) = FixingRule::from_named(&schema, &mut sy, &ev, b, &negs, &raw.fact) {
+            rules.push(rule);
+        }
+    }
+    (rules, sy)
+}
+
+proptest! {
+    /// `.frl` text round-trips arbitrary content.
+    #[test]
+    fn frl_round_trip(raws in proptest::collection::vec(raw_rule(), 0..6)) {
+        let (rules, mut sy) = build(raws);
+        let text = format_rules(&rules, &sy);
+        let parsed = parse_rules(&text, rules.schema(), &mut sy).unwrap();
+        prop_assert_eq!(parsed.len(), rules.len());
+        for ((_, a), (_, b)) in rules.iter().zip(parsed.iter()) {
+            prop_assert_eq!(a, b);
+        }
+    }
+
+    /// Portable JSON round-trips semantically (fresh interner).
+    #[test]
+    fn portable_round_trip(raws in proptest::collection::vec(raw_rule(), 0..6)) {
+        let (rules, sy) = build(raws);
+        let doc = to_portable(&rules, &sy);
+        let json = serde_json::to_string(&doc).unwrap();
+        let doc2: fixrules::io::PortableRuleSet = serde_json::from_str(&json).unwrap();
+        let mut sy2 = SymbolTable::new();
+        let rebuilt = from_portable(&doc2, &mut sy2).unwrap();
+        prop_assert_eq!(rebuilt.len(), rules.len());
+        for ((_, a), (_, b)) in rules.iter().zip(rebuilt.iter()) {
+            prop_assert_eq!(
+                a.display(rules.schema(), &sy),
+                b.display(rebuilt.schema(), &sy2)
+            );
+        }
+        // Consistency classification is representation-independent.
+        prop_assert_eq!(
+            rules.check_consistency().is_consistent(),
+            rebuilt.check_consistency().is_consistent()
+        );
+    }
+}

@@ -1,0 +1,230 @@
+//! The `hosp` dataset generator.
+//!
+//! Mirrors the US Hospital Compare extract used by the paper: 115K records,
+//! 17 attributes, and the five FDs of §7.1. Each *provider* (hospital)
+//! carries a block of per-measure rows, so FD groups have the real data's
+//! redundancy: a `PN` group spans all of that provider's measures, a
+//! `(state, MC)` group spans every provider in the state.
+//!
+//! Data is FD-consistent by construction:
+//!
+//! * provider-level attributes are functions of `PN` (and `phn` is unique
+//!   per provider, so `phn → …` holds);
+//! * `MN`/`condition` are functions of `MC`;
+//! * `stateAvg` is a function of `(state, MC)` (which subsumes
+//!   `(PN, MC) → stateAvg` since `PN` determines `state`).
+
+use fd::parse::parse_fds;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use relation::{Schema, SymbolTable, Table};
+
+use crate::vocab;
+use crate::Dataset;
+
+/// The 17-attribute hosp schema, §7.1.
+pub fn schema() -> Schema {
+    Schema::new(
+        "hosp",
+        [
+            "PN",
+            "HN",
+            "address1",
+            "address2",
+            "address3",
+            "city",
+            "state",
+            "zip",
+            "county",
+            "phn",
+            "ht",
+            "ho",
+            "es",
+            "MC",
+            "MN",
+            "condition",
+            "stateAvg",
+        ],
+    )
+    .unwrap()
+}
+
+/// The five hosp FDs, exactly as listed in the paper.
+pub const FDS_TEXT: &str = "\
+PN -> HN, address1, address2, address3, city, state, zip, county, phn, ht, ho, es
+phn -> zip, city, state, address1, address2, address3
+MC -> MN, condition
+PN, MC -> stateAvg
+state, MC -> stateAvg";
+
+/// Number of measures each provider reports (the real extract has ~20–30).
+const MEASURES_PER_PROVIDER: usize = 24;
+/// Size of the measure-code pool.
+const NUM_MEASURES: usize = 40;
+
+/// Generate a hosp [`Dataset`] with ~`rows` records.
+pub fn generate(rows: usize, seed: u64) -> Dataset {
+    let schema = schema();
+    let mut symbols = SymbolTable::with_capacity(rows / 2);
+    let mut rng = StdRng::seed_from_u64(seed);
+
+    let num_providers = rows.div_ceil(MEASURES_PER_PROVIDER).max(1);
+
+    // Measure pool: MC determines MN and condition.
+    let measures: Vec<(String, String, String)> = (0..NUM_MEASURES)
+        .map(|j| {
+            let mc = format!("MC-{j:03}");
+            let mn = format!(
+                "{} v{}",
+                vocab::MEASURE_STEMS[j % vocab::MEASURE_STEMS.len()],
+                j / vocab::MEASURE_STEMS.len()
+            );
+            let condition = vocab::CONDITIONS[j % vocab::CONDITIONS.len()].to_string();
+            (mc, mn, condition)
+        })
+        .collect();
+
+    let mut table = Table::with_capacity(schema.clone(), rows);
+    let mut emitted = 0usize;
+    'providers: for p in 0..num_providers {
+        let state = vocab::STATES[rng.gen_range(0..vocab::STATES.len())];
+        let city = format!(
+            "{}{}",
+            vocab::CITY_STEMS[rng.gen_range(0..vocab::CITY_STEMS.len())],
+            rng.gen_range(0..50)
+        );
+        let pn = format!("PN{p:06}");
+        let hn = format!(
+            "{city} {}",
+            vocab::HOSPITAL_STEMS[rng.gen_range(0..vocab::HOSPITAL_STEMS.len())]
+        );
+        let address1 = format!(
+            "{} {}",
+            rng.gen_range(1..9999),
+            vocab::STREET_STEMS[rng.gen_range(0..vocab::STREET_STEMS.len())]
+        );
+        let address2 = format!("Suite {}", rng.gen_range(1..500));
+        let address3 = String::new();
+        let zip = format!("{:05}", rng.gen_range(10000..99999));
+        let county = format!("{city} County");
+        let phn = format!(
+            "{:03}-{:03}-{:04}",
+            rng.gen_range(200..999),
+            p % 1000,
+            p / 1000
+        );
+        let ht = vocab::HOSPITAL_TYPES[rng.gen_range(0..vocab::HOSPITAL_TYPES.len())];
+        let ho = vocab::HOSPITAL_OWNERS[rng.gen_range(0..vocab::HOSPITAL_OWNERS.len())];
+        let es = if rng.gen_bool(0.8) { "Yes" } else { "No" };
+        // Each provider reports a contiguous run of measures starting at a
+        // random offset, like the real extract's partial coverage.
+        let start = rng.gen_range(0..NUM_MEASURES);
+        for m in 0..MEASURES_PER_PROVIDER {
+            if emitted >= rows {
+                break 'providers;
+            }
+            let (mc, mn, condition) = &measures[(start + m) % NUM_MEASURES];
+            // stateAvg is a pure function of (state, MC).
+            let state_avg = format!(
+                "{}%",
+                (fxhash(state.as_bytes()) ^ fxhash(mc.as_bytes())) % 100
+            );
+            let row = [
+                pn.as_str(),
+                hn.as_str(),
+                address1.as_str(),
+                address2.as_str(),
+                address3.as_str(),
+                city.as_str(),
+                state,
+                zip.as_str(),
+                county.as_str(),
+                phn.as_str(),
+                ht,
+                ho,
+                es,
+                mc.as_str(),
+                mn.as_str(),
+                condition.as_str(),
+                state_avg.as_str(),
+            ];
+            table.push_strs(&mut symbols, &row).unwrap();
+            emitted += 1;
+        }
+    }
+
+    let fds = parse_fds(&schema, FDS_TEXT).expect("hosp FDs parse");
+    Dataset {
+        name: "hosp",
+        schema,
+        symbols,
+        clean: table,
+        fds,
+    }
+}
+
+/// Tiny deterministic hash (FxHash-style) so `stateAvg` is a stable function
+/// of its inputs across runs and platforms.
+fn fxhash(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h = (h ^ b as u64).wrapping_mul(0x0100_0000_01b3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fd::violation::satisfies_all;
+
+    #[test]
+    fn generates_requested_row_count() {
+        let d = generate(1_000, 1);
+        assert_eq!(d.clean.len(), 1_000);
+        assert_eq!(d.schema.arity(), 17);
+    }
+
+    #[test]
+    fn truth_satisfies_all_five_fds() {
+        let d = generate(3_000, 2);
+        assert_eq!(d.fds.len(), 5);
+        assert!(satisfies_all(&d.clean, &d.fds));
+    }
+
+    #[test]
+    fn providers_have_redundant_groups() {
+        // FD-violation seeding needs groups with >1 row: each PN must cover
+        // several measures.
+        let d = generate(2_000, 3);
+        let pn = d.schema.attr("PN").unwrap();
+        let counts = d.clean.value_counts(pn);
+        assert!(counts.values().all(|&c| c >= 1));
+        assert!(
+            counts.values().filter(|&&c| c >= 2).count() > counts.len() / 2,
+            "most providers should have multiple rows"
+        );
+    }
+
+    #[test]
+    fn deterministic_for_a_seed() {
+        let a = generate(500, 9);
+        let b = generate(500, 9);
+        assert_eq!(a.clean.len(), b.clean.len());
+        for i in 0..a.clean.len() {
+            assert_eq!(
+                a.clean.row_strs(&a.symbols, i),
+                b.clean.row_strs(&b.symbols, i)
+            );
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = generate(500, 1);
+        let b = generate(500, 2);
+        let same = (0..a.clean.len())
+            .all(|i| a.clean.row_strs(&a.symbols, i) == b.clean.row_strs(&b.symbols, i));
+        assert!(!same);
+    }
+}

@@ -1,0 +1,158 @@
+//! Master-data oracles and negative-pattern enrichment sources (§7.1).
+//!
+//! The paper's experts seed rules from FD violations and enrich their
+//! negative patterns "via extracting new negative patterns from related
+//! tables in the same domain". We mechanise both inputs:
+//!
+//! * [`build_master_indexes`] — one [`MasterIndex`] per single-RHS FD,
+//!   built from the ground-truth table (standing in for the reference data
+//!   the experts consulted);
+//! * [`build_enrichment`] — per-attribute candidate pools: a shuffled
+//!   active domain (the "related table in the same domain") plus a small
+//!   typo corpus around each frequent value.
+
+use fixrules::generation::{Enrichment, MasterIndex};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use relation::{AttrId, Symbol};
+
+use crate::noise::typo_of;
+use crate::Dataset;
+
+/// Build the per-FD master oracles from the dataset's ground truth.
+pub fn build_master_indexes(dataset: &Dataset) -> Vec<MasterIndex> {
+    dataset
+        .single_rhs_fds()
+        .iter()
+        .map(|fd| MasterIndex::build(&dataset.clean, fd.lhs(), fd.rhs()[0]))
+        .collect()
+}
+
+/// Build an enrichment source for the dataset.
+///
+/// * `by_attr`: for every FD RHS attribute, the column's active domain in a
+///   seed-shuffled order (so per-rule budgets sample it uniformly);
+/// * `by_value`: for up to `typo_corpus_values` of each RHS attribute's
+///   values, `typos_per_value` one-edit variants.
+pub fn build_enrichment(
+    dataset: &mut Dataset,
+    typo_corpus_values: usize,
+    typos_per_value: usize,
+    seed: u64,
+) -> Enrichment {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut enrichment = Enrichment::default();
+    let rhs_attrs: Vec<AttrId> = {
+        let mut v: Vec<AttrId> = dataset
+            .single_rhs_fds()
+            .iter()
+            .map(|fd| fd.rhs()[0])
+            .collect();
+        v.sort();
+        v.dedup();
+        v
+    };
+    for attr in rhs_attrs {
+        let mut domain: Vec<Symbol> = dataset.clean.active_domain(attr).into_iter().collect();
+        domain.sort();
+        domain.shuffle(&mut rng);
+        for &value in domain.iter().take(typo_corpus_values) {
+            let mut variants = Vec::with_capacity(typos_per_value);
+            for _ in 0..typos_per_value {
+                if let Some(t) = typo_of(&mut dataset.symbols, value, &mut rng) {
+                    if !variants.contains(&t) {
+                        variants.push(t);
+                    }
+                }
+            }
+            if !variants.is_empty() {
+                enrichment.by_value.insert((attr, value), variants);
+            }
+        }
+        enrichment.by_attr.insert(attr, domain);
+    }
+    enrichment
+}
+
+/// The Fig 11(a) negative-pattern-count distribution: most rules carry 2
+/// negative patterns, with a thin tail. Returns `n` budgets.
+pub fn neg_budget_schedule(n: usize, seed: u64) -> Vec<usize> {
+    use rand::Rng;
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| {
+            let roll: f64 = rng.gen();
+            // ~80% → 2, 10% → 3, 5% → 4, 5% → 5–8.
+            if roll < 0.80 {
+                2
+            } else if roll < 0.90 {
+                3
+            } else if roll < 0.95 {
+                4
+            } else {
+                rng.gen_range(5..=8)
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn master_indexes_cover_every_single_fd() {
+        let d = crate::uis::generate(300, 1);
+        let idx = build_master_indexes(&d);
+        assert_eq!(idx.len(), d.single_rhs_fds().len());
+        for m in &idx {
+            assert!(!m.is_empty());
+        }
+    }
+
+    #[test]
+    fn master_facts_match_truth() {
+        let d = crate::uis::generate(200, 2);
+        let idx = build_master_indexes(&d);
+        let fds = d.single_rhs_fds();
+        // Spot-check: every row's key maps to its own RHS value.
+        for (m, fd) in idx.iter().zip(fds.iter()) {
+            for i in 0..d.clean.len().min(20) {
+                let row = d.clean.row(i);
+                let key: Vec<Symbol> = fd.lhs().iter().map(|a| row[a.index()]).collect();
+                assert_eq!(m.fact_for(&key), Some(row[fd.rhs()[0].index()]));
+            }
+        }
+    }
+
+    #[test]
+    fn enrichment_has_domains_for_rhs_attrs() {
+        let mut d = crate::uis::generate(300, 3);
+        let e = build_enrichment(&mut d, 5, 2, 1);
+        let state = d.schema.attr("state").unwrap();
+        assert!(e.by_attr.contains_key(&state));
+        assert!(!e.by_attr[&state].is_empty());
+        // RecordID is not an FD RHS: no pool.
+        let rid = d.schema.attr("RecordID").unwrap();
+        assert!(!e.by_attr.contains_key(&rid));
+    }
+
+    #[test]
+    fn budget_schedule_matches_fig11a_shape() {
+        let budgets = neg_budget_schedule(10_000, 7);
+        let twos = budgets.iter().filter(|&&b| b == 2).count();
+        assert!(twos > 7_000 && twos < 9_000, "got {twos} twos");
+        assert!(budgets.iter().all(|&b| (2..=8).contains(&b)));
+    }
+
+    #[test]
+    fn enrichment_is_deterministic() {
+        let mut d1 = crate::uis::generate(100, 4);
+        let mut d2 = crate::uis::generate(100, 4);
+        let e1 = build_enrichment(&mut d1, 3, 2, 9);
+        let e2 = build_enrichment(&mut d2, 3, 2, 9);
+        let state = d1.schema.attr("state").unwrap();
+        assert_eq!(e1.by_attr[&state], e2.by_attr[&state]);
+    }
+}

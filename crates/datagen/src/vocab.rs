@@ -1,0 +1,190 @@
+//! Vocabulary pools for the synthetic generators.
+//!
+//! Real-looking tokens keep examples and CSV dumps readable; statistically
+//! the algorithms only see equality structure, so the exact words are
+//! irrelevant (DESIGN.md §5).
+
+/// US state codes used by both generators.
+pub const STATES: &[&str] = &[
+    "AL", "AK", "AZ", "AR", "CA", "CO", "CT", "DE", "FL", "GA", "HI", "ID", "IL", "IN", "IA", "KS",
+    "KY", "LA", "ME", "MD", "MA", "MI", "MN", "MS", "MO", "MT", "NE", "NV", "NH", "NJ", "NM", "NY",
+    "NC", "ND", "OH", "OK", "OR", "PA", "RI", "SC", "SD", "TN", "TX", "UT", "VT", "VA", "WA", "WV",
+    "WI", "WY",
+];
+
+/// City base names; generators suffix an index to scale the pool.
+pub const CITY_STEMS: &[&str] = &[
+    "Springfield",
+    "Riverton",
+    "Fairview",
+    "Georgetown",
+    "Salem",
+    "Madison",
+    "Clinton",
+    "Greenville",
+    "Bristol",
+    "Dover",
+    "Hudson",
+    "Milton",
+    "Newport",
+    "Oxford",
+    "Ashland",
+    "Burlington",
+    "Clayton",
+    "Dayton",
+    "Easton",
+    "Franklin",
+];
+
+/// Street name stems.
+pub const STREET_STEMS: &[&str] = &[
+    "Main St",
+    "Oak Ave",
+    "Maple Dr",
+    "Cedar Ln",
+    "Pine Rd",
+    "Elm St",
+    "Washington Blvd",
+    "Lake View Rd",
+    "Hillcrest Ave",
+    "Sunset Dr",
+];
+
+/// First names for the uis mailing list.
+pub const FIRST_NAMES: &[&str] = &[
+    "James",
+    "Mary",
+    "Robert",
+    "Patricia",
+    "John",
+    "Jennifer",
+    "Michael",
+    "Linda",
+    "David",
+    "Elizabeth",
+    "William",
+    "Barbara",
+    "Richard",
+    "Susan",
+    "Joseph",
+    "Jessica",
+    "Thomas",
+    "Sarah",
+    "Charles",
+    "Karen",
+    "Christopher",
+    "Lisa",
+    "Daniel",
+    "Nancy",
+    "Matthew",
+    "Betty",
+];
+
+/// Last names for the uis mailing list.
+pub const LAST_NAMES: &[&str] = &[
+    "Smith",
+    "Johnson",
+    "Williams",
+    "Brown",
+    "Jones",
+    "Garcia",
+    "Miller",
+    "Davis",
+    "Rodriguez",
+    "Martinez",
+    "Hernandez",
+    "Lopez",
+    "Gonzalez",
+    "Wilson",
+    "Anderson",
+    "Thomas",
+    "Taylor",
+    "Moore",
+    "Jackson",
+    "Martin",
+    "Lee",
+    "Perez",
+    "Thompson",
+    "White",
+    "Harris",
+    "Sanchez",
+];
+
+/// Hospital name stems.
+pub const HOSPITAL_STEMS: &[&str] = &[
+    "General Hospital",
+    "Memorial Hospital",
+    "Regional Medical Center",
+    "Community Hospital",
+    "University Hospital",
+    "Mercy Hospital",
+    "Sacred Heart Medical Center",
+    "Baptist Hospital",
+    "Methodist Hospital",
+    "County Medical Center",
+];
+
+/// Hospital types (hosp `ht`).
+pub const HOSPITAL_TYPES: &[&str] = &[
+    "Acute Care Hospitals",
+    "Critical Access Hospitals",
+    "Childrens Hospitals",
+];
+
+/// Hospital owners (hosp `ho`).
+pub const HOSPITAL_OWNERS: &[&str] = &[
+    "Government - Federal",
+    "Government - State",
+    "Government - Local",
+    "Proprietary",
+    "Voluntary non-profit - Private",
+    "Voluntary non-profit - Church",
+];
+
+/// Measured conditions (hosp `condition`).
+pub const CONDITIONS: &[&str] = &[
+    "Heart Attack",
+    "Heart Failure",
+    "Pneumonia",
+    "Surgical Infection Prevention",
+    "Childrens Asthma Care",
+];
+
+/// Measure-name stems (hosp `MN`); indexed by measure id.
+pub const MEASURE_STEMS: &[&str] = &[
+    "Patients Given Aspirin at Arrival",
+    "Patients Given Beta Blocker at Discharge",
+    "Patients Given Antibiotics Within 6 Hours",
+    "Patients Given Discharge Instructions",
+    "Patients Assessed for Oxygenation",
+    "Patients Given Smoking Cessation Advice",
+    "Patients Given Initial Antibiotic Selection",
+    "Patients Whose Surgery Ended On Time",
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pools_are_nonempty_and_distinct() {
+        for pool in [
+            STATES,
+            CITY_STEMS,
+            STREET_STEMS,
+            FIRST_NAMES,
+            LAST_NAMES,
+            HOSPITAL_STEMS,
+            HOSPITAL_TYPES,
+            HOSPITAL_OWNERS,
+            CONDITIONS,
+            MEASURE_STEMS,
+        ] {
+            assert!(!pool.is_empty());
+            let mut sorted: Vec<&&str> = pool.iter().collect();
+            sorted.sort();
+            sorted.dedup();
+            assert_eq!(sorted.len(), pool.len(), "duplicate in vocab pool");
+        }
+    }
+}

@@ -1,0 +1,69 @@
+//! Property tests for dirty-data generation and the metric substrate it
+//! feeds.
+
+use proptest::prelude::*;
+
+use datagen::noise::{inject, NoiseConfig};
+
+proptest! {
+    /// The error log exactly describes the diff between clean and dirty:
+    /// right count, right positions, only constrained attributes, values
+    /// truly changed.
+    #[test]
+    fn noise_log_is_exact(
+        rows in 50usize..400,
+        rate in 0.0f64..0.5,
+        typo in 0.0f64..1.0,
+        seed in 0u64..1000,
+    ) {
+        let mut d = datagen::uis::generate(rows, seed);
+        let attrs = d.constrained_attrs();
+        let clean = d.clean.clone();
+        let log = inject(
+            &mut d.clean,
+            &mut d.symbols,
+            &attrs,
+            NoiseConfig { rate, typo_fraction: typo, seed },
+        );
+        let expected = ((rows as f64) * rate).ceil() as usize;
+        // The generator can fall short only when it runs out of distinct
+        // positions or viable substitutes; with these row counts it should
+        // always hit the target.
+        prop_assert_eq!(log.len(), expected.min(rows * attrs.len()));
+        prop_assert_eq!(clean.diff_cells(&d.clean).unwrap(), log.len());
+        let mut seen = std::collections::HashSet::new();
+        for e in &log {
+            prop_assert!(attrs.contains(&e.attr), "corrupted unconstrained attr");
+            prop_assert_ne!(e.correct, e.dirty);
+            prop_assert_eq!(clean.cell(e.row, e.attr), e.correct);
+            prop_assert_eq!(d.clean.cell(e.row, e.attr), e.dirty);
+            prop_assert!(seen.insert((e.row, e.attr)), "duplicate position");
+        }
+    }
+
+    /// Accuracy counts obey their lattice: corrected ≤ updates and
+    /// corrected ≤ errors; a perfect repair scores 1/1.
+    #[test]
+    fn accuracy_bounds(rows in 20usize..200, seed in 0u64..500) {
+        let mut d = datagen::uis::generate(rows, seed);
+        let attrs = d.constrained_attrs();
+        let clean = d.clean.clone();
+        inject(
+            &mut d.clean,
+            &mut d.symbols,
+            &attrs,
+            NoiseConfig { rate: 0.2, typo_fraction: 0.5, seed },
+        );
+        let dirty = d.clean.clone();
+        // "Repair" by restoring ground truth — the perfect repairer.
+        let acc = eval::score(&clean, &dirty, &clean);
+        prop_assert!(acc.corrected <= acc.updates);
+        prop_assert!(acc.corrected <= acc.errors);
+        prop_assert!((acc.precision() - 1.0).abs() < 1e-12);
+        prop_assert!((acc.recall() - 1.0).abs() < 1e-12);
+        // And the null repairer: no updates, zero recall.
+        let none = eval::score(&clean, &dirty, &dirty);
+        prop_assert_eq!(none.updates, 0);
+        prop_assert!(none.recall() < 1e-12 || none.errors == 0);
+    }
+}

@@ -1,0 +1,384 @@
+//! `repro` — regenerate every table and figure of the paper's evaluation.
+//!
+//! ```text
+//! repro <experiment> [--quick] [--seed N] [--hosp-rows N] [--uis-rows N]
+//!       [--hosp-rules N] [--uis-rules N] [--out DIR]
+//!
+//! experiments:
+//!   fig9a fig9b           consistency-check efficiency (hosp / uis)
+//!   fig10ab fig10ef       precision+recall vs typo rate (hosp / uis)
+//!   fig10cd fig10gh       precision+recall vs |Σ| (hosp / uis)
+//!   fig11a fig11b         negative-pattern distribution / sweep (hosp)
+//!   fig12a fig12b         comparison with editing rules (hosp)
+//!   fig13a fig13b         repair efficiency vs |Σ| (hosp / uis)
+//!   table-rt              runtime table: lRepair vs Heu vs Csm
+//!   all                   everything above
+//! ```
+
+use std::path::PathBuf;
+
+use eval::experiments::{discovery, editing, exp1, exp2, exp3, negpat, prepare, rule_steps, Which};
+use eval::report::emit;
+use eval::ExpConfig;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut which_exp: Option<String> = None;
+    let mut cfg = ExpConfig::default();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--quick" => {
+                let out = cfg.out_dir.clone();
+                let seed = cfg.seed;
+                cfg = ExpConfig::quick();
+                cfg.out_dir = out;
+                cfg.seed = seed;
+            }
+            "--seed" => {
+                i += 1;
+                cfg.seed = args[i].parse().expect("--seed N");
+            }
+            "--hosp-rows" => {
+                i += 1;
+                cfg.hosp_rows = args[i].parse().expect("--hosp-rows N");
+            }
+            "--uis-rows" => {
+                i += 1;
+                cfg.uis_rows = args[i].parse().expect("--uis-rows N");
+            }
+            "--hosp-rules" => {
+                i += 1;
+                cfg.hosp_rules = args[i].parse().expect("--hosp-rules N");
+            }
+            "--uis-rules" => {
+                i += 1;
+                cfg.uis_rules = args[i].parse().expect("--uis-rules N");
+            }
+            "--out" => {
+                i += 1;
+                cfg.out_dir = Some(PathBuf::from(&args[i]));
+            }
+            flag if flag.starts_with("--") => {
+                eprintln!("unknown flag {flag}");
+                std::process::exit(2);
+            }
+            exp => which_exp = Some(exp.to_string()),
+        }
+        i += 1;
+    }
+    let Some(exp) = which_exp else {
+        eprintln!("usage: repro <experiment> [--quick] [--out DIR] ...");
+        eprintln!("experiments: fig9a fig9b fig10ab fig10cd fig10ef fig10gh fig11a fig11b fig12a fig12b fig13a fig13b table-rt ablation-heu ablation-discovery all");
+        std::process::exit(2);
+    };
+
+    let run = |name: &str, cfg: &ExpConfig| dispatch(name, cfg);
+    match exp.as_str() {
+        "all" => {
+            for name in [
+                "fig9a",
+                "fig9b",
+                "fig10ab",
+                "fig10cd",
+                "fig10ef",
+                "fig10gh",
+                "fig11a",
+                "fig11b",
+                "fig12a",
+                "fig12b",
+                "fig13a",
+                "fig13b",
+                "table-rt",
+                "ablation-heu",
+                "ablation-discovery",
+            ] {
+                run(name, &cfg);
+            }
+        }
+        name => run(name, &cfg),
+    }
+}
+
+fn dispatch(name: &str, cfg: &ExpConfig) {
+    let out = cfg.out_dir.as_deref();
+    match name {
+        "fig9a" | "fig9b" => {
+            let which = if name == "fig9a" {
+                Which::Hosp
+            } else {
+                Which::Uis
+            };
+            let mut p = prepare(which, cfg, 0.5);
+            let steps = rule_steps(p.rules.len());
+            let points = exp1::run_fig9(&p.rules, &mut p.dataset.symbols, &steps, cfg.seed, 10);
+            let rows: Vec<Vec<String>> = points
+                .iter()
+                .map(|pt| {
+                    vec![
+                        pt.n_rules.to_string(),
+                        pt.algo.to_string(),
+                        pt.case.to_string(),
+                        format!("{:.3}", pt.millis),
+                    ]
+                })
+                .collect();
+            emit(
+                out,
+                name,
+                &format!("Fig 9 ({}) — consistency check time vs |Σ|", which.name()),
+                &["rules", "algo", "case", "millis"],
+                &rows,
+            );
+        }
+        "fig10ab" | "fig10ef" => {
+            let which = if name == "fig10ab" {
+                Which::Hosp
+            } else {
+                Which::Uis
+            };
+            let points = exp2::run_typo_sweep(which, cfg);
+            emit(
+                out,
+                name,
+                &format!(
+                    "Fig 10 ({}) — precision/recall vs typo rate (noise {:.0}%)",
+                    which.name(),
+                    cfg.noise_rate * 100.0
+                ),
+                &[
+                    "typo_pct",
+                    "algo",
+                    "precision",
+                    "recall",
+                    "updates",
+                    "corrected",
+                    "errors",
+                ],
+                &accuracy_rows(&points, |x| format!("{:.0}", x * 100.0)),
+            );
+        }
+        "fig10cd" | "fig10gh" => {
+            let which = if name == "fig10cd" {
+                Which::Hosp
+            } else {
+                Which::Uis
+            };
+            let points = exp2::run_rulecount_sweep(which, cfg);
+            emit(
+                out,
+                name,
+                &format!("Fig 10 ({}) — precision/recall vs |Σ|", which.name()),
+                &[
+                    "rules",
+                    "algo",
+                    "precision",
+                    "recall",
+                    "updates",
+                    "corrected",
+                    "errors",
+                ],
+                &accuracy_rows(&points, |x| format!("{x:.0}")),
+            );
+        }
+        "fig11a" => {
+            let (points, counts) = negpat::run_fig11a(Which::Hosp, cfg, 30);
+            let rows: Vec<Vec<String>> = points
+                .iter()
+                .map(|p| vec![p.rank.to_string(), p.neg_patterns.to_string()])
+                .collect();
+            emit(
+                out,
+                name,
+                "Fig 11(a) — #negative patterns per rule (sorted, every 30th)",
+                &["rule_rank", "neg_patterns"],
+                &rows,
+            );
+            let twos = counts.iter().filter(|&&c| c == 2).count();
+            println!(
+                "  {} / {} rules ({:.0}%) carry exactly 2 negative patterns",
+                twos,
+                counts.len(),
+                100.0 * twos as f64 / counts.len().max(1) as f64
+            );
+        }
+        "fig11b" => {
+            let points = negpat::run_fig11b(Which::Hosp, cfg, &[0.2, 0.4, 0.6, 0.8, 1.0]);
+            let rows: Vec<Vec<String>> = points
+                .iter()
+                .map(|p| {
+                    vec![
+                        format!("{:.1}", p.factor),
+                        p.total_neg_patterns.to_string(),
+                        format!("{:.4}", p.acc.precision()),
+                        format!("{:.4}", p.acc.recall()),
+                    ]
+                })
+                .collect();
+            emit(
+                out,
+                name,
+                "Fig 11(b) — accuracy vs total #negative patterns",
+                &["kept_fraction", "total_neg_patterns", "precision", "recall"],
+                &rows,
+            );
+        }
+        "fig12a" | "fig12b" => {
+            let (a, b) = editing::run_fig12(Which::Hosp, cfg, 100.min(cfg.hosp_rules));
+            if name == "fig12a" {
+                let rows: Vec<Vec<String>> = a
+                    .per_rule
+                    .iter()
+                    .enumerate()
+                    .map(|(i, c)| vec![i.to_string(), c.to_string()])
+                    .collect();
+                emit(
+                    out,
+                    name,
+                    "Fig 12(a) — errors corrected per fixing rule (sorted desc)",
+                    &["rule_rank", "corrections"],
+                    &rows,
+                );
+                println!(
+                    "  total corrections (user interactions editing rules would need): {}",
+                    a.total_corrections
+                );
+            } else {
+                let rows = vec![
+                    vec![
+                        "Fix".to_string(),
+                        format!("{:.4}", b.fix.precision()),
+                        format!("{:.4}", b.fix.recall()),
+                    ],
+                    vec![
+                        "Edit".to_string(),
+                        format!("{:.4}", b.edit.precision()),
+                        format!("{:.4}", b.edit.recall()),
+                    ],
+                ];
+                emit(
+                    out,
+                    name,
+                    "Fig 12(b) — fixing rules vs automated editing rules",
+                    &["algo", "precision", "recall"],
+                    &rows,
+                );
+            }
+        }
+        "fig13a" | "fig13b" => {
+            let which = if name == "fig13a" {
+                Which::Hosp
+            } else {
+                Which::Uis
+            };
+            let points = exp3::run_fig13(which, cfg);
+            let rows: Vec<Vec<String>> = points
+                .iter()
+                .map(|p| {
+                    vec![
+                        p.n_rules.to_string(),
+                        p.algo.to_string(),
+                        format!("{:.3}", p.millis),
+                    ]
+                })
+                .collect();
+            emit(
+                out,
+                name,
+                &format!("Fig 13 ({}) — repair time vs |Σ|", which.name()),
+                &["rules", "algo", "millis"],
+                &rows,
+            );
+        }
+        "ablation-discovery" => {
+            let mut rows = Vec::new();
+            for which in [Which::Hosp, Which::Uis] {
+                for p in discovery::run_discovery_ablation(which, cfg) {
+                    rows.push(vec![
+                        which.name().to_string(),
+                        p.source.to_string(),
+                        p.n_rules.to_string(),
+                        format!("{:.4}", p.acc.precision()),
+                        format!("{:.4}", p.acc.recall()),
+                        p.acc.corrected.to_string(),
+                    ]);
+                }
+            }
+            emit(
+                out,
+                "ablation_discovery",
+                "Ablation — §8 automatic discovery vs §7.1 oracle pipeline",
+                &[
+                    "dataset",
+                    "source",
+                    "rules",
+                    "precision",
+                    "recall",
+                    "corrected",
+                ],
+                &rows,
+            );
+        }
+        "ablation-heu" => {
+            let points = exp2::run_heu_ablation(Which::Hosp, cfg);
+            emit(
+                out,
+                "ablation_heu",
+                "Ablation — Heu with/without cost-based LHS eviction (hosp)",
+                &[
+                    "typo_pct",
+                    "algo",
+                    "precision",
+                    "recall",
+                    "updates",
+                    "corrected",
+                    "errors",
+                ],
+                &accuracy_rows(&points, |x| format!("{:.0}", x * 100.0)),
+            );
+        }
+        "table-rt" => {
+            let mut rows_out = Vec::new();
+            for which in [Which::Hosp, Which::Uis] {
+                for r in exp3::run_runtime_table(which, cfg) {
+                    rows_out.push(vec![
+                        r.dataset.to_string(),
+                        r.algo.to_string(),
+                        format!("{:.1}", r.millis),
+                    ]);
+                }
+            }
+            emit(
+                out,
+                "table_rt",
+                "§7.2 runtime table — lRepair vs Heu vs Csm (ms)",
+                &["dataset", "algo", "millis"],
+                &rows_out,
+            );
+        }
+        other => {
+            eprintln!("unknown experiment `{other}`");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn accuracy_rows(
+    points: &[exp2::AccuracyPoint],
+    fmt_x: impl Fn(f64) -> String,
+) -> Vec<Vec<String>> {
+    points
+        .iter()
+        .map(|p| {
+            vec![
+                fmt_x(p.x),
+                p.algo.to_string(),
+                format!("{:.4}", p.acc.precision()),
+                format!("{:.4}", p.acc.recall()),
+                p.acc.updates.to_string(),
+                p.acc.corrected.to_string(),
+                p.acc.errors.to_string(),
+            ]
+        })
+        .collect()
+}

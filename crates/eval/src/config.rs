@@ -1,0 +1,72 @@
+//! Experiment configuration.
+
+use std::path::PathBuf;
+
+/// Knobs shared by every experiment, defaulting to the paper's settings.
+#[derive(Debug, Clone)]
+pub struct ExpConfig {
+    /// hosp table size (paper: 115K records).
+    pub hosp_rows: usize,
+    /// uis table size (paper: 15K records).
+    pub uis_rows: usize,
+    /// hosp rule-set size (paper: 1000).
+    pub hosp_rules: usize,
+    /// uis rule-set size (paper: 100).
+    pub uis_rules: usize,
+    /// Noise rate (paper default: 10%).
+    pub noise_rate: f64,
+    /// Master seed; every derived RNG is seeded from it.
+    pub seed: u64,
+    /// Directory for CSV dumps of each series (none = print only).
+    pub out_dir: Option<PathBuf>,
+}
+
+impl Default for ExpConfig {
+    fn default() -> Self {
+        ExpConfig {
+            hosp_rows: 115_000,
+            uis_rows: 15_000,
+            hosp_rules: 1_000,
+            uis_rules: 100,
+            noise_rate: 0.10,
+            seed: 2014,
+            out_dir: None,
+        }
+    }
+}
+
+impl ExpConfig {
+    /// A ~10× smaller preset for laptops and CI.
+    pub fn quick() -> Self {
+        ExpConfig {
+            hosp_rows: 12_000,
+            uis_rows: 2_000,
+            hosp_rules: 300,
+            uis_rules: 50,
+            ..ExpConfig::default()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper() {
+        let c = ExpConfig::default();
+        assert_eq!(c.hosp_rows, 115_000);
+        assert_eq!(c.uis_rows, 15_000);
+        assert_eq!(c.hosp_rules, 1_000);
+        assert_eq!(c.uis_rules, 100);
+        assert!((c.noise_rate - 0.10).abs() < 1e-9);
+    }
+
+    #[test]
+    fn quick_is_smaller() {
+        let q = ExpConfig::quick();
+        let d = ExpConfig::default();
+        assert!(q.hosp_rows < d.hosp_rows);
+        assert!(q.uis_rules < d.uis_rules);
+    }
+}

@@ -1,0 +1,125 @@
+//! One module per §7 experiment; see DESIGN.md's per-experiment index.
+
+pub mod discovery;
+pub mod editing;
+pub mod exp1;
+pub mod exp2;
+pub mod exp3;
+pub mod negpat;
+
+use datagen::noise::{inject, InjectedError, NoiseConfig};
+use datagen::Dataset;
+use fixrules::RuleSet;
+use relation::Table;
+
+use crate::config::ExpConfig;
+use crate::rules::{build_ruleset, RuleGenConfig, RuleGenReport};
+
+/// Which dataset an experiment runs on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Which {
+    /// 115K-row hospital data, 1000 rules.
+    Hosp,
+    /// 15K-row mailing list, 100 rules.
+    Uis,
+}
+
+impl Which {
+    /// Dataset name for titles and CSV files.
+    pub fn name(self) -> &'static str {
+        match self {
+            Which::Hosp => "hosp",
+            Which::Uis => "uis",
+        }
+    }
+}
+
+/// A fully prepared experiment input: ground truth, one dirty instance, the
+/// injected-error log, and a consistent rule set generated from it.
+pub struct Prepared {
+    /// The generated dataset (truth + FDs + symbols).
+    pub dataset: Dataset,
+    /// The dirty instance.
+    pub dirty: Table,
+    /// Ground-truth error log.
+    pub errors: Vec<InjectedError>,
+    /// Rules from the §7.1 pipeline.
+    pub rules: RuleSet,
+    /// Pipeline statistics.
+    pub genreport: RuleGenReport,
+}
+
+/// Generate a dataset, corrupt it, and run the rule pipeline.
+pub fn prepare(which: Which, cfg: &ExpConfig, typo_fraction: f64) -> Prepared {
+    let (mut dataset, target) = match which {
+        Which::Hosp => (
+            datagen::hosp::generate(cfg.hosp_rows, cfg.seed),
+            cfg.hosp_rules,
+        ),
+        Which::Uis => (
+            datagen::uis::generate(cfg.uis_rows, cfg.seed),
+            cfg.uis_rules,
+        ),
+    };
+    let attrs = dataset.constrained_attrs();
+    let mut dirty = dataset.clean.clone();
+    let errors = inject(
+        &mut dirty,
+        &mut dataset.symbols,
+        &attrs,
+        NoiseConfig {
+            rate: cfg.noise_rate,
+            typo_fraction,
+            seed: cfg.seed ^ 0xD147,
+        },
+    );
+    let (rules, genreport) = build_ruleset(
+        &mut dataset,
+        &dirty,
+        RuleGenConfig {
+            target,
+            seed: cfg.seed,
+            enrich_factor: 1.0,
+        },
+    );
+    Prepared {
+        dataset,
+        dirty,
+        errors,
+        rules,
+        genreport,
+    }
+}
+
+/// The x-axis steps for a |Σ| sweep: 10%, 20%, …, 100% of the rule count.
+pub fn rule_steps(total: usize) -> Vec<usize> {
+    (1..=10).map(|i| (total * i).div_ceil(10).max(1)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rule_steps_are_monotone_deciles() {
+        let steps = rule_steps(1000);
+        assert_eq!(steps.len(), 10);
+        assert_eq!(steps[0], 100);
+        assert_eq!(steps[9], 1000);
+        assert!(steps.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn prepare_produces_consistent_rules_and_errors() {
+        let cfg = ExpConfig {
+            uis_rows: 800,
+            uis_rules: 30,
+            ..ExpConfig::default()
+        };
+        let p = prepare(Which::Uis, &cfg, 0.5);
+        assert_eq!(p.errors.len(), 80);
+        assert!(p.rules.check_consistency().is_consistent());
+        assert!(p.rules.len() <= 30);
+        assert_eq!(p.dataset.clean.diff_cells(&p.dirty).unwrap(), 80);
+    }
+}

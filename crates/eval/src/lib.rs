@@ -1,0 +1,20 @@
+//! Experiment harness for the fixing-rules reproduction.
+//!
+//! Every table and figure of the paper's §7 maps to a runner here (see the
+//! per-experiment index in `DESIGN.md`); the `repro` binary drives them and
+//! prints paper-style series plus optional CSV dumps.
+//!
+//! ```text
+//! cargo run --release -p eval --bin repro -- all --quick
+//! cargo run --release -p eval --bin repro -- fig10ab
+//! ```
+
+pub mod config;
+pub mod experiments;
+pub mod metrics;
+pub mod report;
+pub mod rules;
+pub mod timing;
+
+pub use config::ExpConfig;
+pub use metrics::{score, Accuracy};

@@ -1,0 +1,145 @@
+//! Repair-quality metrics (§7.1).
+//!
+//! *"precision is the ratio of corrected attribute values to the number of
+//! all the attributes that are updated, and recall is the ratio of
+//! corrected attribute values to the number of all erroneous attribute
+//! values."*
+
+use relation::Table;
+
+/// Cell-level accuracy counts of one repair run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Accuracy {
+    /// Cells the algorithm changed.
+    pub updates: usize,
+    /// Changed cells whose new value equals the ground truth.
+    pub corrected: usize,
+    /// Cells that were erroneous in the dirty table.
+    pub errors: usize,
+}
+
+impl Accuracy {
+    /// `corrected / updates`; defined as 1 when nothing was updated (no
+    /// wrong change was made).
+    pub fn precision(&self) -> f64 {
+        if self.updates == 0 {
+            1.0
+        } else {
+            self.corrected as f64 / self.updates as f64
+        }
+    }
+
+    /// `corrected / errors`; defined as 1 when there was nothing to fix.
+    pub fn recall(&self) -> f64 {
+        if self.errors == 0 {
+            1.0
+        } else {
+            self.corrected as f64 / self.errors as f64
+        }
+    }
+
+    /// Harmonic mean of precision and recall.
+    pub fn f1(&self) -> f64 {
+        let (p, r) = (self.precision(), self.recall());
+        if p + r == 0.0 {
+            0.0
+        } else {
+            2.0 * p * r / (p + r)
+        }
+    }
+}
+
+/// Score a repair given the ground truth, the dirty input, and the repaired
+/// output (all same shape).
+pub fn score(clean: &Table, dirty: &Table, repaired: &Table) -> Accuracy {
+    assert_eq!(clean.len(), dirty.len());
+    assert_eq!(clean.len(), repaired.len());
+    let arity = clean.schema().arity();
+    let mut acc = Accuracy {
+        updates: 0,
+        corrected: 0,
+        errors: 0,
+    };
+    for row in 0..clean.len() {
+        let (c, d, r) = (clean.row(row), dirty.row(row), repaired.row(row));
+        for a in 0..arity {
+            if d[a] != c[a] {
+                acc.errors += 1;
+            }
+            if r[a] != d[a] {
+                acc.updates += 1;
+                if r[a] == c[a] {
+                    acc.corrected += 1;
+                }
+            }
+        }
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use relation::{Schema, SymbolTable};
+
+    fn tables() -> (Table, Table, Table, SymbolTable) {
+        let s = Schema::new("T", ["a", "b"]).unwrap();
+        let mut sy = SymbolTable::new();
+        let mut clean = Table::new(s.clone());
+        let mut dirty = Table::new(s.clone());
+        let mut repaired = Table::new(s.clone());
+        // Row 0: error in b, corrected.
+        clean.push_strs(&mut sy, &["x", "good"]).unwrap();
+        dirty.push_strs(&mut sy, &["x", "bad"]).unwrap();
+        repaired.push_strs(&mut sy, &["x", "good"]).unwrap();
+        // Row 1: error in a, mis-corrected to another wrong value.
+        clean.push_strs(&mut sy, &["k", "v"]).unwrap();
+        dirty.push_strs(&mut sy, &["kk", "v"]).unwrap();
+        repaired.push_strs(&mut sy, &["kkk", "v"]).unwrap();
+        // Row 2: no error, spurious update.
+        clean.push_strs(&mut sy, &["m", "n"]).unwrap();
+        dirty.push_strs(&mut sy, &["m", "n"]).unwrap();
+        repaired.push_strs(&mut sy, &["m", "oops"]).unwrap();
+        (clean, dirty, repaired, sy)
+    }
+
+    #[test]
+    fn counts_updates_corrections_errors() {
+        let (clean, dirty, repaired, _) = tables();
+        let acc = score(&clean, &dirty, &repaired);
+        assert_eq!(acc.errors, 2);
+        assert_eq!(acc.updates, 3);
+        assert_eq!(acc.corrected, 1);
+        assert!((acc.precision() - 1.0 / 3.0).abs() < 1e-12);
+        assert!((acc.recall() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn no_updates_has_perfect_precision_zero_recall() {
+        let (clean, dirty, _, _) = tables();
+        let acc = score(&clean, &dirty, &dirty);
+        assert_eq!(acc.updates, 0);
+        assert!((acc.precision() - 1.0).abs() < 1e-12);
+        assert!((acc.recall() - 0.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn clean_input_perfect_scores() {
+        let (clean, _, _, _) = tables();
+        let acc = score(&clean, &clean, &clean);
+        assert!((acc.precision() - 1.0).abs() < 1e-12);
+        assert!((acc.recall() - 1.0).abs() < 1e-12);
+        assert!((acc.f1() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn f1_balances_p_and_r() {
+        let acc = Accuracy {
+            updates: 10,
+            corrected: 5,
+            errors: 10,
+        };
+        // p = 0.5, r = 0.5 → f1 = 0.5
+        assert!((acc.f1() - 0.5).abs() < 1e-12);
+    }
+}

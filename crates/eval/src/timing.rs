@@ -1,0 +1,43 @@
+//! Wall-clock helpers for the efficiency experiments.
+
+use std::time::Instant;
+
+/// Run `f`, returning its value and the elapsed milliseconds.
+pub fn time_ms<T>(f: impl FnOnce() -> T) -> (T, f64) {
+    let start = Instant::now();
+    let v = f();
+    (v, start.elapsed().as_secs_f64() * 1e3)
+}
+
+/// Median of `n` timed runs of `f` (each run gets a fresh closure result).
+pub fn median_ms(n: usize, mut f: impl FnMut()) -> f64 {
+    let mut samples: Vec<f64> = (0..n.max(1))
+        .map(|_| {
+            let start = Instant::now();
+            f();
+            start.elapsed().as_secs_f64() * 1e3
+        })
+        .collect();
+    samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    samples[samples.len() / 2]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn time_ms_returns_value_and_nonnegative_time() {
+        let (v, ms) = time_ms(|| 41 + 1);
+        assert_eq!(v, 42);
+        assert!(ms >= 0.0);
+    }
+
+    #[test]
+    fn median_of_noisy_samples_is_finite() {
+        let ms = median_ms(5, || {
+            std::hint::black_box((0..1000).sum::<u64>());
+        });
+        assert!(ms.is_finite());
+    }
+}

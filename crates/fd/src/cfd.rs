@@ -1,0 +1,133 @@
+//! Conditional functional dependencies (CFDs), minimal form.
+//!
+//! The paper contrasts fixing rules with CFDs [Fan et al., TODS'08]: a CFD
+//! `(X → B, tp)` constrains only tuples matching a constant/wildcard pattern
+//! `tp` over `X ∪ {B}`. CFDs *detect* errors but do not say how to fix them —
+//! which is exactly the gap fixing rules close. We implement single-tuple
+//! (constant) CFD checking so the eval/docs can demonstrate that contrast.
+
+use relation::{AttrId, Symbol, Table};
+
+/// One pattern cell: a required constant or a wildcard (`_` in the
+/// literature).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PatternCell {
+    /// Matches any value.
+    Wildcard,
+    /// Matches exactly this value.
+    Const(Symbol),
+}
+
+/// A constant CFD `(X → B, (tp[X] ∥ tp[B]))`.
+///
+/// When every `X` cell of a tuple matches the pattern, the `B` cell must
+/// match `rhs_pattern`. With all-wildcard patterns this degenerates to a
+/// plain FD checked tuple-by-tuple against a constant table, so we keep the
+/// constant-only single-tuple semantics that suffice for error detection.
+#[derive(Debug, Clone)]
+pub struct Cfd {
+    /// LHS attributes with their pattern cells.
+    pub lhs: Vec<(AttrId, PatternCell)>,
+    /// RHS attribute.
+    pub rhs_attr: AttrId,
+    /// RHS pattern cell.
+    pub rhs_pattern: PatternCell,
+}
+
+impl Cfd {
+    /// Does the tuple match the LHS pattern?
+    pub fn lhs_matches(&self, row: &[Symbol]) -> bool {
+        self.lhs.iter().all(|&(a, p)| match p {
+            PatternCell::Wildcard => true,
+            PatternCell::Const(c) => row[a.index()] == c,
+        })
+    }
+
+    /// A tuple *violates* a constant CFD when its LHS matches but its RHS
+    /// does not.
+    pub fn violates(&self, row: &[Symbol]) -> bool {
+        if !self.lhs_matches(row) {
+            return false;
+        }
+        match self.rhs_pattern {
+            PatternCell::Wildcard => false,
+            PatternCell::Const(c) => row[self.rhs_attr.index()] != c,
+        }
+    }
+
+    /// Indices of rows violating this CFD.
+    pub fn violating_rows(&self, table: &Table) -> Vec<usize> {
+        (0..table.len())
+            .filter(|&i| self.violates(table.row(i)))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use relation::{Schema, SymbolTable};
+
+    fn setup() -> (Table, SymbolTable, Schema) {
+        let schema = Schema::new("T", ["country", "capital"]).unwrap();
+        let mut sy = SymbolTable::new();
+        let mut t = Table::new(schema.clone());
+        t.push_strs(&mut sy, &["China", "Beijing"]).unwrap();
+        t.push_strs(&mut sy, &["China", "Shanghai"]).unwrap();
+        t.push_strs(&mut sy, &["Canada", "Shanghai"]).unwrap();
+        (t, sy, schema)
+    }
+
+    #[test]
+    fn constant_cfd_flags_wrong_capital() {
+        let (t, mut sy, schema) = setup();
+        let cfd = Cfd {
+            lhs: vec![(
+                schema.attr("country").unwrap(),
+                PatternCell::Const(sy.intern("China")),
+            )],
+            rhs_attr: schema.attr("capital").unwrap(),
+            rhs_pattern: PatternCell::Const(sy.intern("Beijing")),
+        };
+        assert_eq!(cfd.violating_rows(&t), vec![1]);
+    }
+
+    #[test]
+    fn wildcard_lhs_matches_everything() {
+        let (t, mut sy, schema) = setup();
+        let cfd = Cfd {
+            lhs: vec![(schema.attr("country").unwrap(), PatternCell::Wildcard)],
+            rhs_attr: schema.attr("capital").unwrap(),
+            rhs_pattern: PatternCell::Const(sy.intern("Beijing")),
+        };
+        assert_eq!(cfd.violating_rows(&t), vec![1, 2]);
+    }
+
+    #[test]
+    fn wildcard_rhs_never_violates() {
+        let (t, _, schema) = setup();
+        let cfd = Cfd {
+            lhs: vec![(schema.attr("country").unwrap(), PatternCell::Wildcard)],
+            rhs_attr: schema.attr("capital").unwrap(),
+            rhs_pattern: PatternCell::Wildcard,
+        };
+        assert!(cfd.violating_rows(&t).is_empty());
+    }
+
+    #[test]
+    fn cfd_detects_but_does_not_repair() {
+        // The doc-level contrast: a CFD flags row 1, but carries no action.
+        // (Compile-time observation: `Cfd` has no apply method.)
+        let (t, mut sy, schema) = setup();
+        let cfd = Cfd {
+            lhs: vec![(
+                schema.attr("country").unwrap(),
+                PatternCell::Const(sy.intern("China")),
+            )],
+            rhs_attr: schema.attr("capital").unwrap(),
+            rhs_pattern: PatternCell::Const(sy.intern("Beijing")),
+        };
+        let flagged = cfd.violating_rows(&t);
+        assert_eq!(flagged.len(), 1);
+    }
+}

@@ -1,0 +1,177 @@
+//! Classical FD reasoning: attribute closure, implication, minimal cover.
+//!
+//! Used to sanity-check the datasets' FD lists (e.g. the paper's
+//! `PN, MC → stateAvg` is implied by `PN → state` + `state, MC → stateAvg`)
+//! and to let callers de-duplicate FD inputs before seeding rules.
+
+use relation::{AttrSet, Schema};
+
+use crate::Fd;
+
+/// The closure `X⁺` of an attribute set under a list of FDs (Armstrong's
+/// axioms via the standard fixpoint iteration).
+pub fn attribute_closure(start: AttrSet, fds: &[Fd]) -> AttrSet {
+    let mut closure = start;
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for fd in fds {
+            if fd.lhs_set().is_subset(closure) && !fd.rhs_set().is_subset(closure) {
+                closure.union_with(fd.rhs_set());
+                changed = true;
+            }
+        }
+    }
+    closure
+}
+
+/// Does `fds ⊨ fd` (the FD is logically implied)?
+pub fn implies_fd(fds: &[Fd], fd: &Fd) -> bool {
+    fd.rhs_set().is_subset(attribute_closure(fd.lhs_set(), fds))
+}
+
+/// Is attribute set `x` a superkey of the schema under `fds`?
+pub fn is_superkey(schema: &Schema, x: AttrSet, fds: &[Fd]) -> bool {
+    let all = AttrSet::from_iter(schema.attr_ids());
+    all.is_subset(attribute_closure(x, fds))
+}
+
+/// A minimal cover of `fds`: single-RHS, no redundant FDs, no redundant
+/// LHS attributes. Canonical-form computation, deterministic output order.
+pub fn minimal_cover(schema: &Schema, fds: &[Fd]) -> Vec<Fd> {
+    // 1. Single-RHS decomposition.
+    let mut cover: Vec<Fd> = fds.iter().flat_map(|fd| fd.split_rhs()).collect();
+
+    // 2. Remove extraneous LHS attributes: A is extraneous in X → B when
+    // (X \ A)⁺ under the current cover still contains B.
+    let mut i = 0;
+    while i < cover.len() {
+        let mut lhs: Vec<_> = cover[i].lhs().to_vec();
+        let rhs = cover[i].rhs()[0];
+        let mut k = 0;
+        while lhs.len() > 1 && k < lhs.len() {
+            let mut reduced = lhs.clone();
+            reduced.remove(k);
+            let closure = attribute_closure(AttrSet::from_iter(reduced.iter().copied()), &cover);
+            if closure.contains(rhs) {
+                lhs = reduced;
+            } else {
+                k += 1;
+            }
+        }
+        if lhs.len() != cover[i].lhs().len() {
+            cover[i] = Fd::new(schema, lhs, vec![rhs]).expect("reduced FD is well-formed");
+        }
+        i += 1;
+    }
+
+    // 3. Remove redundant FDs: fd is redundant when the rest implies it.
+    let mut i = 0;
+    while i < cover.len() {
+        let candidate = cover.remove(i);
+        if implies_fd(&cover, &candidate) {
+            // drop it, do not advance
+        } else {
+            cover.insert(i, candidate);
+            i += 1;
+        }
+    }
+
+    // Deterministic output.
+    cover.sort_by(|a, b| a.lhs().cmp(b.lhs()).then(a.rhs().cmp(b.rhs())));
+    cover.dedup();
+    cover
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse_fds;
+
+    fn schema() -> Schema {
+        Schema::new("R", ["a", "b", "c", "d", "e"]).unwrap()
+    }
+
+    fn attrs(schema: &Schema, names: &[&str]) -> AttrSet {
+        AttrSet::from_iter(names.iter().map(|n| schema.attr(n).unwrap()))
+    }
+
+    #[test]
+    fn closure_fixpoint() {
+        let s = schema();
+        let fds = parse_fds(&s, "a -> b\nb -> c\nc, d -> e").unwrap();
+        let c = attribute_closure(attrs(&s, &["a"]), &fds);
+        // a⁺ = {a, b, c}; e needs d too.
+        assert_eq!(c, attrs(&s, &["a", "b", "c"]));
+        let c2 = attribute_closure(attrs(&s, &["a", "d"]), &fds);
+        assert_eq!(c2, attrs(&s, &["a", "b", "c", "d", "e"]));
+    }
+
+    #[test]
+    fn transitivity_is_implied() {
+        let s = schema();
+        let fds = parse_fds(&s, "a -> b\nb -> c").unwrap();
+        let derived = parse_fds(&s, "a -> c").unwrap().remove(0);
+        assert!(implies_fd(&fds, &derived));
+        let not_derived = parse_fds(&s, "c -> a").unwrap().remove(0);
+        assert!(!implies_fd(&fds, &not_derived));
+    }
+
+    #[test]
+    fn superkey_detection() {
+        let s = schema();
+        let fds = parse_fds(&s, "a -> b, c\nc -> d, e").unwrap();
+        assert!(is_superkey(&s, attrs(&s, &["a"]), &fds));
+        assert!(!is_superkey(&s, attrs(&s, &["c"]), &fds));
+    }
+
+    #[test]
+    fn minimal_cover_strips_extraneous_lhs() {
+        let s = schema();
+        // In (a, b → c) with a → b, b is extraneous? No — (a)⁺ ∋ b, c...
+        // a → b gives (a)⁺ = {a, b}, and with ab → c the closure reaches c,
+        // so ab → c reduces to a → c.
+        let fds = parse_fds(&s, "a -> b\na, b -> c").unwrap();
+        let cover = minimal_cover(&s, &fds);
+        let rendered: Vec<String> = cover.iter().map(|f| f.display(&s)).collect();
+        assert!(rendered.contains(&"a -> b".to_string()), "{rendered:?}");
+        assert!(rendered.contains(&"a -> c".to_string()), "{rendered:?}");
+        assert_eq!(cover.len(), 2);
+    }
+
+    #[test]
+    fn minimal_cover_drops_redundant_fds() {
+        let s = schema();
+        let fds = parse_fds(&s, "a -> b\nb -> c\na -> c").unwrap();
+        let cover = minimal_cover(&s, &fds);
+        assert_eq!(cover.len(), 2);
+        // Every original FD is still implied.
+        for fd in &fds {
+            assert!(implies_fd(&cover, fd));
+        }
+    }
+
+    #[test]
+    fn cover_preserves_logical_content_both_ways() {
+        let s = schema();
+        let fds = parse_fds(&s, "a -> b, c\nb -> c\nc, d -> e\na, d -> e").unwrap();
+        let cover = minimal_cover(&s, &fds);
+        for fd in &fds {
+            assert!(implies_fd(&cover, fd), "cover lost {}", fd.display(&s));
+        }
+        for fd in &cover {
+            assert!(implies_fd(&fds, fd), "cover invented {}", fd.display(&s));
+        }
+    }
+
+    #[test]
+    fn paper_hosp_fd4_is_implied_by_fd1_and_fd5() {
+        // PN → state (part of FD1) plus (state, MC) → stateAvg (FD5) imply
+        // (PN, MC) → stateAvg (FD4) — a nice consistency check on the
+        // paper's FD table.
+        let s = Schema::new("hosp", ["PN", "state", "MC", "stateAvg"]).unwrap();
+        let fds = parse_fds(&s, "PN -> state\nstate, MC -> stateAvg").unwrap();
+        let fd4 = parse_fds(&s, "PN, MC -> stateAvg").unwrap().remove(0);
+        assert!(implies_fd(&fds, &fd4));
+    }
+}

@@ -1,0 +1,199 @@
+//! Functional dependencies over [`relation`] tables.
+//!
+//! The paper uses FDs in two roles:
+//!
+//! 1. **Rule generation** (§7.1): fixing rules are seeded from FD violations,
+//!    so we need violation detection.
+//! 2. **Baselines**: `Heu` [Bohannon et al. '05] and `Csm` [Beskales et al.
+//!    '10] repair FD violations directly (implemented in `crates/baselines`
+//!    on top of the partition machinery here).
+//!
+//! Violation detection uses the standard *partition* technique: group rows by
+//! their LHS value vector; a group violates `X → A` when it carries more than
+//! one distinct `A` value. This is the two-tuple violation semantics of the
+//! paper ("the others need to consider a combination of two tuples", §7.2).
+//!
+//! A minimal conditional-FD ([`cfd::Cfd`]) extension is included because the
+//! paper repeatedly positions fixing rules against CFDs; the eval crate uses
+//! it only for documentation-grade comparisons.
+
+pub mod cfd;
+pub mod closure;
+pub mod parse;
+pub mod partition;
+pub mod violation;
+
+use relation::{AttrId, AttrSet, Schema};
+
+/// A functional dependency `X → Y` over one schema.
+///
+/// `Y` may list several right-hand-side attributes, matching the paper's
+/// hosp/uis FD tables (e.g. `PN → HN, address1, …`). Algorithms that need
+/// single-RHS FDs call [`Fd::split_rhs`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Fd {
+    lhs: Vec<AttrId>,
+    rhs: Vec<AttrId>,
+}
+
+/// Errors building or parsing FDs.
+#[derive(Debug, PartialEq, Eq)]
+pub enum FdError {
+    /// LHS or RHS was empty.
+    Empty,
+    /// Attribute appears on both sides.
+    Overlap(String),
+    /// Attribute name unknown to the schema.
+    UnknownAttribute(String),
+    /// Textual form was malformed.
+    Syntax(String),
+}
+
+impl std::fmt::Display for FdError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FdError::Empty => write!(f, "FD must have non-empty LHS and RHS"),
+            FdError::Overlap(a) => write!(f, "attribute `{a}` appears on both sides of the FD"),
+            FdError::UnknownAttribute(a) => write!(f, "unknown attribute `{a}`"),
+            FdError::Syntax(s) => write!(f, "malformed FD `{s}`: expected `A, B -> C, D`"),
+        }
+    }
+}
+
+impl std::error::Error for FdError {}
+
+impl Fd {
+    /// Build an FD from attribute ids, validating shape.
+    pub fn new(schema: &Schema, lhs: Vec<AttrId>, rhs: Vec<AttrId>) -> Result<Self, FdError> {
+        if lhs.is_empty() || rhs.is_empty() {
+            return Err(FdError::Empty);
+        }
+        let lset = AttrSet::from_iter(lhs.iter().copied());
+        for &r in &rhs {
+            if lset.contains(r) {
+                return Err(FdError::Overlap(schema.attr_name(r).to_string()));
+            }
+        }
+        Ok(Fd { lhs, rhs })
+    }
+
+    /// Build an FD from attribute names.
+    pub fn from_names<'a>(
+        schema: &Schema,
+        lhs: impl IntoIterator<Item = &'a str>,
+        rhs: impl IntoIterator<Item = &'a str>,
+    ) -> Result<Self, FdError> {
+        let resolve = |names: &mut dyn Iterator<Item = &'a str>| -> Result<Vec<AttrId>, FdError> {
+            names
+                .map(|n| {
+                    schema
+                        .attr(n)
+                        .ok_or_else(|| FdError::UnknownAttribute(n.to_string()))
+                })
+                .collect()
+        };
+        let lhs = resolve(&mut lhs.into_iter())?;
+        let rhs = resolve(&mut rhs.into_iter())?;
+        Fd::new(schema, lhs, rhs)
+    }
+
+    /// Left-hand-side attributes.
+    pub fn lhs(&self) -> &[AttrId] {
+        &self.lhs
+    }
+
+    /// Right-hand-side attributes.
+    pub fn rhs(&self) -> &[AttrId] {
+        &self.rhs
+    }
+
+    /// LHS as a bitset.
+    pub fn lhs_set(&self) -> AttrSet {
+        AttrSet::from_iter(self.lhs.iter().copied())
+    }
+
+    /// RHS as a bitset.
+    pub fn rhs_set(&self) -> AttrSet {
+        AttrSet::from_iter(self.rhs.iter().copied())
+    }
+
+    /// Split a multi-RHS FD into single-RHS FDs (`X → A` for each `A ∈ Y`).
+    pub fn split_rhs(&self) -> impl Iterator<Item = Fd> + '_ {
+        self.rhs.iter().map(move |&r| Fd {
+            lhs: self.lhs.clone(),
+            rhs: vec![r],
+        })
+    }
+
+    /// Render with attribute names, e.g. `country -> capital`.
+    pub fn display<'a>(&'a self, schema: &'a Schema) -> String {
+        let side = |ids: &[AttrId]| {
+            ids.iter()
+                .map(|&a| schema.attr_name(a))
+                .collect::<Vec<_>>()
+                .join(", ")
+        };
+        format!("{} -> {}", side(&self.lhs), side(&self.rhs))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn schema() -> Schema {
+        Schema::new("Travel", ["name", "country", "capital", "city", "conf"]).unwrap()
+    }
+
+    #[test]
+    fn build_from_names() {
+        let s = schema();
+        let fd = Fd::from_names(&s, ["country"], ["capital"]).unwrap();
+        assert_eq!(fd.lhs(), &[s.attr("country").unwrap()]);
+        assert_eq!(fd.rhs(), &[s.attr("capital").unwrap()]);
+    }
+
+    #[test]
+    fn empty_sides_rejected() {
+        let s = schema();
+        assert_eq!(
+            Fd::from_names(&s, [], ["capital"]).unwrap_err(),
+            FdError::Empty
+        );
+        assert_eq!(
+            Fd::from_names(&s, ["country"], []).unwrap_err(),
+            FdError::Empty
+        );
+    }
+
+    #[test]
+    fn overlap_rejected() {
+        let s = schema();
+        let err = Fd::from_names(&s, ["country"], ["country"]).unwrap_err();
+        assert_eq!(err, FdError::Overlap("country".into()));
+    }
+
+    #[test]
+    fn unknown_attr_rejected() {
+        let s = schema();
+        let err = Fd::from_names(&s, ["countri"], ["capital"]).unwrap_err();
+        assert_eq!(err, FdError::UnknownAttribute("countri".into()));
+    }
+
+    #[test]
+    fn split_rhs_yields_single_rhs_fds() {
+        let s = schema();
+        let fd = Fd::from_names(&s, ["country"], ["capital", "city"]).unwrap();
+        let parts: Vec<Fd> = fd.split_rhs().collect();
+        assert_eq!(parts.len(), 2);
+        assert_eq!(parts[0].rhs(), &[s.attr("capital").unwrap()]);
+        assert_eq!(parts[1].rhs(), &[s.attr("city").unwrap()]);
+    }
+
+    #[test]
+    fn display_uses_names() {
+        let s = schema();
+        let fd = Fd::from_names(&s, ["country", "city"], ["conf"]).unwrap();
+        assert_eq!(fd.display(&s), "country, city -> conf");
+    }
+}

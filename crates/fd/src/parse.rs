@@ -1,0 +1,101 @@
+//! Textual FD syntax: `A, B -> C, D`.
+//!
+//! This is the notation of the paper's FD tables (§7.1); the eval crate
+//! declares the hosp/uis FDs in this form so they read like the paper.
+
+use relation::Schema;
+
+use crate::{Fd, FdError};
+
+/// Parse one FD in `LHS -> RHS` form, attributes comma-separated.
+pub fn parse_fd(schema: &Schema, text: &str) -> Result<Fd, FdError> {
+    let (lhs, rhs) = text
+        .split_once("->")
+        .ok_or_else(|| FdError::Syntax(text.to_string()))?;
+    let names = |side: &str| -> Vec<String> {
+        side.split(',')
+            .map(|s| s.trim().to_string())
+            .filter(|s| !s.is_empty())
+            .collect()
+    };
+    let lhs_names = names(lhs);
+    let rhs_names = names(rhs);
+    if lhs_names.is_empty() || rhs_names.is_empty() {
+        return Err(FdError::Syntax(text.to_string()));
+    }
+    Fd::from_names(
+        schema,
+        lhs_names.iter().map(|s| s.as_str()),
+        rhs_names.iter().map(|s| s.as_str()),
+    )
+}
+
+/// Parse a newline-separated list of FDs, ignoring blank lines and `#`
+/// comments.
+pub fn parse_fds(schema: &Schema, text: &str) -> Result<Vec<Fd>, FdError> {
+    text.lines()
+        .map(str::trim)
+        .filter(|l| !l.is_empty() && !l.starts_with('#'))
+        .map(|l| parse_fd(schema, l))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn schema() -> Schema {
+        Schema::new("R", ["ssn", "fname", "zip", "state", "city"]).unwrap()
+    }
+
+    #[test]
+    fn parses_single_fd() {
+        let s = schema();
+        let fd = parse_fd(&s, "zip -> state, city").unwrap();
+        assert_eq!(fd.display(&s), "zip -> state, city");
+    }
+
+    #[test]
+    fn parses_multi_lhs() {
+        let s = schema();
+        let fd = parse_fd(&s, "fname, zip -> ssn").unwrap();
+        assert_eq!(fd.lhs().len(), 2);
+    }
+
+    #[test]
+    fn whitespace_is_tolerated() {
+        let s = schema();
+        let fd = parse_fd(&s, "  zip   ->state ").unwrap();
+        assert_eq!(fd.display(&s), "zip -> state");
+    }
+
+    #[test]
+    fn missing_arrow_is_syntax_error() {
+        let s = schema();
+        assert!(matches!(parse_fd(&s, "zip state"), Err(FdError::Syntax(_))));
+    }
+
+    #[test]
+    fn empty_side_is_syntax_error() {
+        let s = schema();
+        assert!(matches!(parse_fd(&s, "-> state"), Err(FdError::Syntax(_))));
+        assert!(matches!(parse_fd(&s, "zip ->"), Err(FdError::Syntax(_))));
+    }
+
+    #[test]
+    fn unknown_attribute_propagates() {
+        let s = schema();
+        assert!(matches!(
+            parse_fd(&s, "zap -> state"),
+            Err(FdError::UnknownAttribute(_))
+        ));
+    }
+
+    #[test]
+    fn parses_fd_list_with_comments() {
+        let s = schema();
+        let text = "# uis FDs\nssn -> fname\n\nzip -> state, city\n";
+        let fds = parse_fds(&s, text).unwrap();
+        assert_eq!(fds.len(), 2);
+    }
+}

@@ -1,0 +1,126 @@
+//! Partitioning rows by an attribute-list key.
+//!
+//! The classic way to check `X → A` over a table: hash every row by its
+//! projection on `X`. Each bucket ("equivalence class" of the LHS) then
+//! either agrees on `A` (satisfied) or not (violated). Both the violation
+//! detector and the `Heu`/`Csm` baselines are built on this.
+
+use std::collections::HashMap;
+
+use relation::{AttrId, Symbol, Table};
+
+/// Rows of a table grouped by their projection on a list of attributes.
+#[derive(Debug)]
+pub struct Partition {
+    key_attrs: Vec<AttrId>,
+    groups: HashMap<Vec<Symbol>, Vec<usize>>,
+}
+
+impl Partition {
+    /// Group all rows of `table` by their values on `key_attrs`.
+    pub fn build(table: &Table, key_attrs: &[AttrId]) -> Self {
+        let mut groups: HashMap<Vec<Symbol>, Vec<usize>> = HashMap::new();
+        let mut key = Vec::with_capacity(key_attrs.len());
+        for i in 0..table.len() {
+            key.clear();
+            let row = table.row(i);
+            key.extend(key_attrs.iter().map(|a| row[a.index()]));
+            groups.entry(key.clone()).or_default().push(i);
+        }
+        Partition {
+            key_attrs: key_attrs.to_vec(),
+            groups,
+        }
+    }
+
+    /// Attributes the partition is keyed on.
+    pub fn key_attrs(&self) -> &[AttrId] {
+        &self.key_attrs
+    }
+
+    /// Number of distinct keys.
+    pub fn num_groups(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// Iterate `(key, rows)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (&[Symbol], &[usize])> {
+        self.groups
+            .iter()
+            .map(|(k, v)| (k.as_slice(), v.as_slice()))
+    }
+
+    /// Rows sharing the given key, if any.
+    pub fn group(&self, key: &[Symbol]) -> Option<&[usize]> {
+        self.groups.get(key).map(|v| v.as_slice())
+    }
+
+    /// Groups with at least two rows — the only ones that can witness an FD
+    /// violation.
+    pub fn non_singleton_groups(&self) -> impl Iterator<Item = (&[Symbol], &[usize])> {
+        self.iter().filter(|(_, rows)| rows.len() > 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use relation::{Schema, SymbolTable};
+
+    fn table() -> (Table, SymbolTable, Schema) {
+        let schema = Schema::new("T", ["country", "capital"]).unwrap();
+        let mut sy = SymbolTable::new();
+        let mut t = Table::new(schema.clone());
+        for row in [
+            ["China", "Beijing"],
+            ["China", "Shanghai"],
+            ["Canada", "Ottawa"],
+            ["China", "Beijing"],
+        ] {
+            t.push_strs(&mut sy, &row).unwrap();
+        }
+        (t, sy, schema)
+    }
+
+    #[test]
+    fn groups_by_key() {
+        let (t, sy, schema) = table();
+        let p = Partition::build(&t, &[schema.attr("country").unwrap()]);
+        assert_eq!(p.num_groups(), 2);
+        let china = sy.get("China").unwrap();
+        let rows = p.group(&[china]).unwrap();
+        assert_eq!(rows, &[0, 1, 3]);
+    }
+
+    #[test]
+    fn multi_attr_key() {
+        let (t, sy, schema) = table();
+        let p = Partition::build(
+            &t,
+            &[
+                schema.attr("country").unwrap(),
+                schema.attr("capital").unwrap(),
+            ],
+        );
+        assert_eq!(p.num_groups(), 3);
+        let key = [sy.get("China").unwrap(), sy.get("Beijing").unwrap()];
+        assert_eq!(p.group(&key).unwrap(), &[0, 3]);
+    }
+
+    #[test]
+    fn non_singletons_filter() {
+        let (t, _, schema) = table();
+        let p = Partition::build(&t, &[schema.attr("country").unwrap()]);
+        let big: Vec<_> = p.non_singleton_groups().collect();
+        assert_eq!(big.len(), 1);
+        assert_eq!(big[0].1.len(), 3);
+    }
+
+    #[test]
+    fn empty_table_has_no_groups() {
+        let schema = Schema::new("T", ["a"]).unwrap();
+        let t = Table::new(schema.clone());
+        let p = Partition::build(&t, &[schema.attr("a").unwrap()]);
+        assert_eq!(p.num_groups(), 0);
+    }
+}

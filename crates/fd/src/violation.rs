@@ -1,0 +1,191 @@
+//! FD violation detection.
+
+use std::collections::HashMap;
+
+use relation::{AttrId, Symbol, Table};
+
+use crate::partition::Partition;
+use crate::Fd;
+
+/// One violated `(X = key) → A` group: the LHS key, the RHS attribute, and
+/// the distinct RHS values observed with the rows carrying each.
+#[derive(Debug, Clone)]
+pub struct Violation {
+    /// LHS key values, aligned with the FD's `lhs()` attribute order.
+    pub key: Vec<Symbol>,
+    /// The single RHS attribute this violation concerns.
+    pub rhs_attr: AttrId,
+    /// Distinct RHS values and the row indices carrying each value.
+    pub values: Vec<(Symbol, Vec<usize>)>,
+}
+
+impl Violation {
+    /// Total number of rows involved.
+    pub fn num_rows(&self) -> usize {
+        self.values.iter().map(|(_, rows)| rows.len()).sum()
+    }
+
+    /// The RHS value carried by the most rows (ties broken by smallest
+    /// symbol for determinism). This is the majority value the `Heu`
+    /// baseline repairs towards.
+    pub fn majority_value(&self) -> Symbol {
+        self.values
+            .iter()
+            .max_by(|a, b| a.1.len().cmp(&b.1.len()).then(b.0.cmp(&a.0)))
+            .map(|(v, _)| *v)
+            .expect("violation has at least two values")
+    }
+}
+
+/// Detect all violations of `fd` in `table`.
+///
+/// Multi-RHS FDs are checked per RHS attribute; a group appears once per RHS
+/// attribute on which it disagrees.
+pub fn detect_violations(table: &Table, fd: &Fd) -> Vec<Violation> {
+    let partition = Partition::build(table, fd.lhs());
+    detect_violations_with_partition(table, fd, &partition)
+}
+
+/// Detect violations reusing a prebuilt LHS partition (the baselines rebuild
+/// repairs iteratively and share the partition across RHS attributes).
+pub fn detect_violations_with_partition(
+    table: &Table,
+    fd: &Fd,
+    partition: &Partition,
+) -> Vec<Violation> {
+    let mut out = Vec::new();
+    for (key, rows) in partition.non_singleton_groups() {
+        for &rhs_attr in fd.rhs() {
+            let mut by_value: HashMap<Symbol, Vec<usize>> = HashMap::new();
+            for &r in rows {
+                by_value.entry(table.cell(r, rhs_attr)).or_default().push(r);
+            }
+            if by_value.len() > 1 {
+                let mut values: Vec<(Symbol, Vec<usize>)> = by_value.into_iter().collect();
+                values.sort_by_key(|(v, _)| *v);
+                out.push(Violation {
+                    key: key.to_vec(),
+                    rhs_attr,
+                    values,
+                });
+            }
+        }
+    }
+    // Deterministic order for tests and reproducible baselines.
+    out.sort_by(|a, b| a.key.cmp(&b.key).then(a.rhs_attr.cmp(&b.rhs_attr)));
+    out
+}
+
+/// True when `table` satisfies `fd`.
+pub fn satisfies(table: &Table, fd: &Fd) -> bool {
+    detect_violations(table, fd).is_empty()
+}
+
+/// True when `table` satisfies every FD in `fds`.
+pub fn satisfies_all(table: &Table, fds: &[Fd]) -> bool {
+    fds.iter().all(|fd| satisfies(table, fd))
+}
+
+/// Count violating `(group, rhs-attr)` pairs across a set of FDs.
+pub fn count_violations(table: &Table, fds: &[Fd]) -> usize {
+    fds.iter()
+        .map(|fd| detect_violations(table, fd).len())
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use relation::{Schema, SymbolTable};
+
+    /// The Fig. 1 Travel instance from the paper, errors included.
+    fn travel() -> (Table, SymbolTable, Schema) {
+        let schema = Schema::new("Travel", ["name", "country", "capital", "city", "conf"]).unwrap();
+        let mut sy = SymbolTable::new();
+        let mut t = Table::new(schema.clone());
+        for row in [
+            ["George", "China", "Beijing", "Beijing", "SIGMOD"],
+            ["Ian", "China", "Shanghai", "Hongkong", "ICDE"],
+            ["Peter", "China", "Tokyo", "Tokyo", "ICDE"],
+            ["Mike", "Canada", "Toronto", "Toronto", "VLDB"],
+        ] {
+            t.push_strs(&mut sy, &row).unwrap();
+        }
+        (t, sy, schema)
+    }
+
+    #[test]
+    fn detects_country_capital_violation() {
+        let (t, sy, schema) = travel();
+        let fd = Fd::from_names(&schema, ["country"], ["capital"]).unwrap();
+        let v = detect_violations(&t, &fd);
+        // China appears with Beijing/Shanghai/Tokyo: one violated group.
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].key, vec![sy.get("China").unwrap()]);
+        assert_eq!(v[0].values.len(), 3);
+        assert_eq!(v[0].num_rows(), 3);
+    }
+
+    #[test]
+    fn clean_table_satisfies() {
+        let schema = Schema::new("Cap", ["country", "capital"]).unwrap();
+        let mut sy = SymbolTable::new();
+        let mut t = Table::new(schema.clone());
+        t.push_strs(&mut sy, &["China", "Beijing"]).unwrap();
+        t.push_strs(&mut sy, &["China", "Beijing"]).unwrap();
+        t.push_strs(&mut sy, &["Japan", "Tokyo"]).unwrap();
+        let fd = Fd::from_names(&schema, ["country"], ["capital"]).unwrap();
+        assert!(satisfies(&t, &fd));
+        assert_eq!(count_violations(&t, &[fd]), 0);
+    }
+
+    #[test]
+    fn multi_rhs_reports_each_attr() {
+        let schema = Schema::new("R", ["zip", "state", "city"]).unwrap();
+        let mut sy = SymbolTable::new();
+        let mut t = Table::new(schema.clone());
+        t.push_strs(&mut sy, &["10001", "NY", "New York"]).unwrap();
+        t.push_strs(&mut sy, &["10001", "NJ", "Newark"]).unwrap();
+        let fd = Fd::from_names(&schema, ["zip"], ["state", "city"]).unwrap();
+        let v = detect_violations(&t, &fd);
+        assert_eq!(v.len(), 2);
+        let attrs: Vec<AttrId> = v.iter().map(|x| x.rhs_attr).collect();
+        assert!(attrs.contains(&schema.attr("state").unwrap()));
+        assert!(attrs.contains(&schema.attr("city").unwrap()));
+    }
+
+    #[test]
+    fn majority_value_picks_most_frequent() {
+        let schema = Schema::new("R", ["k", "v"]).unwrap();
+        let mut sy = SymbolTable::new();
+        let mut t = Table::new(schema.clone());
+        for v in ["a", "a", "b"] {
+            t.push_strs(&mut sy, &["k1", v]).unwrap();
+        }
+        let fd = Fd::from_names(&schema, ["k"], ["v"]).unwrap();
+        let viol = detect_violations(&t, &fd);
+        assert_eq!(viol[0].majority_value(), sy.get("a").unwrap());
+    }
+
+    #[test]
+    fn satisfies_all_over_multiple_fds() {
+        let (t, _, schema) = travel();
+        let fd1 = Fd::from_names(&schema, ["country"], ["capital"]).unwrap();
+        let fd2 = Fd::from_names(&schema, ["name"], ["conf"]).unwrap();
+        assert!(!satisfies_all(&t, &[fd1, fd2.clone()]));
+        assert!(satisfies_all(&t, &[fd2]));
+    }
+
+    #[test]
+    fn violations_are_deterministically_ordered() {
+        let (t, _, schema) = travel();
+        let fd = Fd::from_names(&schema, ["country"], ["capital"]).unwrap();
+        let a = detect_violations(&t, &fd);
+        let b = detect_violations(&t, &fd);
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(b.iter()) {
+            assert_eq!(x.key, y.key);
+            assert_eq!(x.values, y.values);
+        }
+    }
+}

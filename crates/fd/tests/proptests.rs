@@ -1,0 +1,112 @@
+//! Property-based tests for the FD substrate.
+
+use proptest::prelude::*;
+
+use fd::closure::{attribute_closure, implies_fd, minimal_cover};
+use fd::violation::{detect_violations, satisfies};
+use fd::Fd;
+use relation::{AttrId, AttrSet, Schema, Symbol, Table};
+
+const ARITY: usize = 5;
+
+fn schema() -> Schema {
+    Schema::new("R", ["a0", "a1", "a2", "a3", "a4"]).unwrap()
+}
+
+/// Random single-RHS FDs over the 5-attribute schema.
+fn fds() -> impl Strategy<Value = Vec<Fd>> {
+    proptest::collection::vec(
+        (
+            proptest::collection::hash_set(0u16..ARITY as u16, 1..3),
+            0u16..ARITY as u16,
+        ),
+        0..6,
+    )
+    .prop_map(|raw| {
+        let s = schema();
+        raw.into_iter()
+            .filter_map(|(lhs, rhs)| {
+                if lhs.contains(&rhs) {
+                    return None;
+                }
+                Fd::new(&s, lhs.into_iter().map(AttrId).collect(), vec![AttrId(rhs)]).ok()
+            })
+            .collect()
+    })
+}
+
+fn attr_sets() -> impl Strategy<Value = AttrSet> {
+    proptest::collection::hash_set(0u16..ARITY as u16, 0..ARITY)
+        .prop_map(|s| AttrSet::from_iter(s.into_iter().map(AttrId)))
+}
+
+proptest! {
+    /// Closure is extensive, monotone, and idempotent.
+    #[test]
+    fn closure_laws(fds in fds(), x in attr_sets(), y in attr_sets()) {
+        let cx = attribute_closure(x, &fds);
+        prop_assert!(x.is_subset(cx), "extensive");
+        prop_assert_eq!(attribute_closure(cx, &fds), cx, "idempotent");
+        if x.is_subset(y) {
+            prop_assert!(cx.is_subset(attribute_closure(y, &fds)), "monotone");
+        }
+    }
+
+    /// A minimal cover is logically equivalent to the input.
+    #[test]
+    fn minimal_cover_equivalence(fds in fds()) {
+        let s = schema();
+        let cover = minimal_cover(&s, &fds);
+        for fd in &fds {
+            prop_assert!(implies_fd(&cover, fd), "cover lost {}", fd.display(&s));
+        }
+        for fd in &cover {
+            prop_assert!(implies_fd(&fds, fd), "cover invented {}", fd.display(&s));
+        }
+        // Covers are themselves non-redundant: removing any FD loses
+        // information.
+        for i in 0..cover.len() {
+            let mut reduced = cover.clone();
+            let removed = reduced.remove(i);
+            prop_assert!(
+                !implies_fd(&reduced, &removed),
+                "cover still redundant: {}",
+                removed.display(&s)
+            );
+        }
+    }
+
+    /// Violation detection matches the brute-force pairwise definition:
+    /// some pair of rows agrees on the LHS and disagrees on the RHS.
+    #[test]
+    fn violations_match_bruteforce(
+        rows in proptest::collection::vec(
+            proptest::collection::vec(0u32..4, ARITY..=ARITY), 0..20),
+        lhs in proptest::collection::hash_set(0u16..ARITY as u16, 1..3),
+        rhs in 0u16..ARITY as u16,
+    ) {
+        if lhs.contains(&rhs) {
+            return Ok(());
+        }
+        let s = schema();
+        let fd = Fd::new(&s, lhs.iter().copied().map(AttrId).collect(), vec![AttrId(rhs)])
+            .unwrap();
+        let mut t = Table::new(s);
+        for r in &rows {
+            let syms: Vec<Symbol> = r.iter().map(|&v| Symbol(v)).collect();
+            t.push_row(&syms).unwrap();
+        }
+        let brute = rows.iter().enumerate().any(|(i, a)| {
+            rows.iter().skip(i + 1).any(|b| {
+                lhs.iter().all(|&k| a[k as usize] == b[k as usize])
+                    && a[rhs as usize] != b[rhs as usize]
+            })
+        });
+        prop_assert_eq!(!satisfies(&t, &fd), brute);
+        // Each reported violation really is one.
+        for v in detect_violations(&t, &fd) {
+            prop_assert!(v.values.len() > 1);
+            prop_assert!(v.num_rows() > 1);
+        }
+    }
+}

@@ -1,0 +1,232 @@
+//! Fixed-size attribute bitsets.
+//!
+//! The repairing semantics of fixing rules revolve around the *assured* set
+//! `A ⊆ attr(R)` that grows monotonically as rules are applied (§3.2 of the
+//! paper). The chase tests membership on every candidate rule, so the set is
+//! a `u128` bitset: insert/contains are single bit ops and the whole set fits
+//! in two machine words (schemas are capped at 128 attributes by
+//! [`crate::Schema::new`]).
+
+use std::fmt;
+
+use crate::AttrId;
+
+/// A set of [`AttrId`]s backed by a `u128` bitmask.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct AttrSet(u128);
+
+impl AttrSet {
+    /// The empty set.
+    pub const EMPTY: AttrSet = AttrSet(0);
+
+    /// Create an empty set.
+    pub fn new() -> Self {
+        AttrSet(0)
+    }
+
+    /// Create a set from an iterator of attribute ids (also available via
+    /// the `FromIterator` impl).
+    #[allow(clippy::should_implement_trait)]
+    pub fn from_iter<I: IntoIterator<Item = AttrId>>(iter: I) -> Self {
+        let mut s = AttrSet(0);
+        for a in iter {
+            s.insert(a);
+        }
+        s
+    }
+
+    /// Singleton set.
+    pub fn singleton(a: AttrId) -> Self {
+        let mut s = AttrSet(0);
+        s.insert(a);
+        s
+    }
+
+    /// Insert an attribute; returns true if it was newly added.
+    #[inline]
+    pub fn insert(&mut self, a: AttrId) -> bool {
+        let bit = 1u128 << a.0;
+        let added = self.0 & bit == 0;
+        self.0 |= bit;
+        added
+    }
+
+    /// Remove an attribute; returns true if it was present.
+    #[inline]
+    pub fn remove(&mut self, a: AttrId) -> bool {
+        let bit = 1u128 << a.0;
+        let present = self.0 & bit != 0;
+        self.0 &= !bit;
+        present
+    }
+
+    /// Membership test.
+    #[inline]
+    pub fn contains(&self, a: AttrId) -> bool {
+        self.0 & (1u128 << a.0) != 0
+    }
+
+    /// Union in place.
+    #[inline]
+    pub fn union_with(&mut self, other: AttrSet) {
+        self.0 |= other.0;
+    }
+
+    /// Union, returning a new set.
+    #[inline]
+    pub fn union(self, other: AttrSet) -> AttrSet {
+        AttrSet(self.0 | other.0)
+    }
+
+    /// Intersection, returning a new set.
+    #[inline]
+    pub fn intersect(self, other: AttrSet) -> AttrSet {
+        AttrSet(self.0 & other.0)
+    }
+
+    /// Set difference `self \ other`.
+    #[inline]
+    pub fn difference(self, other: AttrSet) -> AttrSet {
+        AttrSet(self.0 & !other.0)
+    }
+
+    /// True when the sets share no attribute.
+    #[inline]
+    pub fn is_disjoint(&self, other: AttrSet) -> bool {
+        self.0 & other.0 == 0
+    }
+
+    /// True when every attribute of `self` is in `other`.
+    #[inline]
+    pub fn is_subset(&self, other: AttrSet) -> bool {
+        self.0 & !other.0 == 0
+    }
+
+    /// Number of attributes in the set.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.0.count_ones() as usize
+    }
+
+    /// True when empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.0 == 0
+    }
+
+    /// Iterate attribute ids in ascending order.
+    pub fn iter(&self) -> AttrSetIter {
+        AttrSetIter(self.0)
+    }
+}
+
+/// Iterator over the attributes of an [`AttrSet`].
+pub struct AttrSetIter(u128);
+
+impl Iterator for AttrSetIter {
+    type Item = AttrId;
+
+    #[inline]
+    fn next(&mut self) -> Option<AttrId> {
+        if self.0 == 0 {
+            return None;
+        }
+        let tz = self.0.trailing_zeros();
+        self.0 &= self.0 - 1;
+        Some(AttrId(tz as u16))
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let n = self.0.count_ones() as usize;
+        (n, Some(n))
+    }
+}
+
+impl ExactSizeIterator for AttrSetIter {}
+
+impl FromIterator<AttrId> for AttrSet {
+    fn from_iter<I: IntoIterator<Item = AttrId>>(iter: I) -> Self {
+        AttrSet::from_iter(iter)
+    }
+}
+
+impl IntoIterator for AttrSet {
+    type Item = AttrId;
+    type IntoIter = AttrSetIter;
+
+    fn into_iter(self) -> AttrSetIter {
+        self.iter()
+    }
+}
+
+impl fmt::Debug for AttrSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_set().entries(self.iter().map(|a| a.0)).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_contains_remove() {
+        let mut s = AttrSet::new();
+        assert!(s.insert(AttrId(3)));
+        assert!(!s.insert(AttrId(3)));
+        assert!(s.contains(AttrId(3)));
+        assert!(!s.contains(AttrId(4)));
+        assert!(s.remove(AttrId(3)));
+        assert!(!s.remove(AttrId(3)));
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn union_and_intersection() {
+        let a = AttrSet::from_iter([AttrId(0), AttrId(2)]);
+        let b = AttrSet::from_iter([AttrId(2), AttrId(5)]);
+        assert_eq!(a.union(b).len(), 3);
+        assert_eq!(a.intersect(b), AttrSet::singleton(AttrId(2)));
+        assert_eq!(a.difference(b), AttrSet::singleton(AttrId(0)));
+    }
+
+    #[test]
+    fn disjoint_and_subset() {
+        let a = AttrSet::from_iter([AttrId(1)]);
+        let b = AttrSet::from_iter([AttrId(2), AttrId(3)]);
+        assert!(a.is_disjoint(b));
+        assert!(a.is_subset(a.union(b)));
+        assert!(!b.is_subset(a));
+        assert!(AttrSet::EMPTY.is_subset(a));
+    }
+
+    #[test]
+    fn iterates_in_ascending_order() {
+        let s = AttrSet::from_iter([AttrId(7), AttrId(1), AttrId(127)]);
+        let ids: Vec<u16> = s.iter().map(|a| a.0).collect();
+        assert_eq!(ids, vec![1, 7, 127]);
+        assert_eq!(s.iter().len(), 3);
+    }
+
+    #[test]
+    fn highest_bit_round_trips() {
+        let mut s = AttrSet::new();
+        s.insert(AttrId(127));
+        assert!(s.contains(AttrId(127)));
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn union_with_grows_monotonically() {
+        // Mirrors the assured-set growth in the chase: unioning in X ∪ {B}
+        // never removes anything.
+        let mut assured = AttrSet::new();
+        let step1 = AttrSet::from_iter([AttrId(1), AttrId(2)]);
+        let step2 = AttrSet::from_iter([AttrId(2), AttrId(4)]);
+        assured.union_with(step1);
+        let before = assured;
+        assured.union_with(step2);
+        assert!(before.is_subset(assured));
+        assert_eq!(assured.len(), 3);
+    }
+}

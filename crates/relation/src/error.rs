@@ -1,0 +1,74 @@
+//! Error type shared by the relational substrate.
+
+use std::fmt;
+
+/// Errors raised while building schemas and tables or doing CSV I/O.
+#[derive(Debug)]
+pub enum RelationError {
+    /// A schema was declared with a duplicate attribute name.
+    DuplicateAttribute(String),
+    /// A schema was declared with no attributes.
+    EmptySchema,
+    /// A schema would exceed the maximum number of attributes supported by
+    /// [`crate::AttrSet`] (128).
+    TooManyAttributes(usize),
+    /// An attribute name was looked up that is not part of the schema.
+    UnknownAttribute(String),
+    /// A row had a different arity than its schema.
+    ArityMismatch {
+        /// Attributes in the schema.
+        expected: usize,
+        /// Cells supplied in the row.
+        got: usize,
+    },
+    /// A row index was out of bounds.
+    RowOutOfBounds {
+        /// Requested row.
+        row: usize,
+        /// Rows in the table.
+        len: usize,
+    },
+    /// Underlying CSV/IO failure.
+    Io(String),
+}
+
+impl fmt::Display for RelationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RelationError::DuplicateAttribute(name) => {
+                write!(f, "duplicate attribute name `{name}` in schema")
+            }
+            RelationError::EmptySchema => write!(f, "schema must have at least one attribute"),
+            RelationError::TooManyAttributes(n) => {
+                write!(f, "schema has {n} attributes; at most 128 are supported")
+            }
+            RelationError::UnknownAttribute(name) => {
+                write!(f, "attribute `{name}` is not part of the schema")
+            }
+            RelationError::ArityMismatch { expected, got } => {
+                write!(
+                    f,
+                    "row has {got} cells but the schema has {expected} attributes"
+                )
+            }
+            RelationError::RowOutOfBounds { row, len } => {
+                write!(f, "row index {row} out of bounds for table of {len} rows")
+            }
+            RelationError::Io(msg) => write!(f, "I/O error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for RelationError {}
+
+impl From<std::io::Error> for RelationError {
+    fn from(e: std::io::Error) -> Self {
+        RelationError::Io(e.to_string())
+    }
+}
+
+impl From<csv::Error> for RelationError {
+    fn from(e: csv::Error) -> Self {
+        RelationError::Io(e.to_string())
+    }
+}

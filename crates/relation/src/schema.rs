@@ -1,0 +1,216 @@
+//! Relation schemas.
+//!
+//! A [`Schema`] is an ordered list of attribute names with a dense
+//! [`AttrId`] per attribute. Schemas are immutable after construction and
+//! cheaply clonable (`Arc` inside), because tables, rules, and rule sets all
+//! hold a reference to the schema they are defined on.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+
+use crate::{RelationError, Result};
+
+/// Dense identifier for an attribute within one [`Schema`].
+///
+/// Stored as `u16`: the fixing-rule machinery tracks attribute sets in a
+/// 128-bit bitset ([`crate::AttrSet`]), so 128 attributes is the hard cap
+/// anyway and a small id keeps rule structs compact.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct AttrId(pub u16);
+
+impl AttrId {
+    /// Position of the attribute in the schema (= column index in a table).
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for AttrId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "attr#{}", self.0)
+    }
+}
+
+#[derive(Debug)]
+struct SchemaInner {
+    name: String,
+    attrs: Vec<String>,
+    by_name: HashMap<String, AttrId>,
+}
+
+/// An immutable relation schema.
+#[derive(Debug, Clone)]
+pub struct Schema {
+    inner: Arc<SchemaInner>,
+}
+
+impl Schema {
+    /// Build a schema from a relation name and attribute names.
+    ///
+    /// Fails on duplicate names, an empty attribute list, or more than 128
+    /// attributes.
+    pub fn new<N, I, S>(name: N, attrs: I) -> Result<Self>
+    where
+        N: Into<String>,
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let attrs: Vec<String> = attrs.into_iter().map(Into::into).collect();
+        if attrs.is_empty() {
+            return Err(RelationError::EmptySchema);
+        }
+        if attrs.len() > 128 {
+            return Err(RelationError::TooManyAttributes(attrs.len()));
+        }
+        let mut by_name = HashMap::with_capacity(attrs.len());
+        for (i, a) in attrs.iter().enumerate() {
+            if by_name.insert(a.clone(), AttrId(i as u16)).is_some() {
+                return Err(RelationError::DuplicateAttribute(a.clone()));
+            }
+        }
+        Ok(Schema {
+            inner: Arc::new(SchemaInner {
+                name: name.into(),
+                attrs,
+                by_name,
+            }),
+        })
+    }
+
+    /// Relation name.
+    pub fn name(&self) -> &str {
+        &self.inner.name
+    }
+
+    /// Number of attributes (`|R|` in the paper).
+    pub fn arity(&self) -> usize {
+        self.inner.attrs.len()
+    }
+
+    /// Look up an attribute id by name.
+    pub fn attr(&self, name: &str) -> Option<AttrId> {
+        self.inner.by_name.get(name).copied()
+    }
+
+    /// Look up an attribute id by name, erroring with the name on failure.
+    pub fn attr_or_err(&self, name: &str) -> Result<AttrId> {
+        self.attr(name)
+            .ok_or_else(|| RelationError::UnknownAttribute(name.to_string()))
+    }
+
+    /// Name of an attribute.
+    ///
+    /// # Panics
+    /// Panics if `id` is not an attribute of this schema.
+    pub fn attr_name(&self, id: AttrId) -> &str {
+        &self.inner.attrs[id.index()]
+    }
+
+    /// All attribute ids in schema order.
+    pub fn attr_ids(&self) -> impl Iterator<Item = AttrId> {
+        (0..self.inner.attrs.len() as u16).map(AttrId)
+    }
+
+    /// All attribute names in schema order.
+    pub fn attr_names(&self) -> impl Iterator<Item = &str> {
+        self.inner.attrs.iter().map(|s| &**s)
+    }
+
+    /// True when two values refer to the same schema object.
+    ///
+    /// Rules and tables are only compatible when built against the *same*
+    /// schema instance; structural equality of attribute names is not enough
+    /// because attribute ids index into tables positionally.
+    pub fn same_as(&self, other: &Schema) -> bool {
+        Arc::ptr_eq(&self.inner, &other.inner)
+    }
+}
+
+impl fmt::Display for Schema {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}(", self.inner.name)?;
+        for (i, a) in self.inner.attrs.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{a}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn travel() -> Schema {
+        Schema::new("Travel", ["name", "country", "capital", "city", "conf"]).unwrap()
+    }
+
+    #[test]
+    fn attrs_get_dense_ids() {
+        let s = travel();
+        assert_eq!(s.arity(), 5);
+        assert_eq!(s.attr("name"), Some(AttrId(0)));
+        assert_eq!(s.attr("conf"), Some(AttrId(4)));
+        assert_eq!(s.attr("missing"), None);
+    }
+
+    #[test]
+    fn duplicate_attribute_rejected() {
+        let err = Schema::new("R", ["a", "b", "a"]).unwrap_err();
+        assert!(matches!(err, RelationError::DuplicateAttribute(n) if n == "a"));
+    }
+
+    #[test]
+    fn empty_schema_rejected() {
+        let err = Schema::new("R", Vec::<String>::new()).unwrap_err();
+        assert!(matches!(err, RelationError::EmptySchema));
+    }
+
+    #[test]
+    fn oversized_schema_rejected() {
+        let names: Vec<String> = (0..129).map(|i| format!("a{i}")).collect();
+        let err = Schema::new("R", names).unwrap_err();
+        assert!(matches!(err, RelationError::TooManyAttributes(129)));
+    }
+
+    #[test]
+    fn exactly_128_attributes_allowed() {
+        let names: Vec<String> = (0..128).map(|i| format!("a{i}")).collect();
+        let s = Schema::new("R", names).unwrap();
+        assert_eq!(s.arity(), 128);
+    }
+
+    #[test]
+    fn display_lists_attributes() {
+        let s = travel();
+        assert_eq!(s.to_string(), "Travel(name, country, capital, city, conf)");
+    }
+
+    #[test]
+    fn same_as_is_identity_not_structure() {
+        let a = travel();
+        let b = a.clone();
+        let c = travel();
+        assert!(a.same_as(&b));
+        assert!(!a.same_as(&c));
+    }
+
+    #[test]
+    fn attr_names_round_trip() {
+        let s = travel();
+        for id in s.attr_ids() {
+            assert_eq!(s.attr(s.attr_name(id)), Some(id));
+        }
+    }
+
+    #[test]
+    fn attr_or_err_reports_name() {
+        let s = travel();
+        let err = s.attr_or_err("nope").unwrap_err();
+        assert!(err.to_string().contains("nope"));
+    }
+}

@@ -1,0 +1,126 @@
+//! Rule authoring workflow: consistency checking, conflict resolution, and
+//! implication analysis (§4–§5).
+//!
+//! Reenacts Example 8: the over-broad rule φ'1 (negative patterns extended
+//! with Tokyo) conflicts with φ3; the workflow detects the conflict with
+//! both checkers, shows the witness tuple r3, applies the expert fix
+//! (remove Tokyo), and finally uses the implication test to prune a
+//! redundant rule.
+//!
+//! ```text
+//! cargo run -p examples --bin rule_authoring
+//! ```
+
+use fixrules::consistency::resolve::{ensure_consistent, Strategy};
+use fixrules::consistency::{is_consistent_characterize, is_consistent_enumerate};
+use fixrules::implication::{implies, ImplicationOutcome};
+use fixrules::{FixingRule, RuleSet};
+use relation::{Schema, SymbolTable};
+
+fn main() {
+    let schema = Schema::new("Travel", ["name", "country", "capital", "city", "conf"]).unwrap();
+    let mut sy = SymbolTable::new();
+
+    // φ'1 (over-broad: Tokyo added to the negative patterns), φ2, φ3.
+    let mut rules = RuleSet::new(schema.clone());
+    rules
+        .push_named(
+            &mut sy,
+            &[("country", "China")],
+            "capital",
+            &["Shanghai", "Hongkong", "Tokyo"],
+            "Beijing",
+        )
+        .unwrap();
+    rules
+        .push_named(
+            &mut sy,
+            &[("country", "Canada")],
+            "capital",
+            &["Toronto"],
+            "Ottawa",
+        )
+        .unwrap();
+    rules
+        .push_named(
+            &mut sy,
+            &[("capital", "Tokyo"), ("city", "Tokyo"), ("conf", "ICDE")],
+            "country",
+            &["China"],
+            "Japan",
+        )
+        .unwrap();
+
+    println!("authored rules:");
+    for (id, rule) in rules.iter() {
+        println!("  [{}] {}", id.0, rule.display(&schema, &sy));
+    }
+
+    // Step 1 of the §5.1 workflow: check with both algorithms.
+    let by_charac = is_consistent_characterize(&rules, usize::MAX);
+    let by_enum = is_consistent_enumerate(&rules, usize::MAX);
+    assert_eq!(by_charac.is_consistent(), by_enum.is_consistent());
+    println!("\nisConsist_r: {} conflict(s)", by_charac.conflicts.len());
+    println!("isConsist_t: {} conflict(s)", by_enum.conflicts.len());
+
+    for conflict in &by_enum.conflicts {
+        println!(
+            "  rules {} and {} are inconsistent ({:?})",
+            conflict.first.0, conflict.second.0, conflict.case
+        );
+        if let Some(witness) = &conflict.witness {
+            let rendered: Vec<String> = witness
+                .iter()
+                .map(|&s| sy.try_resolve(s).unwrap_or("_").to_string())
+                .collect();
+            println!("  witness tuple (Example 8's r3): {rendered:?}");
+        }
+    }
+
+    // Step 2: the expert fix — shrink negative patterns.
+    let log = ensure_consistent(&mut rules, Strategy::ShrinkNegatives);
+    println!(
+        "\nexpert resolution: {} negative pattern(s) removed, {} rule(s) removed",
+        log.negatives_removed(),
+        log.rules_removed()
+    );
+    println!("rules after resolution:");
+    for (id, rule) in rules.iter() {
+        println!("  [{}] {}", id.0, rule.display(&schema, &sy));
+    }
+    assert!(rules.check_consistency().is_consistent());
+
+    // §4.3: implication — a narrower duplicate is redundant.
+    let narrower = FixingRule::from_named(
+        &schema,
+        &mut sy,
+        &[("country", "China")],
+        "capital",
+        &["Shanghai"],
+        "Beijing",
+    )
+    .unwrap();
+    match implies(&rules, &narrower, 1 << 22) {
+        ImplicationOutcome::Implied => {
+            println!("\nimplication: the narrower China/Shanghai rule is implied — pruned")
+        }
+        other => println!("\nimplication: unexpected outcome {other:?}"),
+    }
+
+    // A genuinely new rule is not implied and would be kept.
+    let new_rule = FixingRule::from_named(
+        &schema,
+        &mut sy,
+        &[("country", "Japan")],
+        "capital",
+        &["Osaka", "Kyoto"],
+        "Tokyo",
+    )
+    .unwrap();
+    match implies(&rules, &new_rule, 1 << 22) {
+        ImplicationOutcome::NotImplied { .. } => {
+            println!("implication: the Japan/capital rule adds coverage — kept")
+        }
+        other => println!("implication: unexpected outcome {other:?}"),
+    }
+}

@@ -1,0 +1,1 @@
+//! Examples are binaries; see the repository `examples/` directory.

@@ -1,0 +1,1 @@
+//! Empty library target; the integration suites live in `tests/tests/`.
