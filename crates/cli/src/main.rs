@@ -5,9 +5,18 @@
 //! fixctl resolve --rules rules.frl --data data.csv --out fixed_rules.frl
 //!                [--strategy shrink|drop]                 # §5.3 workflow
 //! fixctl repair  --rules rules.frl --data dirty.csv --out repaired.csv
-//!                [--algo lrepair|crepair] [--log updates.csv]
+//!                [--algo lrepair|crepair|stream] [--updates-log updates.csv]
 //! fixctl stats   --rules rules.frl --data data.csv        # rule-set statistics
 //! ```
+//!
+//! Every command also takes the observability flags:
+//!
+//! * `--metrics <path>` — write a deterministic JSON snapshot of per-stage
+//!   timings (`stage.*_ns` histograms) and pipeline counters
+//!   (`repair.rules_applied`, `repair.tuples_touched`,
+//!   `consistency.conflicts`, ...; see [`obs::METRIC_NAMES`]).
+//! * `--log <off|info|debug>` — structured `key=value` progress lines on
+//!   stderr.
 //!
 //! The schema is taken from the CSV header; rule files use the
 //! [`fixrules::io`] line format:
@@ -20,9 +29,13 @@ use std::collections::HashMap;
 use std::process::ExitCode;
 
 use fixrules::consistency::resolve::{ensure_consistent, Strategy};
+use fixrules::consistency::{is_consistent_characterize_observed, ConsistencyReport};
 use fixrules::io::{format_rules, parse_rules};
-use fixrules::repair::{crepair_table, lrepair_table, LRepairIndex, RepairOutcome};
+use fixrules::repair::{
+    crepair_table_observed, lrepair_table_observed, LRepairIndex, RepairOutcome,
+};
 use fixrules::RuleSet;
+use obs::{MetricsObserver, MetricsRegistry};
 use relation::{SymbolTable, Table};
 
 fn main() -> ExitCode {
@@ -33,6 +46,48 @@ fn main() -> ExitCode {
             eprintln!("fixctl: {msg}");
             ExitCode::from(2)
         }
+    }
+}
+
+/// Observability context shared by every command: a metrics registry, the
+/// observer the repair drivers report into, and where (if anywhere) to dump
+/// the snapshot at exit.
+struct ObsCtx {
+    registry: MetricsRegistry,
+    observer: MetricsObserver,
+    metrics_path: Option<String>,
+}
+
+impl ObsCtx {
+    fn from_flags(flags: &Flags) -> Result<ObsCtx, String> {
+        if let Some(level) = flags.optional("log") {
+            obs::log::set_level(level.parse()?);
+        }
+        let registry = MetricsRegistry::new();
+        let observer = MetricsObserver::new(&registry);
+        Ok(ObsCtx {
+            observer,
+            metrics_path: flags.optional("metrics").map(str::to_string),
+            registry,
+        })
+    }
+
+    /// Time a named stage; the span records into `stage.<name>_ns`.
+    fn span(&self, stage: &str) -> obs::SpanTimer {
+        self.registry.span(&format!("stage.{stage}"))
+    }
+
+    /// Write the metrics snapshot if `--metrics` was given. Called on both
+    /// success and failure so partial runs still leave a trace.
+    fn finish(&self) -> Result<(), String> {
+        let Some(path) = &self.metrics_path else {
+            return Ok(());
+        };
+        let snapshot = self.registry.snapshot();
+        std::fs::write(path, snapshot.to_string_pretty() + "\n")
+            .map_err(|e| format!("writing {path}: {e}"))?;
+        obs::info!("metrics.written", path = path);
+        Ok(())
     }
 }
 
@@ -74,38 +129,41 @@ fn run(args: &[String]) -> Result<(), String> {
         return Err(usage());
     };
     let flags = Flags::parse(&args[1..])?;
-    match command.as_str() {
-        "check" => cmd_check(&flags),
-        "convert" => cmd_convert(&flags),
-        "detect" => cmd_detect(&flags),
+    let obs_ctx = ObsCtx::from_flags(&flags)?;
+    let result = match command.as_str() {
+        "check" => cmd_check(&flags, &obs_ctx),
+        "convert" => cmd_convert(&flags, &obs_ctx),
+        "detect" => cmd_detect(&flags, &obs_ctx),
         "discover" => cmd_discover(&flags),
-        "resolve" => cmd_resolve(&flags),
-        "repair" => cmd_repair(&flags),
-        "stats" => cmd_stats(&flags),
+        "resolve" => cmd_resolve(&flags, &obs_ctx),
+        "repair" => cmd_repair(&flags, &obs_ctx),
+        "stats" => cmd_stats(&flags, &obs_ctx),
         "help" | "--help" | "-h" => {
             println!("{}", usage());
             Ok(())
         }
         other => Err(format!("unknown command `{other}`\n{}", usage())),
-    }
+    };
+    obs_ctx.finish()?;
+    result
 }
 
 fn usage() -> String {
     "usage: fixctl <check|detect|discover|resolve|repair|stats|convert> --rules FILE --data FILE.csv \
-     [--out FILE] [--algo lrepair|crepair|stream] [--strategy shrink|drop] [--log FILE] \
+     [--out FILE] [--algo lrepair|crepair|stream] [--strategy shrink|drop] [--updates-log FILE] \
+     [--metrics FILE.json] [--log off|info|debug] \
      | discover --data FILE.csv --fds FILE --out rules.frl [--min-support N] [--min-confidence F]"
         .to_string()
 }
 
 /// Convert between the `.frl` line format and the portable JSON document,
 /// picking the direction from the output extension.
-fn cmd_convert(flags: &Flags) -> Result<(), String> {
+fn cmd_convert(flags: &Flags, obs_ctx: &ObsCtx) -> Result<(), String> {
     let out = flags.required("out")?;
-    let (_table, rules, symbols) = load(flags)?;
+    let (_table, rules, symbols) = load(flags, obs_ctx)?;
     if out.ends_with(".json") {
         let doc = fixrules::io::to_portable(&rules, &symbols);
-        let json = serde_json::to_string_pretty(&doc).map_err(|e| e.to_string())?;
-        std::fs::write(out, json).map_err(|e| format!("writing {out}: {e}"))?;
+        std::fs::write(out, doc.to_json_string()).map_err(|e| format!("writing {out}: {e}"))?;
     } else {
         std::fs::write(out, format_rules(&rules, &symbols))
             .map_err(|e| format!("writing {out}: {e}"))?;
@@ -154,17 +212,23 @@ fn cmd_discover(flags: &Flags) -> Result<(), String> {
 
 /// Audit mode: report and explain every update a repair would apply,
 /// without writing anything.
-fn cmd_detect(flags: &Flags) -> Result<(), String> {
-    let (table, rules, symbols) = load(flags)?;
-    let report = rules.check_consistency();
+fn cmd_detect(flags: &Flags, obs_ctx: &ObsCtx) -> Result<(), String> {
+    let (table, rules, symbols) = load(flags, obs_ctx)?;
+    let report = check_consistency_observed(&rules, obs_ctx);
     if !report.is_consistent() {
         return Err(format!(
             "rule set has {} conflict(s); run `fixctl resolve` first",
             report.conflicts.len()
         ));
     }
-    let index = LRepairIndex::build(&rules);
-    let plan = fixrules::repair::detect_table(&rules, &index, &table);
+    let index = {
+        let _span = obs_ctx.span("index_build");
+        LRepairIndex::build(&rules)
+    };
+    let plan = {
+        let _span = obs_ctx.span("detect");
+        fixrules::repair::detect_table(&rules, &index, &table)
+    };
     println!(
         "{} planned update(s) across {} row(s) of {}",
         plan.total_updates(),
@@ -184,7 +248,8 @@ fn cmd_detect(flags: &Flags) -> Result<(), String> {
 }
 
 /// Load the CSV (schema from header) and the rule file against it.
-fn load(flags: &Flags) -> Result<(Table, RuleSet, SymbolTable), String> {
+fn load(flags: &Flags, obs_ctx: &ObsCtx) -> Result<(Table, RuleSet, SymbolTable), String> {
+    let _span = obs_ctx.span("load");
     let data_path = flags.required("data")?;
     let rules_path = flags.required("rules")?;
     let mut symbols = SymbolTable::new();
@@ -194,12 +259,30 @@ fn load(flags: &Flags) -> Result<(Table, RuleSet, SymbolTable), String> {
         std::fs::read_to_string(rules_path).map_err(|e| format!("reading {rules_path}: {e}"))?;
     let rules = parse_rules(&text, table.schema(), &mut symbols)
         .map_err(|e| format!("parsing {rules_path}: {e}"))?;
+    obs::info!(
+        "load.done",
+        rows = table.len(),
+        rules = rules.len(),
+        vocab = symbols.len()
+    );
     Ok((table, rules, symbols))
 }
 
-fn cmd_check(flags: &Flags) -> Result<(), String> {
-    let (_table, rules, symbols) = load(flags)?;
-    let report = rules.check_consistency();
+/// The pairwise `isConsist_r` check, timed and fed into the observer.
+fn check_consistency_observed(rules: &RuleSet, obs_ctx: &ObsCtx) -> ConsistencyReport {
+    let _span = obs_ctx.span("consistency_check");
+    let report = is_consistent_characterize_observed(rules, usize::MAX, &obs_ctx.observer);
+    obs::info!(
+        "consistency.done",
+        pairs_checked = report.pairs_checked,
+        conflicts = report.conflicts.len()
+    );
+    report
+}
+
+fn cmd_check(flags: &Flags, obs_ctx: &ObsCtx) -> Result<(), String> {
+    let (_table, rules, symbols) = load(flags, obs_ctx)?;
+    let report = check_consistency_observed(&rules, obs_ctx);
     println!(
         "{} rules, size(Σ) = {}, {} pairs checked",
         rules.len(),
@@ -232,15 +315,18 @@ fn cmd_check(flags: &Flags) -> Result<(), String> {
     }
 }
 
-fn cmd_resolve(flags: &Flags) -> Result<(), String> {
-    let (_table, mut rules, symbols) = load(flags)?;
+fn cmd_resolve(flags: &Flags, obs_ctx: &ObsCtx) -> Result<(), String> {
+    let (_table, mut rules, symbols) = load(flags, obs_ctx)?;
     let strategy = match flags.optional("strategy").unwrap_or("shrink") {
         "shrink" => Strategy::ShrinkNegatives,
         "drop" => Strategy::Conservative,
         other => return Err(format!("unknown strategy `{other}` (shrink|drop)")),
     };
     let before = rules.len();
-    let log = ensure_consistent(&mut rules, strategy);
+    let log = {
+        let _span = obs_ctx.span("resolve");
+        ensure_consistent(&mut rules, strategy)
+    };
     println!(
         "resolved in {} round(s): {} negative pattern(s) removed, {} rule(s) removed ({} -> {})",
         log.rounds,
@@ -256,9 +342,9 @@ fn cmd_resolve(flags: &Flags) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_repair(flags: &Flags) -> Result<(), String> {
-    let (mut table, rules, symbols) = load(flags)?;
-    let report = rules.check_consistency();
+fn cmd_repair(flags: &Flags, obs_ctx: &ObsCtx) -> Result<(), String> {
+    let (mut table, rules, symbols) = load(flags, obs_ctx)?;
+    let report = check_consistency_observed(&rules, obs_ctx);
     if !report.is_consistent() {
         return Err(format!(
             "rule set has {} conflict(s); run `fixctl resolve` first",
@@ -280,15 +366,35 @@ fn cmd_repair(flags: &Flags) -> Result<(), String> {
             .map_err(|e| format!("re-reading rules: {e}"))?;
         let rules2 = parse_rules(&text, header_table.schema(), &mut symbols2)
             .map_err(|e| format!("parsing rules: {e}"))?;
-        let index = LRepairIndex::build(&rules2);
+        let index = {
+            let _span = obs_ctx.span("index_build");
+            LRepairIndex::build(&rules2)
+        };
         let reader =
             std::fs::File::open(data_path).map_err(|e| format!("opening {data_path}: {e}"))?;
         let writer = std::io::BufWriter::new(
             std::fs::File::create(out).map_err(|e| format!("creating {out}: {e}"))?,
         );
-        let stats =
-            fixrules::repair::stream_repair_csv(&rules2, &index, &mut symbols2, reader, writer)
-                .map_err(|e| format!("streaming: {e}"))?;
+        let started = std::time::Instant::now();
+        let stats = {
+            let _span = obs_ctx.span("repair");
+            fixrules::repair::stream_repair_csv_observed(
+                &rules2,
+                &index,
+                &mut symbols2,
+                reader,
+                writer,
+                &obs_ctx.observer,
+            )
+            .map_err(|e| format!("streaming: {e}"))?
+        };
+        obs::info!(
+            "repair.done",
+            algo = algo,
+            rows = stats.rows,
+            updates = stats.updates,
+            rows_per_sec = format!("{:.0}", stats.rows_per_sec(started.elapsed()))
+        );
         println!(
             "{} update(s) across {} row(s) of {} (streamed)",
             stats.updates, stats.rows_touched, stats.rows
@@ -298,12 +404,27 @@ fn cmd_repair(flags: &Flags) -> Result<(), String> {
     }
     let outcome: RepairOutcome = match algo {
         "lrepair" => {
-            let index = LRepairIndex::build(&rules);
-            lrepair_table(&rules, &index, &mut table)
+            let index = {
+                let _span = obs_ctx.span("index_build");
+                LRepairIndex::build(&rules)
+            };
+            let _span = obs_ctx.span("repair");
+            lrepair_table_observed(&rules, &index, &mut table, &obs_ctx.observer)
         }
-        "crepair" => crepair_table(&rules, &mut table),
+        "crepair" => {
+            let _span = obs_ctx.span("repair");
+            crepair_table_observed(&rules, &mut table, &obs_ctx.observer)
+        }
         other => return Err(format!("unknown algo `{other}` (lrepair|crepair|stream)")),
     };
+    let stats = outcome.stats(table.len());
+    obs::info!(
+        "repair.done",
+        algo = algo,
+        rows = stats.rows,
+        updates = stats.updates,
+        rows_touched = stats.rows_touched
+    );
     println!(
         "{} update(s) across {} row(s) of {}",
         outcome.total_updates(),
@@ -311,10 +432,13 @@ fn cmd_repair(flags: &Flags) -> Result<(), String> {
         table.len()
     );
     let out = flags.required("out")?;
-    relation::csv_io::write_csv_file(out, &table, &symbols)
-        .map_err(|e| format!("writing {out}: {e}"))?;
+    {
+        let _span = obs_ctx.span("write");
+        relation::csv_io::write_csv_file(out, &table, &symbols)
+            .map_err(|e| format!("writing {out}: {e}"))?;
+    }
     println!("wrote {out}");
-    if let Some(log_path) = flags.optional("log") {
+    if let Some(log_path) = flags.optional("updates-log") {
         let mut w = String::from("row,attribute,old,new,rule\n");
         for u in &outcome.updates {
             w.push_str(&format!(
@@ -332,8 +456,8 @@ fn cmd_repair(flags: &Flags) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_stats(flags: &Flags) -> Result<(), String> {
-    let (table, rules, _symbols) = load(flags)?;
+fn cmd_stats(flags: &Flags, obs_ctx: &ObsCtx) -> Result<(), String> {
+    let (table, rules, _symbols) = load(flags, obs_ctx)?;
     println!("schema: {}", table.schema());
     println!("data:   {} rows", table.len());
     println!("rules:  {} (size(Σ) = {})", rules.len(), rules.size());

@@ -109,7 +109,7 @@ fn resolve_then_repair_round_trip() {
         data.to_str().unwrap(),
         "--out",
         repaired.to_str().unwrap(),
-        "--log",
+        "--updates-log",
         log.to_str().unwrap(),
     ]);
     assert!(
@@ -382,4 +382,118 @@ fn bad_rule_file_reports_line() {
     ]);
     assert!(!out.status.success());
     assert!(String::from_utf8_lossy(&out.stderr).contains("line 1"));
+}
+
+/// `--metrics` on the paper's Fig 1–3 running example: the snapshot must be
+/// parseable JSON carrying per-stage timings and pipeline counters with the
+/// documented names and the exact values the example implies (three dirty
+/// tuples out of four, one update each, three rule pairs checked).
+#[test]
+fn metrics_flag_emits_stage_timings_and_counters() {
+    let dir = tmpdir("metrics");
+    let data = dir.join("t.csv");
+    let rules = dir.join("r.frl");
+    let repaired = dir.join("repaired.csv");
+    let metrics = dir.join("metrics.json");
+    std::fs::write(&data, TRAVEL_CSV).unwrap();
+    std::fs::write(&rules, GOOD_RULES).unwrap();
+
+    let out = fixctl(&[
+        "repair",
+        "--rules",
+        rules.to_str().unwrap(),
+        "--data",
+        data.to_str().unwrap(),
+        "--out",
+        repaired.to_str().unwrap(),
+        "--metrics",
+        metrics.to_str().unwrap(),
+        "--log",
+        "info",
+    ]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    // Structured logging rode along: stage events as key=value lines.
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("level=info event=load.done"), "{stderr}");
+    assert!(stderr.contains("event=repair.done"), "{stderr}");
+    assert!(stderr.contains("algo=lrepair"), "{stderr}");
+
+    let text = std::fs::read_to_string(&metrics).unwrap();
+    let snap = obs::json::parse(&text).expect("metrics file is valid JSON");
+
+    // Per-stage wall-clock histograms, one sample per stage.
+    let histograms = snap.get("histograms").expect("histograms section");
+    for stage in [
+        "stage.load_ns",
+        "stage.consistency_check_ns",
+        "stage.index_build_ns",
+        "stage.repair_ns",
+        "stage.write_ns",
+    ] {
+        let h = histograms
+            .get(stage)
+            .unwrap_or_else(|| panic!("missing stage histogram {stage}"));
+        assert_eq!(h.get("count").unwrap().as_i64(), Some(1), "{stage}");
+        for key in ["sum", "max", "p50", "p95", "p99"] {
+            assert!(h.get(key).is_some(), "{stage} missing {key}");
+        }
+    }
+
+    // Pipeline counters: Ian and Mike get a capital fix, Peter a country
+    // fix; George is already clean. Three rules => three pairs checked.
+    let counters = snap.get("counters").expect("counters section");
+    let get = |name: &str| {
+        counters
+            .get(name)
+            .and_then(|v| v.as_i64())
+            .unwrap_or_else(|| panic!("missing counter {name}"))
+    };
+    assert_eq!(get("repair.tuples"), 4);
+    assert_eq!(get("repair.tuples_touched"), 3);
+    assert_eq!(get("repair.updates"), 3);
+    assert_eq!(get("repair.rules_applied"), 3);
+    assert_eq!(get("consistency.pairs_checked"), 3);
+    assert!(get("repair.index.probes") > 0);
+
+    // The repair itself still happened.
+    let csv = std::fs::read_to_string(&repaired).unwrap();
+    assert!(csv.contains("Ian,China,Beijing,Hongkong,ICDE"), "{csv}");
+    assert!(csv.contains("Peter,Japan,Tokyo,Tokyo,ICDE"), "{csv}");
+    assert!(csv.contains("Mike,Canada,Ottawa,Toronto,VLDB"), "{csv}");
+}
+
+/// `--metrics` without `--log` still writes the snapshot; `--log off` (the
+/// default) emits nothing on stderr beyond the usual human summary.
+#[test]
+fn metrics_without_log_is_quiet() {
+    let dir = tmpdir("metrics_quiet");
+    let data = dir.join("t.csv");
+    let rules = dir.join("r.frl");
+    let metrics = dir.join("m.json");
+    std::fs::write(&data, TRAVEL_CSV).unwrap();
+    std::fs::write(&rules, GOOD_RULES).unwrap();
+    let out = fixctl(&[
+        "check",
+        "--rules",
+        rules.to_str().unwrap(),
+        "--data",
+        data.to_str().unwrap(),
+        "--metrics",
+        metrics.to_str().unwrap(),
+    ]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(!String::from_utf8_lossy(&out.stderr).contains("level="));
+    let snap = obs::json::parse(&std::fs::read_to_string(&metrics).unwrap()).unwrap();
+    assert!(snap.get("counters").is_some());
+    assert!(snap.get("gauges").is_some());
+    assert!(snap.get("histograms").is_some());
 }

@@ -17,8 +17,8 @@ pub mod characterize;
 pub mod enumerate;
 pub mod resolve;
 
-pub use characterize::is_consistent_characterize;
-pub use enumerate::is_consistent_enumerate;
+pub use characterize::{is_consistent_characterize, is_consistent_characterize_observed};
+pub use enumerate::{is_consistent_enumerate, is_consistent_enumerate_observed};
 
 use relation::Symbol;
 
@@ -35,6 +35,19 @@ pub enum ConflictCase {
     BjInXi,
     /// Case 2(c): mutual — `Bi ∈ Xj` and `Bj ∈ Xi`, both pattern conditions.
     Mutual,
+}
+
+impl ConflictCase {
+    /// Stable snake_case name, used as the observer's metric suffix
+    /// (`consistency.conflicts.<name>`).
+    pub fn name(self) -> &'static str {
+        match self {
+            ConflictCase::SameBDifferentFacts => "same_b_different_facts",
+            ConflictCase::BiInXj => "bi_in_xj",
+            ConflictCase::BjInXi => "bj_in_xi",
+            ConflictCase::Mutual => "mutual",
+        }
+    }
 }
 
 /// A pair of rules that can drive some tuple to two different fixpoints.
@@ -65,6 +78,15 @@ impl ConsistencyReport {
     /// True when no conflict was found.
     pub fn is_consistent(&self) -> bool {
         self.conflicts.is_empty()
+    }
+
+    /// Feed this run's counts into an observer: total pairs examined, one
+    /// `conflict_found` per conflict (tagged with its Fig 4 case name).
+    pub fn observe<O: obs::RepairObserver>(&self, observer: &O) {
+        observer.pairs_checked(self.pairs_checked);
+        for conflict in &self.conflicts {
+            observer.conflict_found(conflict.case.name());
+        }
     }
 
     /// Distinct rules participating in some conflict.

@@ -24,6 +24,7 @@
 
 use std::fmt::Write as _;
 
+use obs::Json;
 use relation::{Schema, SymbolTable};
 
 use crate::rule::FixingRule;
@@ -219,8 +220,8 @@ pub fn parse_rule_line(
 
 /// A fixing rule in schema-independent, serializable form (attribute names
 /// and string values). The bridge between the in-memory interned
-/// representation and JSON/YAML documents via serde.
-#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+/// representation and JSON documents ([`PortableRuleSet::to_json`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct PortableRule {
     /// Evidence cells: `(attribute, value)` pairs.
     pub evidence: Vec<(String, String)>,
@@ -234,7 +235,7 @@ pub struct PortableRule {
 
 /// A serializable rule-set document: the schema it applies to plus the
 /// rules.
-#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct PortableRuleSet {
     /// Relation name.
     pub relation: String,
@@ -242,6 +243,106 @@ pub struct PortableRuleSet {
     pub attributes: Vec<String>,
     /// The rules.
     pub rules: Vec<PortableRule>,
+}
+
+impl PortableRule {
+    fn to_json(&self) -> Json {
+        let mut obj = Json::Null;
+        obj.set(
+            "evidence",
+            Json::Arr(
+                self.evidence
+                    .iter()
+                    .map(|(a, v)| Json::Arr(vec![Json::from(a.as_str()), Json::from(v.as_str())]))
+                    .collect(),
+            ),
+        );
+        obj.set("b", self.b.as_str());
+        obj.set("negatives", self.negatives.clone());
+        obj.set("fact", self.fact.as_str());
+        obj
+    }
+
+    fn from_json(value: &Json) -> Result<PortableRule, String> {
+        let evidence = value
+            .get("evidence")
+            .and_then(Json::as_arr)
+            .ok_or("rule is missing `evidence` array")?
+            .iter()
+            .map(|pair| match pair.as_arr() {
+                Some([a, v]) => match (a.as_str(), v.as_str()) {
+                    (Some(a), Some(v)) => Ok((a.to_string(), v.to_string())),
+                    _ => Err("evidence pair must hold two strings".to_string()),
+                },
+                _ => Err("evidence entry must be an `[attr, value]` pair".to_string()),
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(PortableRule {
+            evidence,
+            b: json_str(value, "b")?,
+            negatives: json_str_arr(value, "negatives")?,
+            fact: json_str(value, "fact")?,
+        })
+    }
+}
+
+impl PortableRuleSet {
+    /// The document as a JSON value (stable member order).
+    pub fn to_json(&self) -> Json {
+        let mut obj = Json::Null;
+        obj.set("relation", self.relation.as_str());
+        obj.set("attributes", self.attributes.clone());
+        obj.set(
+            "rules",
+            Json::Arr(self.rules.iter().map(PortableRule::to_json).collect()),
+        );
+        obj
+    }
+
+    /// Pretty-printed JSON document.
+    pub fn to_json_string(&self) -> String {
+        self.to_json().to_string_pretty()
+    }
+
+    /// Parse a JSON document produced by [`PortableRuleSet::to_json`].
+    pub fn from_json_str(text: &str) -> Result<PortableRuleSet, String> {
+        let doc = obs::json::parse(text).map_err(|e| e.to_string())?;
+        let rules = doc
+            .get("rules")
+            .and_then(Json::as_arr)
+            .ok_or("document is missing `rules` array")?
+            .iter()
+            .enumerate()
+            .map(|(i, r)| PortableRule::from_json(r).map_err(|e| format!("rule #{i}: {e}")))
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(PortableRuleSet {
+            relation: json_str(&doc, "relation")?,
+            attributes: json_str_arr(&doc, "attributes")?,
+            rules,
+        })
+    }
+}
+
+fn json_str(value: &Json, key: &str) -> Result<String, String> {
+    value
+        .get(key)
+        .and_then(Json::as_str)
+        .map(str::to_string)
+        .ok_or_else(|| format!("missing string member `{key}`"))
+}
+
+fn json_str_arr(value: &Json, key: &str) -> Result<Vec<String>, String> {
+    value
+        .get(key)
+        .and_then(Json::as_arr)
+        .ok_or_else(|| format!("missing array member `{key}`"))?
+        .iter()
+        .map(|v| {
+            v.as_str()
+                .map(str::to_string)
+                .ok_or_else(|| format!("`{key}` entries must be strings"))
+        })
+        .collect()
 }
 
 /// Export a rule set to portable form.
@@ -623,8 +724,9 @@ IF country = "Canada" AND capital IN {"Toronto"} THEN capital := "Ottawa"
             )
             .unwrap();
         let doc = to_portable(&rules, &sy);
-        let json = serde_json::to_string_pretty(&doc).unwrap();
-        let parsed: PortableRuleSet = serde_json::from_str(&json).unwrap();
+        let json = doc.to_json_string();
+        let parsed = PortableRuleSet::from_json_str(&json).unwrap();
+        assert_eq!(parsed, doc);
         let mut sy2 = SymbolTable::new();
         let rebuilt = from_portable(&parsed, &mut sy2).unwrap();
         assert_eq!(rebuilt.len(), 2);

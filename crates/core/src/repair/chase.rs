@@ -5,6 +5,7 @@
 //! new attribute, so the outer loop runs at most `|R|` times and the whole
 //! tuple costs `O(size(Σ)·|R|)`.
 
+use obs::{NoopObserver, RepairObserver};
 use relation::{AttrSet, Symbol, Table};
 
 use crate::repair::{CellUpdate, RepairOutcome};
@@ -14,14 +15,28 @@ use crate::semantics::{matches, properly_applicable};
 /// Repair one tuple in place. Returns the applied updates (with `row` set
 /// to 0; table drivers re-index).
 pub fn crepair_tuple(rules: &RuleSet, row: &mut [Symbol]) -> Vec<CellUpdate> {
+    crepair_tuple_observed(rules, row, &NoopObserver)
+}
+
+/// [`crepair_tuple`] with observer hooks: one `chase_round` per outer scan
+/// of Γ, `rule_applied` per fired rule, `tuple_done` at fixpoint. With
+/// [`NoopObserver`] this monomorphizes to the unobserved hot path.
+pub fn crepair_tuple_observed<O: RepairObserver>(
+    rules: &RuleSet,
+    row: &mut [Symbol],
+    observer: &O,
+) -> Vec<CellUpdate> {
     let mut assured = AttrSet::EMPTY;
     // Γ: rules not yet applied. A rule leaves Γ when it fires (Fig 6 line
     // 7); unapplied rules are rescanned after every update.
     let mut unused = vec![true; rules.len()];
     let mut updates = Vec::new();
+    let mut rounds = 0usize;
     let mut updated = true;
     while updated {
         updated = false;
+        rounds += 1;
+        observer.chase_round();
         for (i, rule) in rules.rules().iter().enumerate() {
             if !unused[i] || assured.contains(rule.b()) || !matches(rule, row) {
                 continue;
@@ -33,6 +48,7 @@ pub fn crepair_tuple(rules: &RuleSet, row: &mut [Symbol]) -> Vec<CellUpdate> {
             assured.union_with(rule.assured_delta());
             unused[i] = false;
             updated = true;
+            observer.rule_applied(i, b.index());
             updates.push(CellUpdate {
                 row: 0,
                 attr: b,
@@ -42,18 +58,28 @@ pub fn crepair_tuple(rules: &RuleSet, row: &mut [Symbol]) -> Vec<CellUpdate> {
             });
         }
     }
+    observer.tuple_done(rounds, updates.len());
     updates
 }
 
 /// Repair every tuple of a table in place with `cRepair`.
 pub fn crepair_table(rules: &RuleSet, table: &mut Table) -> RepairOutcome {
+    crepair_table_observed(rules, table, &NoopObserver)
+}
+
+/// [`crepair_table`] with observer hooks.
+pub fn crepair_table_observed<O: RepairObserver>(
+    rules: &RuleSet,
+    table: &mut Table,
+    observer: &O,
+) -> RepairOutcome {
     assert!(
         rules.schema().same_as(table.schema()),
         "rule set and table must share a schema"
     );
     let mut outcome = RepairOutcome::default();
     for i in 0..table.len() {
-        let mut ups = crepair_tuple(rules, table.row_mut(i));
+        let mut ups = crepair_tuple_observed(rules, table.row_mut(i), observer);
         for u in &mut ups {
             u.row = i;
         }

@@ -23,6 +23,7 @@
 
 use std::collections::HashMap;
 
+use obs::{NoopObserver, RepairObserver};
 use relation::{AttrId, AttrSet, Symbol, Table};
 
 use crate::repair::{CellUpdate, RepairOutcome};
@@ -143,23 +144,42 @@ pub fn lrepair_tuple(
     scratch: &mut LRepairScratch,
     row: &mut [Symbol],
 ) -> Vec<CellUpdate> {
+    lrepair_tuple_observed(rules, index, scratch, row, &NoopObserver)
+}
+
+/// [`lrepair_tuple`] with observer hooks: `index_probe` per inverted-list
+/// lookup, `counter_saturated` per hash counter reaching `|X_φ|`,
+/// `rule_applied` per fired rule, `tuple_done` (pops, updates) at the end.
+/// With [`NoopObserver`] this monomorphizes to the unobserved hot path.
+pub fn lrepair_tuple_observed<O: RepairObserver>(
+    rules: &RuleSet,
+    index: &LRepairIndex,
+    scratch: &mut LRepairScratch,
+    row: &mut [Symbol],
+    observer: &O,
+) -> Vec<CellUpdate> {
     scratch.begin_tuple(rules.len());
     // Lines 3–7: seed counters from every cell; enqueue fully-matched
     // rules.
     for (a, &value) in row.iter().enumerate() {
         let attr = AttrId(a as u16);
-        for &rid in index.rules_for(attr, value) {
+        let hits = index.rules_for(attr, value);
+        observer.index_probe(hits.len());
+        for &rid in hits {
             let c = scratch.count_of(rid) + 1;
             scratch.set_count(rid, c);
             if c == index.evidence_len[rid.index()] {
+                observer.counter_saturated();
                 scratch.try_enqueue(rid);
             }
         }
     }
     let mut assured = AttrSet::EMPTY;
     let mut updates = Vec::new();
+    let mut pops = 0usize;
     // Lines 8–16: chase over the candidate queue.
     while let Some(rid) = scratch.queue.pop() {
+        pops += 1;
         let rule = rules.rule(rid);
         // Line 10: verify — counters guarantee the evidence matched at
         // enqueue time; the negative pattern and assured set are checked
@@ -173,6 +193,7 @@ pub fn lrepair_tuple(
         let new = rule.fact();
         row[b.index()] = new;
         assured.union_with(rule.assured_delta());
+        observer.rule_applied(rid.index(), b.index());
         updates.push(CellUpdate {
             row: 0,
             attr: b,
@@ -181,23 +202,39 @@ pub fn lrepair_tuple(
             rule: rid,
         });
         // Lines 13–15: recalculate counters for the updated cell only.
-        for &other in index.rules_for(b, old) {
+        let stale = index.rules_for(b, old);
+        observer.index_probe(stale.len());
+        for &other in stale {
             let c = scratch.count_of(other);
             scratch.set_count(other, c.saturating_sub(1));
         }
-        for &other in index.rules_for(b, new) {
+        let fresh = index.rules_for(b, new);
+        observer.index_probe(fresh.len());
+        for &other in fresh {
             let c = scratch.count_of(other) + 1;
             scratch.set_count(other, c);
             if c == index.evidence_len[other.index()] {
+                observer.counter_saturated();
                 scratch.try_enqueue(other);
             }
         }
     }
+    observer.tuple_done(pops, updates.len());
     updates
 }
 
 /// Repair every tuple of a table in place with `lRepair`.
 pub fn lrepair_table(rules: &RuleSet, index: &LRepairIndex, table: &mut Table) -> RepairOutcome {
+    lrepair_table_observed(rules, index, table, &NoopObserver)
+}
+
+/// [`lrepair_table`] with observer hooks.
+pub fn lrepair_table_observed<O: RepairObserver>(
+    rules: &RuleSet,
+    index: &LRepairIndex,
+    table: &mut Table,
+    observer: &O,
+) -> RepairOutcome {
     assert!(
         rules.schema().same_as(table.schema()),
         "rule set and table must share a schema"
@@ -205,7 +242,8 @@ pub fn lrepair_table(rules: &RuleSet, index: &LRepairIndex, table: &mut Table) -
     let mut scratch = LRepairScratch::new(rules.len());
     let mut outcome = RepairOutcome::default();
     for i in 0..table.len() {
-        let mut ups = lrepair_tuple(rules, index, &mut scratch, table.row_mut(i));
+        let mut ups =
+            lrepair_tuple_observed(rules, index, &mut scratch, table.row_mut(i), observer);
         for u in &mut ups {
             u.row = i;
         }

@@ -22,11 +22,14 @@ pub mod linear;
 pub mod parallel;
 pub mod stream;
 
-pub use chase::{crepair_table, crepair_tuple};
+pub use chase::{crepair_table, crepair_table_observed, crepair_tuple, crepair_tuple_observed};
 pub use detect::{detect_table, explain};
-pub use linear::{lrepair_table, lrepair_tuple, LRepairIndex, LRepairScratch};
-pub use parallel::par_lrepair_table;
-pub use stream::{stream_repair_csv, StreamStats};
+pub use linear::{
+    lrepair_table, lrepair_table_observed, lrepair_tuple, lrepair_tuple_observed, LRepairIndex,
+    LRepairScratch,
+};
+pub use parallel::{par_lrepair_table, par_lrepair_table_observed};
+pub use stream::{stream_repair_csv, stream_repair_csv_observed, StreamStats};
 
 use relation::{AttrId, Symbol};
 
@@ -45,6 +48,41 @@ pub struct CellUpdate {
     pub new: Symbol,
     /// The rule that fired.
     pub rule: RuleId,
+}
+
+/// Aggregate statistics of one repair run — the single reporting type
+/// shared by the table drivers (via [`RepairOutcome::stats`]) and the
+/// streaming driver (which returns it directly as
+/// [`StreamStats`](crate::repair::stream::StreamStats)).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RepairStats {
+    /// Records processed.
+    pub rows: usize,
+    /// Cell updates applied.
+    pub updates: usize,
+    /// Records with at least one update.
+    pub rows_touched: usize,
+}
+
+impl RepairStats {
+    /// Fraction of rows that needed repair, in `[0, 1]`.
+    pub fn touched_ratio(&self) -> f64 {
+        if self.rows == 0 {
+            0.0
+        } else {
+            self.rows_touched as f64 / self.rows as f64
+        }
+    }
+
+    /// Throughput over a measured wall-clock duration.
+    pub fn rows_per_sec(&self, elapsed: std::time::Duration) -> f64 {
+        let secs = elapsed.as_secs_f64();
+        if secs <= 0.0 {
+            0.0
+        } else {
+            self.rows as f64 / secs
+        }
+    }
 }
 
 /// The full log of a table repair.
@@ -68,6 +106,16 @@ impl RepairOutcome {
         rows.len()
     }
 
+    /// Aggregate statistics for a run over `rows` records — the same shape
+    /// the streaming driver reports, so callers have one reporting path.
+    pub fn stats(&self, rows: usize) -> RepairStats {
+        RepairStats {
+            rows,
+            updates: self.total_updates(),
+            rows_touched: self.rows_touched(),
+        }
+    }
+
     /// Updates per rule id — the data behind Fig 12(a) ("number of errors
     /// corrected by every fixing rule").
     pub fn per_rule_counts(&self, num_rules: usize) -> Vec<usize> {
@@ -82,6 +130,23 @@ impl RepairOutcome {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn stats_ratios_and_throughput() {
+        let stats = RepairStats {
+            rows: 100,
+            updates: 7,
+            rows_touched: 5,
+        };
+        assert!((stats.touched_ratio() - 0.05).abs() < 1e-12);
+        let rps = stats.rows_per_sec(std::time::Duration::from_millis(500));
+        assert!((rps - 200.0).abs() < 1e-9);
+        assert_eq!(RepairStats::default().touched_ratio(), 0.0);
+        assert_eq!(
+            RepairStats::default().rows_per_sec(std::time::Duration::ZERO),
+            0.0
+        );
+    }
 
     #[test]
     fn outcome_aggregations() {
@@ -113,5 +178,13 @@ mod tests {
         assert_eq!(outcome.total_updates(), 3);
         assert_eq!(outcome.rows_touched(), 2);
         assert_eq!(outcome.per_rule_counts(3), vec![2, 1, 0]);
+        assert_eq!(
+            outcome.stats(10),
+            RepairStats {
+                rows: 10,
+                updates: 3,
+                rows_touched: 2,
+            }
+        );
     }
 }

@@ -7,9 +7,10 @@
 //! extension beyond the paper (its experiments are single-threaded); the
 //! `repro` harness uses the sequential drivers so timings stay comparable.
 
+use obs::{NoopObserver, RepairObserver};
 use relation::Table;
 
-use crate::repair::linear::{lrepair_tuple, LRepairIndex, LRepairScratch};
+use crate::repair::linear::{lrepair_tuple_observed, LRepairIndex, LRepairScratch};
 use crate::repair::{CellUpdate, RepairOutcome};
 use crate::ruleset::RuleSet;
 
@@ -17,12 +18,28 @@ use crate::ruleset::RuleSet;
 ///
 /// Produces exactly the same table state and update multiset as the
 /// sequential [`crate::repair::lrepair_table`]; updates are returned sorted
-/// by `(row, application order)`.
+/// by `(row, application order)`. Each worker records its chunk's updates
+/// in application order, and the final **stable** sort on `row` alone keeps
+/// that relative order within a row — so the log is byte-identical to the
+/// sequential driver's, which downstream diffing relies on.
 pub fn par_lrepair_table(
     rules: &RuleSet,
     index: &LRepairIndex,
     table: &mut Table,
     num_threads: usize,
+) -> RepairOutcome {
+    par_lrepair_table_observed(rules, index, table, num_threads, &NoopObserver)
+}
+
+/// [`par_lrepair_table`] with observer hooks: per-tuple hooks from the
+/// shared observer (which must therefore be `Sync`), plus one
+/// `worker_done(worker, rows, updates, busy_ns)` per worker.
+pub fn par_lrepair_table_observed<O: RepairObserver>(
+    rules: &RuleSet,
+    index: &LRepairIndex,
+    table: &mut Table,
+    num_threads: usize,
+    observer: &O,
 ) -> RepairOutcome {
     assert!(
         rules.schema().same_as(table.schema()),
@@ -36,28 +53,35 @@ pub fn par_lrepair_table(
     let arity = table.schema().arity();
     let chunk_rows = rows.div_ceil(num_threads);
     let mut all_updates: Vec<CellUpdate> = Vec::new();
-    crossbeam::scope(|scope| {
+    std::thread::scope(|scope| {
         let mut handles = Vec::new();
         for (chunk_idx, chunk) in table.rows_mut_chunks(chunk_rows).enumerate() {
             let base_row = chunk_idx * chunk_rows;
-            handles.push(scope.spawn(move |_| {
+            handles.push(scope.spawn(move || {
+                let start = std::time::Instant::now();
                 let mut scratch = LRepairScratch::new(rules.len());
                 let mut local = Vec::new();
+                let mut worker_rows = 0usize;
                 for (r, row) in chunk.chunks_exact_mut(arity).enumerate() {
-                    let mut ups = lrepair_tuple(rules, index, &mut scratch, row);
+                    let mut ups = lrepair_tuple_observed(rules, index, &mut scratch, row, observer);
                     for u in &mut ups {
                         u.row = base_row + r;
                     }
                     local.extend(ups);
+                    worker_rows += 1;
                 }
+                let busy_ns = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+                observer.worker_done(chunk_idx, worker_rows, local.len(), busy_ns);
                 local
             }));
         }
         for h in handles {
             all_updates.extend(h.join().expect("repair worker panicked"));
         }
-    })
-    .expect("crossbeam scope failed");
+    });
+    // Stable sort: chunks were appended in ascending base_row, and within a
+    // chunk updates are already in (row, application order). `sort_by_key`
+    // is stable, so per-row application order survives.
     all_updates.sort_by_key(|u| u.row);
     RepairOutcome {
         updates: all_updates,

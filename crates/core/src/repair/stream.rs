@@ -12,21 +12,18 @@
 
 use std::io::{Read, Write};
 
+use obs::{NoopObserver, RepairObserver};
 use relation::{RelationError, Symbol, SymbolTable};
 
-use crate::repair::linear::{lrepair_tuple, LRepairIndex, LRepairScratch};
+use crate::repair::linear::{lrepair_tuple_observed, LRepairIndex, LRepairScratch};
+use crate::repair::RepairStats;
 use crate::ruleset::RuleSet;
 
-/// Statistics of one streaming run.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
-pub struct StreamStats {
-    /// Records processed.
-    pub rows: usize,
-    /// Cell updates applied.
-    pub updates: usize,
-    /// Records with at least one update.
-    pub rows_touched: usize,
-}
+/// Statistics of one streaming run — the shared
+/// [`RepairStats`](crate::repair::RepairStats) reporting type, so streaming
+/// and table runs expose identical `rows`/`updates`/`rows_touched` fields
+/// and `touched_ratio`/`rows_per_sec` accessors.
+pub type StreamStats = RepairStats;
 
 /// Repair CSV records from `reader` to `writer` in one pass.
 ///
@@ -39,6 +36,20 @@ pub fn stream_repair_csv<R: Read, W: Write>(
     symbols: &mut SymbolTable,
     reader: R,
     writer: W,
+) -> Result<StreamStats, RelationError> {
+    stream_repair_csv_observed(rules, index, symbols, reader, writer, &NoopObserver)
+}
+
+/// [`stream_repair_csv`] with observer hooks: per-tuple hooks from
+/// `lRepair` plus one `stream_record(vocab)` per record carrying the
+/// interner size (the memory-bounding quantity of this driver).
+pub fn stream_repair_csv_observed<R: Read, W: Write, O: RepairObserver>(
+    rules: &RuleSet,
+    index: &LRepairIndex,
+    symbols: &mut SymbolTable,
+    reader: R,
+    writer: W,
+    observer: &O,
 ) -> Result<StreamStats, RelationError> {
     let mut rdr = csv::ReaderBuilder::new()
         .has_headers(true)
@@ -65,12 +76,13 @@ pub fn stream_repair_csv<R: Read, W: Write>(
         let record = record?;
         row.clear();
         row.extend(record.iter().map(|cell| symbols.intern(cell)));
-        let updates = lrepair_tuple(rules, index, &mut scratch, &mut row);
+        let updates = lrepair_tuple_observed(rules, index, &mut scratch, &mut row, observer);
         if !updates.is_empty() {
             stats.rows_touched += 1;
             stats.updates += updates.len();
         }
         stats.rows += 1;
+        observer.stream_record(symbols.len());
         wtr.write_record(row.iter().map(|&s| symbols.resolve(s)))?;
     }
     wtr.flush()?;
@@ -80,6 +92,7 @@ pub fn stream_repair_csv<R: Read, W: Write>(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::repair::linear::lrepair_tuple;
     use relation::Schema;
 
     fn setup() -> (RuleSet, SymbolTable) {

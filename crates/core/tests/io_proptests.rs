@@ -72,8 +72,9 @@ proptest! {
     fn portable_round_trip(raws in proptest::collection::vec(raw_rule(), 0..6)) {
         let (rules, sy) = build(raws);
         let doc = to_portable(&rules, &sy);
-        let json = serde_json::to_string(&doc).unwrap();
-        let doc2: fixrules::io::PortableRuleSet = serde_json::from_str(&json).unwrap();
+        let json = doc.to_json_string();
+        let doc2 = fixrules::io::PortableRuleSet::from_json_str(&json).unwrap();
+        prop_assert_eq!(&doc2, &doc);
         let mut sy2 = SymbolTable::new();
         let rebuilt = from_portable(&doc2, &mut sy2).unwrap();
         prop_assert_eq!(rebuilt.len(), rules.len());

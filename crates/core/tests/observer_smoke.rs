@@ -1,0 +1,126 @@
+//! Observability must not change repair results, and the no-op observer
+//! must not make the hot path measurably slower — the `*_observed` drivers
+//! monomorphize over the observer, so with [`obs::NoopObserver`] every hook
+//! compiles to nothing.
+
+use std::time::{Duration, Instant};
+
+use fixrules::repair::{lrepair_table, lrepair_table_observed, LRepairIndex};
+use fixrules::RuleSet;
+use obs::{MetricsObserver, MetricsRegistry, NoopObserver};
+use relation::{Schema, SymbolTable, Table};
+
+fn setup(rows: usize) -> (RuleSet, Table) {
+    let schema = Schema::new("Travel", ["name", "country", "capital", "city", "conf"]).unwrap();
+    let mut sy = SymbolTable::new();
+    let mut rules = RuleSet::new(schema.clone());
+    rules
+        .push_named(
+            &mut sy,
+            &[("country", "China")],
+            "capital",
+            &["Shanghai", "Hongkong"],
+            "Beijing",
+        )
+        .unwrap();
+    rules
+        .push_named(
+            &mut sy,
+            &[("country", "Canada")],
+            "capital",
+            &["Toronto"],
+            "Ottawa",
+        )
+        .unwrap();
+    let capitals = ["Beijing", "Shanghai", "Hongkong", "Toronto"].map(|v| sy.intern(v));
+    let countries = ["China", "Canada"].map(|v| sy.intern(v));
+    let names: Vec<_> = (0..97).map(|i| sy.intern(&format!("n{i}"))).collect();
+    let filler = sy.intern("x");
+    let mut table = Table::new(schema);
+    for i in 0..rows {
+        table
+            .push_row(&[
+                names[i % names.len()],
+                countries[i % 2],
+                capitals[i % 4],
+                filler,
+                filler,
+            ])
+            .unwrap();
+    }
+    (rules, table)
+}
+
+#[test]
+fn observed_repair_matches_plain_repair() {
+    let (rules, table) = setup(2_000);
+    let index = LRepairIndex::build(&rules);
+
+    let mut plain = table.clone();
+    let out_plain = lrepair_table(&rules, &index, &mut plain);
+
+    let mut noop = table.clone();
+    let out_noop = lrepair_table_observed(&rules, &index, &mut noop, &NoopObserver);
+
+    let registry = MetricsRegistry::new();
+    let mut metered = table.clone();
+    let out_metered = lrepair_table_observed(
+        &rules,
+        &index,
+        &mut metered,
+        &MetricsObserver::new(&registry),
+    );
+
+    assert_eq!(out_plain.updates, out_noop.updates);
+    assert_eq!(out_plain.updates, out_metered.updates);
+    for i in 0..plain.len() {
+        assert_eq!(plain.row(i), noop.row(i));
+        assert_eq!(plain.row(i), metered.row(i));
+    }
+
+    // The metered run really counted: every touched tuple and update shows
+    // up in the registry.
+    let snap = registry.snapshot();
+    let counters = snap.get("counters").unwrap();
+    let get = |name: &str| counters.get(name).and_then(|v| v.as_i64()).unwrap();
+    assert_eq!(get("repair.tuples"), 2_000);
+    assert_eq!(get("repair.updates") as usize, out_plain.total_updates());
+    assert_eq!(
+        get("repair.tuples_touched") as usize,
+        out_plain.rows_touched()
+    );
+}
+
+/// Smoke check, not a benchmark: the no-op observed driver must finish in
+/// the same ballpark as the plain driver. The bound is deliberately loose
+/// (3× + 10 ms on best-of-5) so scheduler noise can't flake it; a real
+/// regression — an observer that allocates or locks per tuple — blows past
+/// it by an order of magnitude.
+#[test]
+fn noop_observer_overhead_is_negligible() {
+    let (rules, table) = setup(30_000);
+    let index = LRepairIndex::build(&rules);
+
+    let best_of = |f: &dyn Fn(&mut Table)| {
+        let mut best = Duration::MAX;
+        for _ in 0..5 {
+            let mut copy = table.clone();
+            let start = Instant::now();
+            f(&mut copy);
+            best = best.min(start.elapsed());
+        }
+        best
+    };
+
+    let plain = best_of(&|t| {
+        lrepair_table(&rules, &index, t);
+    });
+    let noop = best_of(&|t| {
+        lrepair_table_observed(&rules, &index, t, &NoopObserver);
+    });
+
+    assert!(
+        noop <= plain * 3 + Duration::from_millis(10),
+        "no-op observed repair took {noop:?} vs plain {plain:?}"
+    );
+}

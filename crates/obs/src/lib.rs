@@ -1,0 +1,54 @@
+//! # obs — observability for the fixing-rules repair stack
+//!
+//! A zero-dependency (std-only) measurement layer:
+//!
+//! * [`MetricsRegistry`] — named lock-free [`Counter`]s, [`Gauge`]s, and
+//!   log-bucketed [`Histogram`]s (p50/p95/p99), plus RAII [`SpanTimer`]s
+//!   for scoped stage timing ([`metrics`]);
+//! * [`RepairObserver`] — hook points called from the repair pipeline
+//!   (`cRepair` chase rounds, `lRepair` inverted-list probes, parallel
+//!   worker accounting, stream throughput, consistency pair checks), with
+//!   a [`NoopObserver`] default that monomorphizes to nothing
+//!   ([`observer`]);
+//! * [`Json`] — a small self-contained JSON value for deterministic
+//!   snapshot export and parsing ([`json`]);
+//! * structured `key=value` stderr logging behind a global level
+//!   ([`log`], [`info!`], [`debug!`]).
+//!
+//! The paper's evaluation (§7) is entirely about measured behavior —
+//! repair counts and wall-clock scaling of `cRepair` vs `lRepair` — and
+//! this crate is what makes those measurements visible outside of
+//! one-off experiment code: `fixctl ... --metrics out.json` dumps a
+//! [`MetricsRegistry::snapshot`], and the bench harness writes the same
+//! shape per stage.
+//!
+//! # Example
+//!
+//! ```
+//! use obs::{MetricsRegistry, MetricsObserver, RepairObserver};
+//!
+//! let registry = MetricsRegistry::new();
+//! let observer = MetricsObserver::new(&registry);
+//! {
+//!     let _span = registry.span("stage.index_build");
+//!     // ... build the index ...
+//! }
+//! observer.rule_applied(0, 2);
+//! observer.tuple_done(1, 1);
+//! let snapshot = registry.snapshot(); // deterministic JSON
+//! assert_eq!(
+//!     snapshot.get("counters").unwrap().get("repair.rules_applied").unwrap().as_i64(),
+//!     Some(1),
+//! );
+//! assert!(snapshot.get("histograms").unwrap().get("stage.index_build_ns").is_some());
+//! ```
+
+pub mod json;
+pub mod log;
+pub mod metrics;
+pub mod observer;
+
+pub use json::Json;
+pub use log::Level;
+pub use metrics::{Counter, Gauge, Histogram, MetricsRegistry, SpanTimer};
+pub use observer::{MetricsObserver, NoopObserver, RepairObserver, METRIC_NAMES};

@@ -1,0 +1,171 @@
+//! Structured stderr logging: `key=value` lines gated by a global level.
+//!
+//! ```text
+//! level=info event=repair.done algo=lrepair rows=100000 updates=3313 elapsed_ms=42
+//! ```
+//!
+//! The level defaults to [`Level::Off`] so library users pay nothing; the
+//! CLI sets it from `--log <off|info|debug>`. Values containing spaces,
+//! `=`, or quotes are double-quoted with backslash escapes so lines stay
+//! machine-splittable.
+
+use std::fmt::Write as _;
+use std::io::Write as _;
+use std::sync::atomic::{AtomicU8, Ordering};
+
+/// Log verbosity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Level {
+    /// No output (the default).
+    Off = 0,
+    /// Stage-level progress and results.
+    Info = 1,
+    /// Per-step detail (counters, intermediate sizes).
+    Debug = 2,
+}
+
+impl std::str::FromStr for Level {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Level, String> {
+        match s {
+            "off" => Ok(Level::Off),
+            "info" => Ok(Level::Info),
+            "debug" => Ok(Level::Debug),
+            other => Err(format!("unknown log level `{other}` (off|info|debug)")),
+        }
+    }
+}
+
+static LEVEL: AtomicU8 = AtomicU8::new(Level::Off as u8);
+
+/// Set the global level.
+pub fn set_level(level: Level) {
+    LEVEL.store(level as u8, Ordering::Relaxed);
+}
+
+/// The current global level.
+pub fn level() -> Level {
+    match LEVEL.load(Ordering::Relaxed) {
+        1 => Level::Info,
+        2 => Level::Debug,
+        _ => Level::Off,
+    }
+}
+
+/// True when `level` would be emitted.
+#[inline]
+pub fn enabled(at: Level) -> bool {
+    at != Level::Off && at <= level()
+}
+
+/// Emit one structured line at `level`. Prefer the [`crate::info!`] /
+/// [`crate::debug!`] macros, which skip argument formatting when disabled.
+pub fn emit(at: Level, event: &str, fields: &[(&str, String)]) {
+    if !enabled(at) {
+        return;
+    }
+    let mut line = String::with_capacity(64);
+    let _ = write!(
+        line,
+        "level={} event={}",
+        match at {
+            Level::Off => "off",
+            Level::Info => "info",
+            Level::Debug => "debug",
+        },
+        event
+    );
+    for (k, v) in fields {
+        let _ = write!(line, " {k}={}", quote_value(v));
+    }
+    line.push('\n');
+    // One write_all per line keeps concurrent workers' lines whole.
+    let _ = std::io::stderr().write_all(line.as_bytes());
+}
+
+fn quote_value(v: &str) -> String {
+    if !v.is_empty() && !v.contains([' ', '=', '"', '\n', '\t']) {
+        return v.to_string();
+    }
+    let mut out = String::with_capacity(v.len() + 2);
+    out.push('"');
+    for c in v.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// `info!("event", key = value, ...)` — emit at [`Level::Info`].
+#[macro_export]
+macro_rules! info {
+    ($event:expr $(, $k:ident = $v:expr)* $(,)?) => {
+        if $crate::log::enabled($crate::log::Level::Info) {
+            $crate::log::emit(
+                $crate::log::Level::Info,
+                $event,
+                &[$((stringify!($k), ::std::format!("{}", $v))),*],
+            );
+        }
+    };
+}
+
+/// `debug!("event", key = value, ...)` — emit at [`Level::Debug`].
+#[macro_export]
+macro_rules! debug {
+    ($event:expr $(, $k:ident = $v:expr)* $(,)?) => {
+        if $crate::log::enabled($crate::log::Level::Debug) {
+            $crate::log::emit(
+                $crate::log::Level::Debug,
+                $event,
+                &[$((stringify!($k), ::std::format!("{}", $v))),*],
+            );
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn levels_parse_and_order() {
+        assert_eq!("off".parse::<Level>().unwrap(), Level::Off);
+        assert_eq!("info".parse::<Level>().unwrap(), Level::Info);
+        assert_eq!("debug".parse::<Level>().unwrap(), Level::Debug);
+        assert!("warn".parse::<Level>().is_err());
+        assert!(Level::Info < Level::Debug);
+    }
+
+    #[test]
+    fn quoting_keeps_lines_splittable() {
+        assert_eq!(quote_value("plain"), "plain");
+        assert_eq!(quote_value("has space"), "\"has space\"");
+        assert_eq!(quote_value("a=b"), "\"a=b\"");
+        assert_eq!(quote_value("say \"hi\""), "\"say \\\"hi\\\"\"");
+        assert_eq!(quote_value(""), "\"\"");
+    }
+
+    #[test]
+    fn disabled_levels_do_not_emit() {
+        // `emit` consults the global level; Off is the default and the
+        // macros early-out before formatting their arguments.
+        assert!(!enabled(Level::Info));
+        let mut evaluated = false;
+        crate::info!(
+            "test.event",
+            x = {
+                evaluated = true;
+                1
+            }
+        );
+        assert!(!evaluated, "arguments must not be formatted when off");
+    }
+}

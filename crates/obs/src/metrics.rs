@@ -1,0 +1,463 @@
+//! Lock-free metrics: counters, gauges, log-bucketed histograms, and a
+//! registry that snapshots them all as deterministic JSON.
+//!
+//! Handles ([`Counter`], [`Gauge`], [`Histogram`]) are cheap `Arc`-wrapped
+//! atomics: registration takes a mutex once, the hot path is a relaxed
+//! atomic op. The registry snapshot is a [`Json`] object with a stable
+//! schema (see [`MetricsRegistry::snapshot`]); object keys are sorted, so
+//! two runs with the same behavior serialize byte-identically.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use crate::json::Json;
+
+/// A monotonically increasing counter.
+#[derive(Debug, Clone, Default)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// Add one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Add `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A value that can go up and down.
+#[derive(Debug, Clone, Default)]
+pub struct Gauge(Arc<AtomicI64>);
+
+impl Gauge {
+    /// Overwrite the value.
+    #[inline]
+    pub fn set(&self, v: i64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Add a (possibly negative) delta.
+    #[inline]
+    pub fn add(&self, delta: i64) {
+        self.0.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// Raise the value to at least `v` (lock-free max).
+    pub fn max(&self, v: i64) {
+        self.0.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Sub-buckets per power of two. 8 gives ≤ ~6% relative quantile error.
+const SUBBUCKETS_BITS: u32 = 3;
+const SUBBUCKETS: u32 = 1 << SUBBUCKETS_BITS;
+/// Buckets 0..8 hold the values 0..8 exactly; each higher power of two
+/// splits into 8 geometric sub-buckets, up to the top of the `u64` range.
+const NUM_BUCKETS: usize = 64 * SUBBUCKETS as usize - 2 * SUBBUCKETS as usize;
+
+/// A log-bucketed histogram of `u64` samples (typically nanoseconds).
+///
+/// Values map to one of 513 buckets: bucket 0 holds zeros; above that each
+/// power of two splits into 8 geometric sub-buckets. Recording is a single
+/// relaxed `fetch_add`; quantiles walk the bucket array and report the
+/// **lower bound** of the bucket containing the requested rank, so exact
+/// powers of two (and any value below 2³ = 8) are reported exactly.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    buckets: Arc<HistogramInner>,
+}
+
+#[derive(Debug)]
+struct HistogramInner {
+    counts: [AtomicU64; NUM_BUCKETS],
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            buckets: Arc::new(HistogramInner {
+                counts: std::array::from_fn(|_| AtomicU64::new(0)),
+                sum: AtomicU64::new(0),
+                max: AtomicU64::new(0),
+            }),
+        }
+    }
+}
+
+/// Bucket index for a value.
+#[inline]
+fn bucket_of(v: u64) -> usize {
+    if v < SUBBUCKETS as u64 {
+        // Values below 2^3: one bucket each, exact (bucket 0 holds zeros).
+        return v as usize;
+    }
+    let msb = 63 - v.leading_zeros(); // position of the leading one
+    let sub = ((v >> (msb - SUBBUCKETS_BITS)) & (SUBBUCKETS as u64 - 1)) as u32;
+    (msb * SUBBUCKETS + sub - 2 * SUBBUCKETS) as usize
+}
+
+/// Lower bound (inclusive) of a bucket — the value quantiles report.
+fn bucket_lower_bound(i: usize) -> u64 {
+    if i < SUBBUCKETS as usize {
+        return i as u64;
+    }
+    let idx = i as u32 + 2 * SUBBUCKETS;
+    let msb = idx / SUBBUCKETS;
+    let sub = idx % SUBBUCKETS;
+    (1u64 << msb) | ((sub as u64) << (msb - SUBBUCKETS_BITS))
+}
+
+impl Histogram {
+    /// Record one sample.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        let inner = &*self.buckets;
+        inner.counts[bucket_of(v)].fetch_add(1, Ordering::Relaxed);
+        inner.sum.fetch_add(v, Ordering::Relaxed);
+        inner.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.buckets
+            .counts
+            .iter()
+            .map(|c| c.load(Ordering::Relaxed))
+            .sum()
+    }
+
+    /// Sum of all samples.
+    pub fn sum(&self) -> u64 {
+        self.buckets.sum.load(Ordering::Relaxed)
+    }
+
+    /// Largest recorded sample (exact, not bucketed).
+    pub fn max(&self) -> u64 {
+        self.buckets.max.load(Ordering::Relaxed)
+    }
+
+    /// The quantile `q` in `[0, 1]`: lower bound of the bucket holding the
+    /// sample of rank `ceil(q·count)`. Returns 0 on an empty histogram.
+    pub fn quantile(&self, q: f64) -> u64 {
+        let counts: Vec<u64> = self
+            .buckets
+            .counts
+            .iter()
+            .map(|c| c.load(Ordering::Relaxed))
+            .collect();
+        let total: u64 = counts.iter().sum();
+        if total == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * total as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &c) in counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return bucket_lower_bound(i);
+            }
+        }
+        bucket_lower_bound(NUM_BUCKETS - 1)
+    }
+
+    /// Snapshot as JSON: `{count, sum, max, p50, p95, p99}`.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("count", Json::from(self.count())),
+            ("sum", Json::from(self.sum())),
+            ("max", Json::from(self.max())),
+            ("p50", Json::from(self.quantile(0.50))),
+            ("p95", Json::from(self.quantile(0.95))),
+            ("p99", Json::from(self.quantile(0.99))),
+        ])
+    }
+}
+
+/// A named collection of metrics, snapshotted as one JSON object.
+///
+/// Cloning shares the underlying store, so one registry can be handed to
+/// workers, observers, and the CLI at once.
+#[derive(Debug, Clone, Default)]
+pub struct MetricsRegistry {
+    inner: Arc<Mutex<Store>>,
+}
+
+#[derive(Debug, Default)]
+struct Store {
+    counters: BTreeMap<String, Counter>,
+    gauges: BTreeMap<String, Gauge>,
+    histograms: BTreeMap<String, Histogram>,
+}
+
+impl MetricsRegistry {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Get-or-create the counter `name`. The handle is lock-free.
+    pub fn counter(&self, name: &str) -> Counter {
+        let mut store = self.inner.lock().unwrap();
+        store.counters.entry(name.to_string()).or_default().clone()
+    }
+
+    /// Get-or-create the gauge `name`.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        let mut store = self.inner.lock().unwrap();
+        store.gauges.entry(name.to_string()).or_default().clone()
+    }
+
+    /// Get-or-create the histogram `name`.
+    pub fn histogram(&self, name: &str) -> Histogram {
+        let mut store = self.inner.lock().unwrap();
+        store
+            .histograms
+            .entry(name.to_string())
+            .or_default()
+            .clone()
+    }
+
+    /// Start a [`SpanTimer`] that records its elapsed nanoseconds into the
+    /// histogram `<name>_ns` when dropped.
+    pub fn span(&self, name: &str) -> SpanTimer {
+        SpanTimer {
+            histogram: self.histogram(&format!("{name}_ns")),
+            start: Instant::now(),
+        }
+    }
+
+    /// Time `f`, recording its wall-clock under `<name>_ns`.
+    pub fn time<R>(&self, name: &str, f: impl FnOnce() -> R) -> R {
+        let _span = self.span(name);
+        f()
+    }
+
+    /// Export everything as JSON with the stable schema
+    ///
+    /// ```json
+    /// {
+    ///   "counters":   {"<name>": <u64>, ...},
+    ///   "gauges":     {"<name>": <i64>, ...},
+    ///   "histograms": {"<name>": {"count":., "sum":., "max":., "p50":., "p95":., "p99":.}, ...}
+    /// }
+    /// ```
+    ///
+    /// Keys are sorted; identical metric states serialize byte-identically.
+    pub fn snapshot(&self) -> Json {
+        let store = self.inner.lock().unwrap();
+        let counters = store
+            .counters
+            .iter()
+            .map(|(k, v)| (k.clone(), Json::from(v.get())))
+            .collect();
+        let gauges = store
+            .gauges
+            .iter()
+            .map(|(k, v)| (k.clone(), Json::Int(v.get())))
+            .collect();
+        let histograms = store
+            .histograms
+            .iter()
+            .map(|(k, v)| (k.clone(), v.to_json()))
+            .collect();
+        Json::Obj(BTreeMap::from([
+            ("counters".to_string(), Json::Obj(counters)),
+            ("gauges".to_string(), Json::Obj(gauges)),
+            ("histograms".to_string(), Json::Obj(histograms)),
+        ]))
+    }
+}
+
+/// RAII scoped timer from [`MetricsRegistry::span`]: records the elapsed
+/// nanoseconds into its histogram on drop.
+#[derive(Debug)]
+pub struct SpanTimer {
+    histogram: Histogram,
+    start: Instant,
+}
+
+impl SpanTimer {
+    /// Nanoseconds elapsed so far.
+    pub fn elapsed_ns(&self) -> u64 {
+        u64::try_from(self.start.elapsed().as_nanos()).unwrap_or(u64::MAX)
+    }
+}
+
+impl Drop for SpanTimer {
+    fn drop(&mut self) {
+        self.histogram.record(self.elapsed_ns());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_and_gauges() {
+        let reg = MetricsRegistry::new();
+        let c = reg.counter("repairs");
+        c.inc();
+        c.add(4);
+        // Second lookup returns the same underlying cell.
+        assert_eq!(reg.counter("repairs").get(), 5);
+        let g = reg.gauge("vocab");
+        g.set(10);
+        g.add(-3);
+        g.max(5);
+        assert_eq!(reg.gauge("vocab").get(), 7);
+    }
+
+    #[test]
+    fn histogram_buckets_are_monotone_and_aligned() {
+        // Every value must land in a bucket whose lower bound ≤ value, and
+        // bucket lower bounds must be strictly increasing.
+        for i in 1..NUM_BUCKETS {
+            assert!(bucket_lower_bound(i) > bucket_lower_bound(i - 1), "{i}");
+            assert_eq!(
+                bucket_of(bucket_lower_bound(i)),
+                i,
+                "lower bound of bucket {i} maps back to it"
+            );
+        }
+        for v in [0u64, 1, 7, 8, 9, 255, 256, 1023, 1 << 20, u64::MAX] {
+            let b = bucket_of(v);
+            assert!(bucket_lower_bound(b) <= v, "{v}");
+            if b + 1 < NUM_BUCKETS {
+                assert!(v < bucket_lower_bound(b + 1), "{v}");
+            }
+        }
+    }
+
+    #[test]
+    fn quantiles_exact_at_bucket_boundaries() {
+        let h = Histogram::default();
+        // 100 samples of exactly 1024 (a power of two = bucket lower
+        // bound): all quantiles report exactly 1024.
+        for _ in 0..100 {
+            h.record(1024);
+        }
+        for q in [0.0, 0.5, 0.95, 0.99, 1.0] {
+            assert_eq!(h.quantile(q), 1024, "q={q}");
+        }
+        assert_eq!(h.max(), 1024);
+        assert_eq!(h.sum(), 102_400);
+        assert_eq!(h.count(), 100);
+    }
+
+    #[test]
+    fn quantiles_split_bimodal_distributions() {
+        let h = Histogram::default();
+        for _ in 0..95 {
+            h.record(8);
+        }
+        for _ in 0..5 {
+            h.record(1 << 30);
+        }
+        assert_eq!(h.quantile(0.50), 8);
+        assert_eq!(h.quantile(0.95), 8, "rank 95 is the last of the 8s");
+        assert_eq!(h.quantile(0.99), 1 << 30);
+    }
+
+    #[test]
+    fn small_values_are_exact() {
+        let h = Histogram::default();
+        for v in 0..8u64 {
+            h.record(v);
+        }
+        // Values below 2^3 get dedicated buckets: the median of {0..7} is
+        // reported exactly, not rounded to a power of two.
+        assert_eq!(h.quantile(0.5), 3);
+        assert_eq!(h.quantile(0.0), 0);
+    }
+
+    #[test]
+    fn empty_histogram_is_all_zeros() {
+        let h = Histogram::default();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.quantile(0.5), 0);
+        assert_eq!(h.to_json().get("p99").unwrap().as_i64(), Some(0));
+    }
+
+    #[test]
+    fn snapshot_schema_and_determinism() {
+        let build = || {
+            let reg = MetricsRegistry::new();
+            reg.counter("z.second").add(2);
+            reg.counter("a.first").add(1);
+            reg.gauge("g").set(-5);
+            let h = reg.histogram("h");
+            for v in [1u64, 2, 4, 1024] {
+                h.record(v);
+            }
+            reg
+        };
+        let a = build().snapshot();
+        let b = build().snapshot();
+        // Same behavior => byte-identical snapshots, regardless of
+        // registration order.
+        assert_eq!(a.to_string(), b.to_string());
+        assert_eq!(
+            a.get("counters").unwrap().get("a.first").unwrap().as_i64(),
+            Some(1)
+        );
+        assert_eq!(
+            a.get("gauges").unwrap().get("g").unwrap().as_i64(),
+            Some(-5)
+        );
+        let h = a.get("histograms").unwrap().get("h").unwrap();
+        for key in ["count", "sum", "max", "p50", "p95", "p99"] {
+            assert!(h.get(key).is_some(), "missing histogram key {key}");
+        }
+    }
+
+    #[test]
+    fn span_timer_records_on_drop() {
+        let reg = MetricsRegistry::new();
+        {
+            let _span = reg.span("stage.test");
+            std::hint::black_box(());
+        }
+        reg.time("stage.test", || std::hint::black_box(1 + 1));
+        let h = reg.histogram("stage.test_ns");
+        assert_eq!(h.count(), 2);
+    }
+
+    #[test]
+    fn handles_are_thread_safe() {
+        let reg = MetricsRegistry::new();
+        let c = reg.counter("par");
+        let h = reg.histogram("hpar");
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let (c, h) = (c.clone(), h.clone());
+                s.spawn(move || {
+                    for i in 0..1000 {
+                        c.inc();
+                        h.record(i);
+                    }
+                });
+            }
+        });
+        assert_eq!(c.get(), 4000);
+        assert_eq!(h.count(), 4000);
+    }
+}

@@ -1,0 +1,300 @@
+//! Observer hooks for the repair pipeline.
+//!
+//! The repair drivers in `fixrules` are generic over a [`RepairObserver`];
+//! every hook has an empty default body and the drivers' public entry
+//! points pass [`NoopObserver`], so the instrumented code monomorphizes to
+//! exactly the uninstrumented hot path when observability is off — zero
+//! branches, zero atomics. [`MetricsObserver`] is the production
+//! implementation, fanning each hook into [`MetricsRegistry`] counters and
+//! histograms under the documented names.
+//!
+//! Hook arguments are plain `usize`/`u64` so this crate stays a leaf with
+//! no knowledge of relational types; callers pass `RuleId::index()` etc.
+
+use crate::metrics::{Counter, Gauge, Histogram, MetricsRegistry};
+
+/// Hooks called from the repair stack. All default to no-ops.
+///
+/// `Sync` is required because the parallel driver shares one observer
+/// across workers.
+pub trait RepairObserver: Sync {
+    /// One outer scan round of `cRepair` over the rule set.
+    #[inline]
+    fn chase_round(&self) {}
+
+    /// A rule fired and updated attribute `attr`.
+    #[inline]
+    fn rule_applied(&self, rule: usize, attr: usize) {
+        let _ = (rule, attr);
+    }
+
+    /// A tuple finished repairing after `rounds` chase rounds / queue pops
+    /// with `updates` cell updates.
+    #[inline]
+    fn tuple_done(&self, rounds: usize, updates: usize) {
+        let _ = (rounds, updates);
+    }
+
+    /// `lRepair` consulted an inverted list and found `rules_hit` rules.
+    #[inline]
+    fn index_probe(&self, rules_hit: usize) {
+        let _ = rules_hit;
+    }
+
+    /// A hash counter reached its `|X|` target and the rule was enqueued.
+    #[inline]
+    fn counter_saturated(&self) {}
+
+    /// A parallel worker finished its shard.
+    #[inline]
+    fn worker_done(&self, worker: usize, rows: usize, updates: usize, busy_ns: u64) {
+        let _ = (worker, rows, updates, busy_ns);
+    }
+
+    /// The streaming driver wrote one record; `vocab` is the interner size.
+    #[inline]
+    fn stream_record(&self, vocab: usize) {
+        let _ = vocab;
+    }
+
+    /// A consistency checker examined `pairs` rule pairs.
+    #[inline]
+    fn pairs_checked(&self, pairs: usize) {
+        let _ = pairs;
+    }
+
+    /// A consistency checker found a conflicting pair; `case` is the
+    /// Fig 4 characterization case name.
+    #[inline]
+    fn conflict_found(&self, case: &'static str) {
+        let _ = case;
+    }
+}
+
+/// The do-nothing observer; the default for every repair entry point.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoopObserver;
+
+impl RepairObserver for NoopObserver {}
+
+/// Counter/histogram names written by [`MetricsObserver`], in snapshot
+/// (sorted) order. Kept public so tests and docs stay in sync with the
+/// implementation.
+pub const METRIC_NAMES: &[&str] = &[
+    "consistency.conflicts",
+    "consistency.pairs_checked",
+    "repair.chase.rounds",
+    "repair.index.probe_hits",
+    "repair.index.probes",
+    "repair.queue.enqueued",
+    "repair.rules_applied",
+    "repair.tuples",
+    "repair.tuples_touched",
+    "repair.updates",
+    "stream.records",
+];
+
+/// A [`RepairObserver`] that aggregates into a [`MetricsRegistry`].
+///
+/// Handles are resolved once at construction; each hook is one or two
+/// relaxed atomic ops. Per-worker and per-conflict-case metrics use
+/// dynamic names (`repair.worker.<i>.rows`, `consistency.conflicts.<case>`)
+/// and take the registry lock, but only fire once per worker / conflict.
+#[derive(Debug, Clone)]
+pub struct MetricsObserver {
+    registry: MetricsRegistry,
+    chase_rounds: Counter,
+    rules_applied: Counter,
+    tuples: Counter,
+    tuples_touched: Counter,
+    updates: Counter,
+    tuple_rounds: Histogram,
+    tuple_updates: Histogram,
+    probes: Counter,
+    probe_hits: Counter,
+    enqueued: Counter,
+    stream_records: Counter,
+    stream_vocab: Gauge,
+    pairs_checked: Counter,
+    conflicts: Counter,
+}
+
+impl MetricsObserver {
+    pub fn new(registry: &MetricsRegistry) -> Self {
+        MetricsObserver {
+            chase_rounds: registry.counter("repair.chase.rounds"),
+            rules_applied: registry.counter("repair.rules_applied"),
+            tuples: registry.counter("repair.tuples"),
+            tuples_touched: registry.counter("repair.tuples_touched"),
+            updates: registry.counter("repair.updates"),
+            tuple_rounds: registry.histogram("repair.tuple_rounds"),
+            tuple_updates: registry.histogram("repair.tuple_updates"),
+            probes: registry.counter("repair.index.probes"),
+            probe_hits: registry.counter("repair.index.probe_hits"),
+            enqueued: registry.counter("repair.queue.enqueued"),
+            stream_records: registry.counter("stream.records"),
+            stream_vocab: registry.gauge("stream.vocab"),
+            pairs_checked: registry.counter("consistency.pairs_checked"),
+            conflicts: registry.counter("consistency.conflicts"),
+            registry: registry.clone(),
+        }
+    }
+
+    /// The registry this observer writes to.
+    pub fn registry(&self) -> &MetricsRegistry {
+        &self.registry
+    }
+}
+
+impl RepairObserver for MetricsObserver {
+    #[inline]
+    fn chase_round(&self) {
+        self.chase_rounds.inc();
+    }
+
+    #[inline]
+    fn rule_applied(&self, _rule: usize, _attr: usize) {
+        self.rules_applied.inc();
+    }
+
+    #[inline]
+    fn tuple_done(&self, rounds: usize, updates: usize) {
+        self.tuples.inc();
+        if updates > 0 {
+            self.tuples_touched.inc();
+            self.updates.add(updates as u64);
+        }
+        self.tuple_rounds.record(rounds as u64);
+        self.tuple_updates.record(updates as u64);
+    }
+
+    #[inline]
+    fn index_probe(&self, rules_hit: usize) {
+        self.probes.inc();
+        self.probe_hits.add(rules_hit as u64);
+    }
+
+    #[inline]
+    fn counter_saturated(&self) {
+        self.enqueued.inc();
+    }
+
+    fn worker_done(&self, worker: usize, rows: usize, updates: usize, busy_ns: u64) {
+        self.registry
+            .counter(&format!("repair.worker.{worker}.rows"))
+            .add(rows as u64);
+        self.registry
+            .counter(&format!("repair.worker.{worker}.updates"))
+            .add(updates as u64);
+        self.registry
+            .counter(&format!("repair.worker.{worker}.busy_ns"))
+            .add(busy_ns);
+        self.registry
+            .histogram("repair.worker.busy_ns")
+            .record(busy_ns);
+    }
+
+    #[inline]
+    fn stream_record(&self, vocab: usize) {
+        self.stream_records.inc();
+        self.stream_vocab.max(vocab as i64);
+    }
+
+    #[inline]
+    fn pairs_checked(&self, pairs: usize) {
+        self.pairs_checked.add(pairs as u64);
+    }
+
+    fn conflict_found(&self, case: &'static str) {
+        self.conflicts.inc();
+        self.registry
+            .counter(&format!("consistency.conflicts.{case}"))
+            .inc();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn noop_observer_is_zero_sized() {
+        assert_eq!(std::mem::size_of::<NoopObserver>(), 0);
+    }
+
+    #[test]
+    fn metrics_observer_aggregates_hooks() {
+        let reg = MetricsRegistry::new();
+        let obs = MetricsObserver::new(&reg);
+        obs.chase_round();
+        obs.rule_applied(0, 2);
+        obs.rule_applied(3, 1);
+        obs.tuple_done(2, 2);
+        obs.tuple_done(1, 0);
+        obs.index_probe(3);
+        obs.index_probe(0);
+        obs.counter_saturated();
+        obs.worker_done(1, 500, 20, 1_000);
+        obs.stream_record(128);
+        obs.stream_record(256);
+        obs.pairs_checked(6);
+        obs.conflict_found("Mutual");
+
+        let snap = reg.snapshot();
+        let counters = snap.get("counters").unwrap();
+        let get = |name: &str| counters.get(name).and_then(|v| v.as_i64()).unwrap();
+        assert_eq!(get("repair.chase.rounds"), 1);
+        assert_eq!(get("repair.rules_applied"), 2);
+        assert_eq!(get("repair.tuples"), 2);
+        assert_eq!(get("repair.tuples_touched"), 1);
+        assert_eq!(get("repair.updates"), 2);
+        assert_eq!(get("repair.index.probes"), 2);
+        assert_eq!(get("repair.index.probe_hits"), 3);
+        assert_eq!(get("repair.queue.enqueued"), 1);
+        assert_eq!(get("repair.worker.1.rows"), 500);
+        assert_eq!(get("stream.records"), 2);
+        assert_eq!(get("consistency.pairs_checked"), 6);
+        assert_eq!(get("consistency.conflicts"), 1);
+        assert_eq!(get("consistency.conflicts.Mutual"), 1);
+        assert_eq!(
+            snap.get("gauges")
+                .unwrap()
+                .get("stream.vocab")
+                .unwrap()
+                .as_i64(),
+            Some(256)
+        );
+        assert_eq!(
+            snap.get("histograms")
+                .unwrap()
+                .get("repair.tuple_updates")
+                .unwrap()
+                .get("count")
+                .unwrap()
+                .as_i64(),
+            Some(2)
+        );
+    }
+
+    #[test]
+    fn documented_metric_names_all_appear() {
+        let reg = MetricsRegistry::new();
+        let obs = MetricsObserver::new(&reg);
+        obs.chase_round();
+        obs.rule_applied(0, 0);
+        obs.tuple_done(1, 1);
+        obs.index_probe(1);
+        obs.counter_saturated();
+        obs.stream_record(1);
+        obs.pairs_checked(1);
+        obs.conflict_found("BiInXj");
+        let snap = reg.snapshot();
+        let counters = snap.get("counters").unwrap().as_obj().unwrap();
+        for name in METRIC_NAMES {
+            assert!(
+                counters.contains_key(*name),
+                "missing documented metric {name}"
+            );
+        }
+    }
+}

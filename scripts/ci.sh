@@ -1,0 +1,17 @@
+#!/usr/bin/env bash
+# Offline-safe CI gate: formatting, lints, tests. Everything here runs
+# without network access — all dependencies are workspace-local (see
+# shims/ and DESIGN.md §6).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== cargo fmt --check =="
+cargo fmt --all -- --check
+
+echo "== cargo clippy (deny warnings) =="
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== cargo test =="
+cargo test --workspace -q
+
+echo "CI green."

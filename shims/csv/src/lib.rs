@@ -1,0 +1,429 @@
+//! Offline stand-in for the `csv` crate.
+//!
+//! The build environment has no network and no vendored registry, so the
+//! workspace ships the slice of `csv`'s API it uses: a buffered RFC-4180
+//! reader with header handling and strict-arity (`flexible(false)`)
+//! enforcement, and a writer that quotes fields containing delimiters,
+//! quotes, or newlines. Parsing covers quoted fields, embedded `""`
+//! escapes, embedded newlines inside quotes, and both `\n` and `\r\n`
+//! record terminators.
+
+use std::fmt;
+use std::io::{BufReader, BufWriter, Read, Write};
+
+/// Error type (`csv::Error` stand-in).
+#[derive(Debug)]
+pub struct Error {
+    msg: String,
+}
+
+impl Error {
+    fn new(msg: impl Into<String>) -> Self {
+        Error { msg: msg.into() }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "CSV error: {}", self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<std::io::Error> for Error {
+    fn from(e: std::io::Error) -> Self {
+        Error::new(e.to_string())
+    }
+}
+
+/// One parsed record of string fields (`csv::StringRecord` stand-in).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct StringRecord {
+    fields: Vec<String>,
+}
+
+impl StringRecord {
+    /// Number of fields.
+    pub fn len(&self) -> usize {
+        self.fields.len()
+    }
+
+    /// True when the record has no fields.
+    pub fn is_empty(&self) -> bool {
+        self.fields.is_empty()
+    }
+
+    /// Iterate the fields as `&str`.
+    pub fn iter(&self) -> impl Iterator<Item = &str> + '_ {
+        self.fields.iter().map(String::as_str)
+    }
+
+    /// Field by position.
+    pub fn get(&self, i: usize) -> Option<&str> {
+        self.fields.get(i).map(String::as_str)
+    }
+}
+
+impl<'a> IntoIterator for &'a StringRecord {
+    type Item = &'a str;
+    type IntoIter = std::iter::Map<std::slice::Iter<'a, String>, fn(&'a String) -> &'a str>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.fields.iter().map(String::as_str)
+    }
+}
+
+/// Reader configuration (`csv::ReaderBuilder` stand-in).
+#[derive(Debug, Clone)]
+pub struct ReaderBuilder {
+    has_headers: bool,
+    flexible: bool,
+}
+
+impl Default for ReaderBuilder {
+    fn default() -> Self {
+        ReaderBuilder {
+            has_headers: true,
+            flexible: false,
+        }
+    }
+}
+
+impl ReaderBuilder {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Whether the first record is a header row.
+    pub fn has_headers(&mut self, yes: bool) -> &mut Self {
+        self.has_headers = yes;
+        self
+    }
+
+    /// Whether records of differing arity are accepted.
+    pub fn flexible(&mut self, yes: bool) -> &mut Self {
+        self.flexible = yes;
+        self
+    }
+
+    pub fn from_reader<R: Read>(&self, reader: R) -> Reader<R> {
+        Reader {
+            input: BufReader::new(reader),
+            has_headers: self.has_headers,
+            flexible: self.flexible,
+            headers: None,
+            headers_read: false,
+            expected_arity: None,
+            buf: Vec::new(),
+            buf_pos: 0,
+            eof: false,
+        }
+    }
+}
+
+/// Buffered CSV reader (`csv::Reader` stand-in).
+#[derive(Debug)]
+pub struct Reader<R: Read> {
+    input: BufReader<R>,
+    has_headers: bool,
+    flexible: bool,
+    headers: Option<StringRecord>,
+    headers_read: bool,
+    expected_arity: Option<usize>,
+    buf: Vec<u8>,
+    buf_pos: usize,
+    eof: bool,
+}
+
+impl<R: Read> Reader<R> {
+    /// The header record (reads it on first call).
+    pub fn headers(&mut self) -> Result<&StringRecord, Error> {
+        if !self.headers_read {
+            self.headers_read = true;
+            self.headers = self.read_raw_record()?;
+            if let Some(h) = &self.headers {
+                self.expected_arity = Some(h.len());
+            }
+        }
+        // Upstream returns an empty record at EOF rather than erroring.
+        if self.headers.is_none() {
+            self.headers = Some(StringRecord::default());
+        }
+        Ok(self.headers.as_ref().unwrap())
+    }
+
+    /// Iterate the data records.
+    pub fn records(&mut self) -> RecordsIter<'_, R> {
+        RecordsIter { rdr: self }
+    }
+
+    fn next_record(&mut self) -> Option<Result<StringRecord, Error>> {
+        if self.has_headers && !self.headers_read {
+            if let Err(e) = self.headers() {
+                return Some(Err(e));
+            }
+        }
+        match self.read_raw_record() {
+            Err(e) => Some(Err(e)),
+            Ok(None) => None,
+            Ok(Some(rec)) => {
+                if !self.flexible {
+                    let expected = *self.expected_arity.get_or_insert(rec.len());
+                    if rec.len() != expected {
+                        return Some(Err(Error::new(format!(
+                            "record has {} fields, but the previous record has {expected}",
+                            rec.len()
+                        ))));
+                    }
+                }
+                Some(Ok(rec))
+            }
+        }
+    }
+
+    #[inline]
+    fn next_byte(&mut self) -> Result<Option<u8>, Error> {
+        if self.buf_pos == self.buf.len() {
+            if self.eof {
+                return Ok(None);
+            }
+            self.buf.resize(64 * 1024, 0);
+            let n = self.input.read(&mut self.buf)?;
+            self.buf.truncate(n);
+            self.buf_pos = 0;
+            if n == 0 {
+                self.eof = true;
+                return Ok(None);
+            }
+        }
+        let b = self.buf[self.buf_pos];
+        self.buf_pos += 1;
+        Ok(Some(b))
+    }
+
+    /// Parse one record, or `None` at end of input. Handles quoted fields,
+    /// doubled-quote escapes, embedded newlines in quotes, and `\r\n`.
+    fn read_raw_record(&mut self) -> Result<Option<StringRecord>, Error> {
+        let mut fields: Vec<String> = Vec::new();
+        let mut field: Vec<u8> = Vec::new();
+        let mut in_quotes = false;
+        let mut saw_any = false;
+        loop {
+            let Some(b) = self.next_byte()? else {
+                if in_quotes {
+                    return Err(Error::new("unterminated quoted field"));
+                }
+                if !saw_any {
+                    return Ok(None);
+                }
+                fields.push(into_string(field)?);
+                return Ok(Some(StringRecord { fields }));
+            };
+            saw_any = true;
+            if in_quotes {
+                if b == b'"' {
+                    // Either a closing quote or the first half of a "" escape.
+                    match self.peek_byte()? {
+                        Some(b'"') => {
+                            self.buf_pos += 1;
+                            field.push(b'"');
+                        }
+                        _ => in_quotes = false,
+                    }
+                } else {
+                    field.push(b);
+                }
+                continue;
+            }
+            match b {
+                b'"' if field.is_empty() => in_quotes = true,
+                b',' => fields.push(into_string(std::mem::take(&mut field))?),
+                b'\n' => {
+                    fields.push(into_string(field)?);
+                    return Ok(Some(StringRecord { fields }));
+                }
+                b'\r' => {
+                    if self.peek_byte()? == Some(b'\n') {
+                        self.buf_pos += 1;
+                    }
+                    fields.push(into_string(field)?);
+                    return Ok(Some(StringRecord { fields }));
+                }
+                other => field.push(other),
+            }
+        }
+    }
+
+    #[inline]
+    fn peek_byte(&mut self) -> Result<Option<u8>, Error> {
+        if self.buf_pos == self.buf.len() && !self.eof {
+            // Refill, then rewind so the byte is only peeked.
+            let b = self.next_byte()?;
+            if b.is_some() {
+                self.buf_pos -= 1;
+            }
+            return Ok(b);
+        }
+        Ok(self.buf.get(self.buf_pos).copied())
+    }
+}
+
+fn into_string(bytes: Vec<u8>) -> Result<String, Error> {
+    String::from_utf8(bytes).map_err(|e| Error::new(format!("invalid UTF-8 in field: {e}")))
+}
+
+/// Iterator over data records.
+pub struct RecordsIter<'r, R: Read> {
+    rdr: &'r mut Reader<R>,
+}
+
+impl<R: Read> Iterator for RecordsIter<'_, R> {
+    type Item = Result<StringRecord, Error>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        self.rdr.next_record()
+    }
+}
+
+/// Buffered CSV writer (`csv::Writer` stand-in).
+#[derive(Debug)]
+pub struct Writer<W: Write> {
+    out: BufWriter<W>,
+}
+
+impl<W: Write> Writer<W> {
+    pub fn from_writer(writer: W) -> Self {
+        Writer {
+            out: BufWriter::new(writer),
+        }
+    }
+
+    /// Write one record, quoting fields that need it.
+    pub fn write_record<I, T>(&mut self, record: I) -> Result<(), Error>
+    where
+        I: IntoIterator<Item = T>,
+        T: AsRef<str>,
+    {
+        let mut first = true;
+        for field in record {
+            if !first {
+                self.out.write_all(b",")?;
+            }
+            first = false;
+            let f = field.as_ref();
+            if f.contains(['"', ',', '\n', '\r']) {
+                self.out.write_all(b"\"")?;
+                self.out.write_all(f.replace('"', "\"\"").as_bytes())?;
+                self.out.write_all(b"\"")?;
+            } else {
+                self.out.write_all(f.as_bytes())?;
+            }
+        }
+        self.out.write_all(b"\n")?;
+        Ok(())
+    }
+
+    pub fn flush(&mut self) -> Result<(), Error> {
+        self.out.flush()?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn read_all(text: &str) -> (StringRecord, Vec<StringRecord>) {
+        let mut rdr = ReaderBuilder::new()
+            .has_headers(true)
+            .flexible(false)
+            .from_reader(text.as_bytes());
+        let headers = rdr.headers().unwrap().clone();
+        let records: Vec<_> = rdr.records().map(|r| r.unwrap()).collect();
+        (headers, records)
+    }
+
+    #[test]
+    fn plain_fields_and_headers() {
+        let (h, recs) = read_all("a,b,c\n1,2,3\n4,5,6\n");
+        assert_eq!(h.iter().collect::<Vec<_>>(), vec!["a", "b", "c"]);
+        assert_eq!(recs.len(), 2);
+        assert_eq!(recs[1].iter().collect::<Vec<_>>(), vec!["4", "5", "6"]);
+    }
+
+    #[test]
+    fn quoted_fields_with_commas_newlines_and_escapes() {
+        let (_, recs) = read_all("a,b\n\"x,y\",\"he said \"\"hi\"\"\"\n\"line1\nline2\",z\n");
+        assert_eq!(recs[0].get(0), Some("x,y"));
+        assert_eq!(recs[0].get(1), Some("he said \"hi\""));
+        assert_eq!(recs[1].get(0), Some("line1\nline2"));
+    }
+
+    #[test]
+    fn crlf_terminators() {
+        let (_, recs) = read_all("a,b\r\n1,2\r\n");
+        assert_eq!(recs[0].iter().collect::<Vec<_>>(), vec!["1", "2"]);
+    }
+
+    #[test]
+    fn missing_final_newline() {
+        let (_, recs) = read_all("a,b\n1,2");
+        assert_eq!(recs.len(), 1);
+        assert_eq!(recs[0].get(1), Some("2"));
+    }
+
+    #[test]
+    fn ragged_rows_rejected_when_strict() {
+        let mut rdr = ReaderBuilder::new()
+            .has_headers(true)
+            .flexible(false)
+            .from_reader("a,b\n1\n".as_bytes());
+        rdr.headers().unwrap();
+        let results: Vec<_> = rdr.records().collect();
+        assert!(results[0].is_err());
+    }
+
+    #[test]
+    fn ragged_rows_allowed_when_flexible() {
+        let mut rdr = ReaderBuilder::new()
+            .has_headers(true)
+            .flexible(true)
+            .from_reader("a,b\n1\n1,2,3\n".as_bytes());
+        rdr.headers().unwrap();
+        let results: Vec<_> = rdr.records().map(|r| r.unwrap()).collect();
+        assert_eq!(results[0].len(), 1);
+        assert_eq!(results[1].len(), 3);
+    }
+
+    #[test]
+    fn unterminated_quote_rejected() {
+        let mut rdr = ReaderBuilder::new().from_reader("a,b\n\"oops,2\n".as_bytes());
+        rdr.headers().unwrap();
+        assert!(rdr.records().next().unwrap().is_err());
+    }
+
+    #[test]
+    fn writer_round_trips_tricky_fields() {
+        let mut out = Vec::new();
+        {
+            let mut w = Writer::from_writer(&mut out);
+            w.write_record(["addr", "note"]).unwrap();
+            w.write_record(["12 Main, Apt 4", "said \"hi\"\nbye"])
+                .unwrap();
+            w.flush().unwrap();
+        }
+        let text = String::from_utf8(out.clone()).unwrap();
+        let (h, recs) = read_all(&text);
+        assert_eq!(h.iter().collect::<Vec<_>>(), vec!["addr", "note"]);
+        assert_eq!(recs[0].get(0), Some("12 Main, Apt 4"));
+        assert_eq!(recs[0].get(1), Some("said \"hi\"\nbye"));
+    }
+
+    #[test]
+    fn empty_input_yields_no_records() {
+        let mut rdr = ReaderBuilder::new().from_reader("".as_bytes());
+        assert_eq!(rdr.headers().unwrap().len(), 0);
+        assert!(rdr.records().next().is_none());
+    }
+}

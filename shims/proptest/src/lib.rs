@@ -1,0 +1,486 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no network and no vendored registry, so the
+//! workspace ships the slice of proptest's API its property tests use:
+//! the [`Strategy`] trait with `prop_map`, integer/float range strategies,
+//! simple character-class regex string strategies (`"[a-z]{1,4}"`),
+//! tuples, `collection::{vec, hash_set}`, `any::<bool>()`, and the
+//! `proptest!`/`prop_assert*` macros. Differences from upstream: cases are
+//! generated from a fixed seed (fully deterministic runs, no persistence
+//! files) and failures report the failing case without shrinking.
+
+use std::collections::HashSet;
+use std::hash::Hash;
+use std::ops::{Range, RangeInclusive};
+
+use rand::rngs::StdRng;
+use rand::{Rng as _, SeedableRng as _};
+
+/// Number of cases per property (upstream default is 256).
+pub const DEFAULT_CASES: u32 = 64;
+
+/// A generator of values (`proptest::strategy::Strategy` subset).
+///
+/// Upstream strategies produce value *trees* for shrinking; this stand-in
+/// produces plain values.
+pub trait Strategy {
+    type Value;
+
+    /// Generate one value.
+    fn generate(&self, rng: &mut StdRng) -> Self::Value;
+
+    /// Map generated values through `f`.
+    fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+
+    fn generate(&self, rng: &mut StdRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Strategy that always yields a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut StdRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize, i32, i64, f64);
+
+/// `&str` strategies are character-class regexes: `"[a-zA-Z0-9 ]{0,12}"`.
+/// Supported grammar: one `[...]` class (literals and `a-z` ranges) plus a
+/// `{m,n}` or `{n}` repetition; or a plain literal string.
+impl Strategy for &str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut StdRng) -> String {
+        let (chars, min, max) = parse_class_regex(self)
+            .unwrap_or_else(|| panic!("unsupported regex strategy `{self}`"));
+        let len = rng.gen_range(min..=max);
+        (0..len)
+            .map(|_| chars[rng.gen_range(0..chars.len())])
+            .collect()
+    }
+}
+
+/// Parse `[class]{m,n}` into (alphabet, min, max); a literal string parses
+/// as itself repeated exactly once.
+fn parse_class_regex(pattern: &str) -> Option<(Vec<char>, usize, usize)> {
+    let rest = pattern.strip_prefix('[')?;
+    let close = rest.find(']')?;
+    let class: Vec<char> = rest[..close].chars().collect();
+    let mut alphabet = Vec::new();
+    let mut i = 0;
+    while i < class.len() {
+        if i + 2 < class.len() && class[i + 1] == '-' {
+            let (lo, hi) = (class[i] as u32, class[i + 2] as u32);
+            for c in lo..=hi {
+                alphabet.push(char::from_u32(c)?);
+            }
+            i += 3;
+        } else {
+            alphabet.push(class[i]);
+            i += 1;
+        }
+    }
+    if alphabet.is_empty() {
+        return None;
+    }
+    let reps = &rest[close + 1..];
+    let body = reps.strip_prefix('{')?.strip_suffix('}')?;
+    let (min, max) = match body.split_once(',') {
+        Some((m, n)) => (m.trim().parse().ok()?, n.trim().parse().ok()?),
+        None => {
+            let n = body.trim().parse().ok()?;
+            (n, n)
+        }
+    };
+    Some((alphabet, min, max))
+}
+
+macro_rules! impl_tuple_strategy {
+    ($(($($s:ident . $idx:tt),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+impl_tuple_strategy! {
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+    (A.0, B.1, C.2, D.3, E.4)
+}
+
+/// `any::<T>()` (`proptest::arbitrary` subset).
+pub fn any<T: Arbitrary>() -> T::Strategy {
+    T::arbitrary()
+}
+
+/// Types with a canonical strategy.
+pub trait Arbitrary {
+    type Strategy: Strategy<Value = Self>;
+    fn arbitrary() -> Self::Strategy;
+}
+
+/// Uniform `bool` strategy.
+#[derive(Debug, Clone, Copy)]
+pub struct AnyBool;
+
+impl Strategy for AnyBool {
+    type Value = bool;
+
+    fn generate(&self, rng: &mut StdRng) -> bool {
+        rng.gen()
+    }
+}
+
+impl Arbitrary for bool {
+    type Strategy = AnyBool;
+
+    fn arbitrary() -> AnyBool {
+        AnyBool
+    }
+}
+
+pub mod collection {
+    use super::*;
+
+    /// Size specification for collection strategies: accepts `a..b`,
+    /// `a..=b`, or an exact `usize` (upstream's `SizeRange` conversions).
+    #[derive(Debug, Clone)]
+    pub struct SizeRange {
+        start: usize,
+        end_excl: usize,
+    }
+
+    impl SizeRange {
+        fn sample(&self, rng: &mut StdRng) -> usize {
+            rng.gen_range(self.start..self.end_excl)
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            SizeRange {
+                start: r.start,
+                end_excl: r.end,
+            }
+        }
+    }
+
+    impl From<core::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: core::ops::RangeInclusive<usize>) -> Self {
+            SizeRange {
+                start: *r.start(),
+                end_excl: *r.end() + 1,
+            }
+        }
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange {
+                start: n,
+                end_excl: n + 1,
+            }
+        }
+    }
+
+    /// `Vec` strategy with a length drawn from `len`.
+    pub fn vec<S: Strategy>(element: S, len: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            len: len.into(),
+        }
+    }
+
+    pub struct VecStrategy<S> {
+        element: S,
+        len: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut StdRng) -> Vec<S::Value> {
+            let n = self.len.sample(rng);
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// `HashSet` strategy targeting a size drawn from `len`; when the
+    /// element domain is too small the set saturates below the target
+    /// (upstream errors after too many rejects; saturating is kinder).
+    pub fn hash_set<S>(element: S, len: impl Into<SizeRange>) -> HashSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Eq + Hash,
+    {
+        HashSetStrategy {
+            element,
+            len: len.into(),
+        }
+    }
+
+    pub struct HashSetStrategy<S> {
+        element: S,
+        len: SizeRange,
+    }
+
+    impl<S> Strategy for HashSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Eq + Hash,
+    {
+        type Value = HashSet<S::Value>;
+
+        fn generate(&self, rng: &mut StdRng) -> HashSet<S::Value> {
+            let target = self.len.sample(rng);
+            let mut out = HashSet::with_capacity(target);
+            let mut attempts = 0usize;
+            while out.len() < target && attempts < target * 20 + 50 {
+                out.insert(self.element.generate(rng));
+                attempts += 1;
+            }
+            out
+        }
+    }
+}
+
+/// Per-test driver used by the [`proptest!`] expansion.
+pub struct TestRunner {
+    seed: u64,
+}
+
+impl TestRunner {
+    /// Seed derived from the test name so distinct properties explore
+    /// distinct streams, deterministically across runs.
+    pub fn new(name: &str) -> Self {
+        let mut seed = 0xcbf29ce484222325u64; // FNV-1a
+        for b in name.bytes() {
+            seed ^= b as u64;
+            seed = seed.wrapping_mul(0x100000001b3);
+        }
+        TestRunner { seed }
+    }
+
+    pub fn cases(&self) -> u32 {
+        match std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+        {
+            Some(n) => n,
+            None => DEFAULT_CASES,
+        }
+    }
+
+    pub fn rng_for_case(&self, case: u32) -> StdRng {
+        StdRng::seed_from_u64(self.seed ^ ((case as u64 + 1).wrapping_mul(0x9E3779B97F4A7C15)))
+    }
+}
+
+/// `proptest!` — each `arg in strategy` binding is generated per case and
+/// the body runs [`DEFAULT_CASES`] times with deterministic seeds.
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let runner = $crate::TestRunner::new(concat!(module_path!(), "::", stringify!($name)));
+                for case in 0..runner.cases() {
+                    let mut prop_rng = runner.rng_for_case(case);
+                    $(let $arg = $crate::Strategy::generate(&($strat), &mut prop_rng);)+
+                    let result: ::std::result::Result<(), ::std::string::String> = (|| {
+                        $body
+                        #[allow(unreachable_code)]
+                        Ok(())
+                    })();
+                    if let ::std::result::Result::Err(message) = result {
+                        panic!(
+                            "property `{}` failed at case {case}/{}: {message}",
+                            stringify!($name),
+                            runner.cases(),
+                        );
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Fallible assertion inside `proptest!` bodies.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err(
+                ::std::format!("assertion failed: {}", stringify!($cond)),
+            );
+        }
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err(::std::format!(
+                "assertion failed: {}: {}",
+                stringify!($cond),
+                ::std::format!($($fmt)*),
+            ));
+        }
+    };
+}
+
+/// Fallible equality assertion inside `proptest!` bodies.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if !(l == r) {
+            return ::std::result::Result::Err(
+                ::std::format!("assertion failed: `{:?}` == `{:?}`", l, r),
+            );
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        if !(l == r) {
+            return ::std::result::Result::Err(::std::format!(
+                "assertion failed: `{:?}` == `{:?}`: {}",
+                l, r,
+                ::std::format!($($fmt)*),
+            ));
+        }
+    }};
+}
+
+/// Fallible inequality assertion inside `proptest!` bodies.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if l == r {
+            return ::std::result::Result::Err(
+                ::std::format!("assertion failed: `{:?}` != `{:?}`", l, r),
+            );
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        if l == r {
+            return ::std::result::Result::Err(::std::format!(
+                "assertion failed: `{:?}` != `{:?}`: {}",
+                l, r,
+                ::std::format!($($fmt)*),
+            ));
+        }
+    }};
+}
+
+/// The usual glob import target.
+pub mod prelude {
+    pub use crate::{any, prop_assert, prop_assert_eq, prop_assert_ne, proptest, Just, Strategy};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    proptest! {
+        #[test]
+        fn ranges_stay_in_bounds(x in 3u16..9, y in 0usize..5, f in 0.0f64..1.0) {
+            prop_assert!((3..9).contains(&x));
+            prop_assert!(y < 5);
+            prop_assert!((0.0..1.0).contains(&f));
+        }
+
+        #[test]
+        fn regex_class_strategies(s in "[a-c]{2,4}", t in "[ -~]{0,10}") {
+            prop_assert!((2..=4).contains(&s.len()));
+            prop_assert!(s.chars().all(|c| ('a'..='c').contains(&c)));
+            prop_assert!(t.len() <= 10);
+            prop_assert!(t.chars().all(|c| (' '..='~').contains(&c)));
+        }
+
+        #[test]
+        fn collections_and_tuples(
+            v in crate::collection::vec((0u16..128, any::<bool>()), 0..200),
+            s in crate::collection::hash_set(0u16..5, 1..3),
+        ) {
+            prop_assert!(v.len() < 200);
+            prop_assert!(!s.is_empty() && s.len() <= 2);
+            prop_assert!(s.iter().all(|&x| x < 5));
+        }
+
+        #[test]
+        fn prop_map_composes(n in (0u32..4).prop_map(|x| x * 10)) {
+            prop_assert!(n % 10 == 0 && n <= 30);
+        }
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        let runner = TestRunner::new("x");
+        let strat = crate::collection::vec(0u32..1000, 0..50);
+        let a: Vec<Vec<u32>> = (0..5)
+            .map(|c| strat.generate(&mut runner.rng_for_case(c)))
+            .collect();
+        let b: Vec<Vec<u32>> = (0..5)
+            .map(|c| strat.generate(&mut runner.rng_for_case(c)))
+            .collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn failing_property_reports_case() {
+        // Expand the macro by hand to observe the Err path.
+        let runner = TestRunner::new("fails");
+        let mut rng = runner.rng_for_case(0);
+        let x = (0u32..10).generate(&mut rng);
+        let result: Result<(), String> = (|| {
+            prop_assert!(x >= 10, "never true");
+            Ok(())
+        })();
+        assert!(result.is_err());
+    }
+}
