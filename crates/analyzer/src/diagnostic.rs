@@ -1,0 +1,245 @@
+//! The diagnostic model: stable codes, severities, spans, and the
+//! deterministic JSON encoding.
+//!
+//! Codes are append-only — once shipped, an `FRxxx` code keeps its meaning
+//! forever so CI configurations (`--deny FR002`) stay valid across
+//! releases.
+
+use fixrules::io::Span;
+use obs::Json;
+
+/// How serious a finding is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    /// The rule set is unusable as written (e.g. inconsistent).
+    Error,
+    /// The rule set works but contains a defect worth fixing.
+    Warning,
+    /// Informational: something the analyzer could not decide.
+    Note,
+}
+
+impl Severity {
+    /// Lowercase display name (`error`/`warning`/`note`).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Severity::Error => "error",
+            Severity::Warning => "warning",
+            Severity::Note => "note",
+        }
+    }
+}
+
+/// Stable diagnostic codes emitted by the analyzer passes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Code {
+    /// FR000: the rule file does not parse.
+    ParseError,
+    /// FR001: two rules can drive some tuple to two different fixes.
+    ConflictingRules,
+    /// FR002: a rule is shadowed by an earlier rule (same fix on a
+    /// superset of the tuples) and can never contribute.
+    DeadRule,
+    /// FR003: a rule is implied by the rest of the set — removing it
+    /// changes no repair.
+    RedundantRule,
+    /// FR004: negative patterns overlap another rule with the same
+    /// evidence and fact, so the overlap is repaired twice.
+    UnreachableNegative,
+    /// FR005: rules form a fact→evidence dependency cycle.
+    RuleCycle,
+    /// FR006: the redundancy check ran out of budget — undecided.
+    ImplicationUnknown,
+}
+
+impl Code {
+    /// Every code, in numeric order (the order of the DESIGN.md table).
+    pub const ALL: &'static [Code] = &[
+        Code::ParseError,
+        Code::ConflictingRules,
+        Code::DeadRule,
+        Code::RedundantRule,
+        Code::UnreachableNegative,
+        Code::RuleCycle,
+        Code::ImplicationUnknown,
+    ];
+
+    /// The stable code string (`FR000`...).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Code::ParseError => "FR000",
+            Code::ConflictingRules => "FR001",
+            Code::DeadRule => "FR002",
+            Code::RedundantRule => "FR003",
+            Code::UnreachableNegative => "FR004",
+            Code::RuleCycle => "FR005",
+            Code::ImplicationUnknown => "FR006",
+        }
+    }
+
+    /// Parse a code string (`"FR001"`).
+    pub fn parse(text: &str) -> Option<Code> {
+        Code::ALL.iter().copied().find(|c| c.as_str() == text)
+    }
+
+    /// The severity this code is reported at.
+    pub fn severity(self) -> Severity {
+        match self {
+            Code::ParseError | Code::ConflictingRules => Severity::Error,
+            Code::DeadRule | Code::RedundantRule | Code::UnreachableNegative | Code::RuleCycle => {
+                Severity::Warning
+            }
+            Code::ImplicationUnknown => Severity::Note,
+        }
+    }
+
+    /// One-line description for documentation and `--explain`-style output.
+    pub fn summary(self) -> &'static str {
+        match self {
+            Code::ParseError => "the rule file does not parse",
+            Code::ConflictingRules => "two rules can repair the same tuple differently",
+            Code::DeadRule => "rule is shadowed by an earlier rule and can never contribute",
+            Code::RedundantRule => "rule is implied by the rest of the set",
+            Code::UnreachableNegative => {
+                "negative patterns duplicate another rule with the same evidence and fact"
+            }
+            Code::RuleCycle => "rules form a fact-to-evidence dependency cycle",
+            Code::ImplicationUnknown => "redundancy check exhausted its budget (undecided)",
+        }
+    }
+}
+
+/// A secondary source location attached to a finding (e.g. "the other rule
+/// of the conflicting pair").
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Related {
+    /// Where the related rule lives.
+    pub span: Span,
+    /// What the related location is.
+    pub message: String,
+}
+
+/// One finding: a coded, located, explained defect in a rule set.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// The stable code.
+    pub code: Code,
+    /// Severity (defaults to [`Code::severity`]).
+    pub severity: Severity,
+    /// Primary source location.
+    pub span: Span,
+    /// The main message.
+    pub message: String,
+    /// Secondary locations.
+    pub related: Vec<Related>,
+    /// Free-form notes (witness valuations, budgets, ...).
+    pub notes: Vec<String>,
+}
+
+impl Diagnostic {
+    /// A finding at `span` with the code's default severity.
+    pub fn new(code: Code, span: Span, message: impl Into<String>) -> Diagnostic {
+        Diagnostic {
+            code,
+            severity: code.severity(),
+            span,
+            message: message.into(),
+            related: Vec::new(),
+            notes: Vec::new(),
+        }
+    }
+
+    /// Attach a secondary location.
+    pub fn with_related(mut self, span: Span, message: impl Into<String>) -> Diagnostic {
+        self.related.push(Related {
+            span,
+            message: message.into(),
+        });
+        self
+    }
+
+    /// Attach a note line.
+    pub fn with_note(mut self, note: impl Into<String>) -> Diagnostic {
+        self.notes.push(note.into());
+        self
+    }
+
+    /// Total order used for report output: source position first, then
+    /// code, then message — fully deterministic for byte-stable JSON.
+    pub fn sort_key(&self) -> (Span, &'static str, &str) {
+        (self.span, self.code.as_str(), &self.message)
+    }
+
+    /// The finding as a JSON object (sorted members via [`Json::Obj`]).
+    pub fn to_json(&self) -> Json {
+        let mut obj = Json::Null;
+        obj.set("code", self.code.as_str());
+        obj.set("severity", self.severity.as_str());
+        obj.set("span", span_json(self.span));
+        obj.set("message", self.message.as_str());
+        obj.set(
+            "related",
+            Json::Arr(
+                self.related
+                    .iter()
+                    .map(|r| {
+                        let mut rel = Json::Null;
+                        rel.set("span", span_json(r.span));
+                        rel.set("message", r.message.as_str());
+                        rel
+                    })
+                    .collect(),
+            ),
+        );
+        obj.set("notes", self.notes.clone());
+        obj
+    }
+}
+
+fn span_json(span: Span) -> Json {
+    let mut obj = Json::Null;
+    obj.set("line", span.line);
+    obj.set("col", span.col);
+    obj.set("len", span.len);
+    obj
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_are_stable_and_parse_back() {
+        for &code in Code::ALL {
+            assert_eq!(Code::parse(code.as_str()), Some(code));
+            assert!(!code.summary().is_empty());
+        }
+        assert_eq!(Code::parse("FR999"), None);
+    }
+
+    #[test]
+    fn diagnostics_sort_by_position_then_code() {
+        let a = Diagnostic::new(Code::DeadRule, Span::point(4, 1), "x");
+        let b = Diagnostic::new(Code::RedundantRule, Span::point(4, 1), "x");
+        let c = Diagnostic::new(Code::ConflictingRules, Span::point(2, 1), "x");
+        let mut v = [a.clone(), b.clone(), c.clone()];
+        v.sort_by(|x, y| x.sort_key().cmp(&y.sort_key()));
+        assert_eq!(v[0].code, Code::ConflictingRules);
+        assert_eq!(v[1].code, Code::DeadRule);
+        assert_eq!(v[2].code, Code::RedundantRule);
+    }
+
+    #[test]
+    fn json_shape_is_complete() {
+        let d = Diagnostic::new(Code::ConflictingRules, Span::new(3, 1, 70), "conflict")
+            .with_related(Span::new(2, 1, 80), "the other rule")
+            .with_note("witness: ...");
+        let json = d.to_json();
+        assert_eq!(json.get("code").and_then(Json::as_str), Some("FR001"));
+        assert_eq!(json.get("severity").and_then(Json::as_str), Some("error"));
+        let span = json.get("span").unwrap();
+        assert_eq!(span.get("line").and_then(Json::as_i64), Some(3));
+        assert_eq!(json.get("related").and_then(Json::as_arr).unwrap().len(), 1);
+        assert_eq!(json.get("notes").and_then(Json::as_arr).unwrap().len(), 1);
+    }
+}

@@ -1,0 +1,90 @@
+//! FR001 — conflicting rule pairs.
+//!
+//! Runs the Fig 4 characterization (`isConsist_r`) over the whole set and
+//! upgrades each conflicting pair into a diagnostic with a *minimal
+//! witness*: a concrete evidence valuation plus the two disagreeing fixes,
+//! materialized by the enumeration checker
+//! ([`fixrules::consistency::conflict_witness`]). The witness enumeration
+//! is skipped (the diagnostic still fires, without the notes) when the
+//! pair's candidate space exceeds the witness budget.
+
+use fixrules::consistency::enumerate::WILDCARD;
+use fixrules::consistency::{
+    conflict_witness, is_consistent_characterize, ConflictCase, ConsistencyReport,
+};
+use relation::Symbol;
+
+use crate::diagnostic::{Code, Diagnostic};
+use crate::passes::Ctx;
+
+/// Run the pass. Returns the consistency report (later passes gate on it)
+/// alongside the FR001 diagnostics.
+pub fn run(ctx: &Ctx<'_>) -> (ConsistencyReport, Vec<Diagnostic>) {
+    let report = is_consistent_characterize(ctx.rules, usize::MAX);
+    let mut diags = Vec::with_capacity(report.conflicts.len());
+    for conflict in &report.conflicts {
+        let mut diag = Diagnostic::new(
+            Code::ConflictingRules,
+            ctx.span(conflict.second),
+            format!(
+                "conflicting rules: cannot agree with the rule at {} ({})",
+                ctx.line_ref(conflict.first),
+                case_text(conflict.case)
+            ),
+        )
+        .with_related(
+            ctx.span(conflict.first),
+            "the other rule of the conflicting pair",
+        );
+        if let Some(witness) = conflict_witness(ctx.rules, conflict, ctx.opts.witness_budget) {
+            diag = diag
+                .with_note(format!("witness tuple: {}", valuation(ctx, &witness.tuple)))
+                .with_note(disagreement(ctx, &witness.fixes));
+        }
+        diags.push(diag);
+    }
+    (report, diags)
+}
+
+fn case_text(case: ConflictCase) -> &'static str {
+    match case {
+        ConflictCase::SameBDifferentFacts => {
+            "both repair the same attribute with different facts on overlapping negative patterns"
+        }
+        ConflictCase::BiInXj | ConflictCase::BjInXi => {
+            "one rule rewrites an attribute the other reads as evidence"
+        }
+        ConflictCase::Mutual => "each rule rewrites an attribute the other reads as evidence",
+    }
+}
+
+/// `country = "China", capital = "Shanghai"` — wildcard cells omitted.
+fn valuation(ctx: &Ctx<'_>, tuple: &[Symbol]) -> String {
+    let parts: Vec<String> = ctx
+        .rules
+        .schema()
+        .attr_ids()
+        .filter(|a| tuple[a.index()] != WILDCARD)
+        .map(|a| format!("{} = {}", ctx.attr(a), ctx.value(tuple[a.index()])))
+        .collect();
+    parts.join(", ")
+}
+
+/// `the two fixes disagree on capital: "Beijing" vs "Nanjing"`.
+fn disagreement(ctx: &Ctx<'_>, fixes: &[Vec<Symbol>; 2]) -> String {
+    let parts: Vec<String> = ctx
+        .rules
+        .schema()
+        .attr_ids()
+        .filter(|a| fixes[0][a.index()] != fixes[1][a.index()])
+        .map(|a| {
+            format!(
+                "{}: {} vs {}",
+                ctx.attr(a),
+                ctx.value(fixes[0][a.index()]),
+                ctx.value(fixes[1][a.index()])
+            )
+        })
+        .collect();
+    format!("the two fixes disagree on {}", parts.join(", "))
+}

@@ -1,0 +1,149 @@
+//! FR005 — fact→evidence dependency cycles.
+//!
+//! Edge `i → j` when rule `i`'s fact lands exactly on a cell rule `j`
+//! reads as evidence (`B_i ∈ X_j` and `tp_j[B_i] = fact_i`): firing `i`
+//! can newly enable `j`. A strongly connected component of two or more
+//! rules means the chase can enable the members in a loop, so which rule
+//! fires first depends on chase order — harmless for a consistent set
+//! (the fix is unique regardless) but fragile under rule edits, hence a
+//! warning. Self-loops are impossible (`B ∉ X` by construction).
+
+use crate::diagnostic::{Code, Diagnostic};
+use crate::passes::Ctx;
+
+/// Run the pass: Tarjan SCC over the dependency graph, one diagnostic per
+/// component of size ≥ 2, anchored at the member written first.
+pub fn run(ctx: &Ctx<'_>) -> Vec<Diagnostic> {
+    let rules: Vec<_> = ctx.rules.iter().collect();
+    let n = rules.len();
+    let mut edges: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for (i, &(_, from)) in rules.iter().enumerate() {
+        for (j, &(_, to)) in rules.iter().enumerate() {
+            if i != j && to.evidence_value(from.b()) == Some(from.fact()) {
+                edges[i].push(j);
+            }
+        }
+    }
+
+    let mut diags = Vec::new();
+    for component in tarjan_sccs(&edges) {
+        if component.len() < 2 {
+            continue;
+        }
+        // Anchor at the member that appears first in the file.
+        let mut members: Vec<usize> = component;
+        members.sort_by_key(|&k| ctx.span(rules[k].0));
+        let (anchor_id, _) = rules[members[0]];
+        let lines: Vec<String> = members
+            .iter()
+            .map(|&k| ctx.span(rules[k].0).line.to_string())
+            .collect();
+        let mut diag = Diagnostic::new(
+            Code::RuleCycle,
+            ctx.span(anchor_id),
+            format!(
+                "{} rules form a fact-to-evidence dependency cycle (lines {}): \
+                 each one's fact can enable another's evidence, so firing order \
+                 depends on chase order",
+                members.len(),
+                lines.join(", ")
+            ),
+        );
+        for &k in &members[1..] {
+            diag = diag.with_related(ctx.span(rules[k].0), "cycle member");
+        }
+        diags.push(diag);
+    }
+    diags
+}
+
+/// Iterative Tarjan strongly-connected components. Components are returned
+/// in a deterministic order (a function of the deterministic edge lists).
+fn tarjan_sccs(edges: &[Vec<usize>]) -> Vec<Vec<usize>> {
+    let n = edges.len();
+    let mut index = vec![usize::MAX; n];
+    let mut low = vec![0usize; n];
+    let mut on_stack = vec![false; n];
+    let mut stack: Vec<usize> = Vec::new();
+    let mut next_index = 0usize;
+    let mut sccs: Vec<Vec<usize>> = Vec::new();
+    // Explicit DFS frames: (node, next child position).
+    let mut frames: Vec<(usize, usize)> = Vec::new();
+
+    for start in 0..n {
+        if index[start] != usize::MAX {
+            continue;
+        }
+        frames.push((start, 0));
+        while let Some(&mut (v, ref mut child)) = frames.last_mut() {
+            if *child == 0 {
+                index[v] = next_index;
+                low[v] = next_index;
+                next_index += 1;
+                stack.push(v);
+                on_stack[v] = true;
+            }
+            if let Some(&w) = edges[v].get(*child) {
+                *child += 1;
+                if index[w] == usize::MAX {
+                    frames.push((w, 0));
+                } else if on_stack[w] {
+                    low[v] = low[v].min(index[w]);
+                }
+            } else {
+                frames.pop();
+                if let Some(&(parent, _)) = frames.last() {
+                    low[parent] = low[parent].min(low[v]);
+                }
+                if low[v] == index[v] {
+                    let mut component = Vec::new();
+                    loop {
+                        let w = stack.pop().expect("tarjan stack invariant");
+                        on_stack[w] = false;
+                        component.push(w);
+                        if w == v {
+                            break;
+                        }
+                    }
+                    sccs.push(component);
+                }
+            }
+        }
+    }
+    sccs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::tarjan_sccs;
+
+    #[test]
+    fn finds_nontrivial_components() {
+        // 0 -> 1 -> 2 -> 0 (a 3-cycle), 3 -> 0 (a tail), 4 isolated.
+        let edges = vec![vec![1], vec![2], vec![0], vec![0], vec![]];
+        let mut nontrivial: Vec<Vec<usize>> = tarjan_sccs(&edges)
+            .into_iter()
+            .filter(|c| c.len() > 1)
+            .map(|mut c| {
+                c.sort();
+                c
+            })
+            .collect();
+        nontrivial.sort();
+        assert_eq!(nontrivial, vec![vec![0, 1, 2]]);
+    }
+
+    #[test]
+    fn two_independent_cycles() {
+        let edges = vec![vec![1], vec![0], vec![3], vec![2]];
+        let mut nontrivial: Vec<Vec<usize>> = tarjan_sccs(&edges)
+            .into_iter()
+            .map(|mut c| {
+                c.sort();
+                c
+            })
+            .collect();
+        nontrivial.sort();
+        assert_eq!(nontrivial, vec![vec![0, 1], vec![2, 3]]);
+    }
+}

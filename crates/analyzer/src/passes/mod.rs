@@ -1,0 +1,81 @@
+//! The analyzer passes, each one source file:
+//!
+//! 1. [`conflicts`] — FR001, pairwise inconsistency with a materialized
+//!    witness valuation;
+//! 2. [`shadow`] — FR002, rules an earlier rule fully shadows;
+//! 3. [`mod@unreachable`] — FR004, negative patterns duplicated across rules
+//!    with the same evidence and fact;
+//! 4. [`redundant`] — FR003/FR006, rules implied by the rest of the set
+//!    (via the §4.3 small-model implication check);
+//! 5. [`cycles`] — FR005, strongly connected components of the
+//!    fact→evidence dependency graph.
+//!
+//! Passes are pure functions from a [`Ctx`] to diagnostics; ordering
+//! dependencies (redundancy must skip dead rules, everything skips an
+//! inconsistent set where noted) are threaded explicitly by the driver in
+//! [`crate::lint`].
+
+pub mod conflicts;
+pub mod cycles;
+pub mod redundant;
+pub mod shadow;
+pub mod unreachable;
+
+use fixrules::io::Span;
+use fixrules::rule::FixingRule;
+use fixrules::{RuleId, RuleSet};
+use relation::SymbolTable;
+
+use crate::LintOptions;
+
+/// Everything a pass can see: the rules, where each was written, the
+/// interner (for rendering values in messages), and the budgets.
+pub struct Ctx<'a> {
+    /// The rule set under analysis.
+    pub rules: &'a RuleSet,
+    /// Per-rule source spans, aligned with rule ids (missing entries fall
+    /// back to an unknown span).
+    pub spans: &'a [Span],
+    /// The symbol table the rules were interned into.
+    pub symbols: &'a SymbolTable,
+    /// Analysis budgets.
+    pub opts: &'a LintOptions,
+}
+
+impl Ctx<'_> {
+    /// Source span of a rule (unknown spans render without a snippet).
+    pub fn span(&self, id: RuleId) -> Span {
+        self.spans.get(id.index()).copied().unwrap_or_default()
+    }
+
+    /// `"line N"` for messages referring to another rule.
+    pub fn line_ref(&self, id: RuleId) -> String {
+        format!("line {}", self.span(id).line)
+    }
+
+    /// Render a value for a message: the quoted string behind a symbol.
+    pub fn value(&self, symbol: relation::Symbol) -> String {
+        format!("\"{}\"", self.symbols.resolve(symbol))
+    }
+
+    /// Render an attribute name.
+    pub fn attr(&self, attr: relation::AttrId) -> &str {
+        self.rules.schema().attr_name(attr)
+    }
+}
+
+/// True when every evidence cell of `weaker` appears identically in
+/// `stronger` — i.e. `weaker`'s evidence pattern matches a superset of the
+/// tuples `stronger`'s does.
+pub(crate) fn evidence_subsumes(weaker: &FixingRule, stronger: &FixingRule) -> bool {
+    weaker
+        .x()
+        .iter()
+        .zip(weaker.tp())
+        .all(|(&attr, &val)| stronger.evidence_value(attr) == Some(val))
+}
+
+/// True when every negative pattern of `inner` appears in `outer`.
+pub(crate) fn negatives_subset(inner: &FixingRule, outer: &FixingRule) -> bool {
+    inner.neg().iter().all(|v| outer.neg_contains(*v))
+}

@@ -1,0 +1,46 @@
+//! FR002 — dead (shadowed) rules.
+//!
+//! A rule is *dead* when an earlier rule matches every tuple it matches
+//! (weaker-or-equal evidence, superset negative patterns) and applies the
+//! same fix to the same attribute: the later rule can never be the first
+//! to fire, and firing it changes nothing the earlier rule would not
+//! already have done. Cross-fact shadowing is deliberately excluded — a
+//! pattern-subsumed pair with *different* facts is a conflict and is
+//! reported as FR001 by the conflicts pass instead.
+
+use crate::diagnostic::{Code, Diagnostic};
+use crate::passes::{evidence_subsumes, negatives_subset, Ctx};
+
+/// Run the pass. Returns one dead flag per rule (in rule-id order) plus
+/// the FR002 diagnostics; later passes use the flags to avoid re-reporting
+/// dead rules as redundant.
+pub fn run(ctx: &Ctx<'_>) -> (Vec<bool>, Vec<Diagnostic>) {
+    let rules: Vec<_> = ctx.rules.iter().collect();
+    let mut dead = vec![false; rules.len()];
+    let mut diags = Vec::new();
+    for (j, &(jid, rule)) in rules.iter().enumerate() {
+        let shadowing = rules[..j].iter().find(|&&(iid, earlier)| {
+            !dead[iid.index()]
+                && earlier.b() == rule.b()
+                && earlier.fact() == rule.fact()
+                && evidence_subsumes(earlier, rule)
+                && negatives_subset(rule, earlier)
+        });
+        if let Some(&(iid, _)) = shadowing {
+            dead[jid.index()] = true;
+            diags.push(
+                Diagnostic::new(
+                    Code::DeadRule,
+                    ctx.span(jid),
+                    format!(
+                        "rule can never contribute: the rule at {} matches every tuple \
+                         this rule matches and applies the same fix",
+                        ctx.line_ref(iid)
+                    ),
+                )
+                .with_related(ctx.span(iid), "the shadowing rule"),
+            );
+        }
+    }
+    (dead, diags)
+}

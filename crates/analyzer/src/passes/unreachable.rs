@@ -1,0 +1,65 @@
+//! FR004 — negative patterns duplicated across rules.
+//!
+//! When two live rules repair the same attribute to the same fact and one
+//! rule's evidence subsumes the other's, any negative pattern they share
+//! is handled twice: a tuple carrying the shared value is already repaired
+//! identically by the broader rule, so the overlap on the more specific
+//! rule buys nothing and is a likely copy-paste residue. (A *full* overlap
+//! with weaker evidence is a dead rule — FR002 — and is not re-reported
+//! here.)
+
+use relation::Symbol;
+
+use crate::diagnostic::{Code, Diagnostic};
+use crate::passes::{evidence_subsumes, Ctx};
+
+/// Run the pass over live rules only (`dead` comes from the shadow pass).
+pub fn run(ctx: &Ctx<'_>, dead: &[bool]) -> Vec<Diagnostic> {
+    let rules: Vec<_> = ctx.rules.iter().collect();
+    let mut diags = Vec::new();
+    for (j, &(jid, rule)) in rules.iter().enumerate() {
+        if dead[jid.index()] {
+            continue;
+        }
+        for &(iid, other) in rules.iter().take(j) {
+            if dead[iid.index()] || other.b() != rule.b() || other.fact() != rule.fact() {
+                continue;
+            }
+            // Anchor the warning at the rule with the more specific
+            // evidence; on equal evidence, at the later rule (`rule`).
+            let (anchor, anchor_rule, broader, broader_rule) = if evidence_subsumes(other, rule) {
+                (jid, rule, iid, other)
+            } else if evidence_subsumes(rule, other) {
+                (iid, other, jid, rule)
+            } else {
+                continue;
+            };
+            let overlap: Vec<Symbol> = anchor_rule
+                .neg()
+                .iter()
+                .copied()
+                .filter(|&v| broader_rule.neg_contains(v))
+                .collect();
+            if overlap.is_empty() {
+                continue;
+            }
+            let values: Vec<String> = overlap.iter().map(|&v| ctx.value(v)).collect();
+            diags.push(
+                Diagnostic::new(
+                    Code::UnreachableNegative,
+                    ctx.span(anchor),
+                    format!(
+                        "negative pattern{} {} duplicated: the rule at {} already repairs \
+                         {} identically on this evidence",
+                        if values.len() > 1 { "s" } else { "" },
+                        values.join(", "),
+                        ctx.line_ref(broader),
+                        if values.len() > 1 { "them" } else { "it" },
+                    ),
+                )
+                .with_related(ctx.span(broader), "the overlapping rule"),
+            );
+        }
+    }
+    diags
+}

@@ -1,0 +1,125 @@
+//! Human-readable (rustc-style) rendering of diagnostics.
+//!
+//! ```text
+//! error[FR001]: conflicting rules: cannot agree with the rule at line 2 (...)
+//!   --> examples/lint/conflicting.frl:3:1
+//!    |
+//!  2 | IF country = "China" AND capital IN {...} THEN capital := "Beijing"
+//!    | ------------------------------------------------------------------ the other rule of the conflicting pair
+//!  3 | IF conf = "ICDE" AND capital IN {"Shanghai"} THEN capital := "Nanjing"
+//!    | ^^^^^^^^^^^^^^^^^^^^^^^^^^^^^^^^^^^^^^^^^^^^^^^^^^^^^^^^^^^^^^^^^^^^^
+//!    = note: witness tuple: ...
+//! ```
+
+use std::fmt::Write as _;
+
+use fixrules::io::Span;
+
+use crate::diagnostic::Diagnostic;
+use crate::LintReport;
+
+/// Render one diagnostic with source excerpts from `source` (the rule-file
+/// text) and `file` as the displayed path.
+pub fn render(diag: &Diagnostic, file: &str, source: &str) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{}[{}]: {}",
+        diag.severity.as_str(),
+        diag.code.as_str(),
+        diag.message
+    );
+    let _ = writeln!(out, "  --> {file}:{}:{}", diag.span.line, diag.span.col);
+
+    // Snippet lines: the primary span (underlined with ^) plus every
+    // related span (underlined with -), in source order.
+    let mut excerpts: Vec<(Span, char, &str)> = vec![(diag.span, '^', "")];
+    for related in &diag.related {
+        excerpts.push((related.span, '-', &related.message));
+    }
+    excerpts.sort_by_key(|&(span, ..)| span);
+    excerpts.retain(|&(span, ..)| span.line > 0);
+    let gutter = excerpts
+        .iter()
+        .map(|&(span, ..)| span.line.to_string().len())
+        .max()
+        .unwrap_or(1);
+    if !excerpts.is_empty() {
+        let _ = writeln!(out, "{:gutter$} |", "");
+    }
+    for (span, marker, label) in excerpts {
+        let text = source.lines().nth(span.line - 1).unwrap_or("");
+        let _ = writeln!(out, "{:>gutter$} | {}", span.line, text);
+        let pad = " ".repeat(span.col.saturating_sub(1));
+        let underline = marker.to_string().repeat(span.len.max(1));
+        let label = if label.is_empty() {
+            String::new()
+        } else {
+            format!(" {label}")
+        };
+        let _ = writeln!(out, "{:gutter$} | {pad}{underline}{label}", "");
+    }
+    for note in &diag.notes {
+        let _ = writeln!(out, "{:gutter$} = note: {note}", "");
+    }
+    out
+}
+
+/// Render a whole report followed by a one-line summary.
+pub fn render_report(report: &LintReport, file: &str, source: &str) -> String {
+    let mut out = String::new();
+    for diag in &report.diagnostics {
+        out.push_str(&render(diag, file, source));
+        out.push('\n');
+    }
+    let _ = writeln!(
+        out,
+        "{file}: {} error(s), {} warning(s), {} note(s)",
+        report.errors(),
+        report.warnings(),
+        report.notes()
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::diagnostic::{Code, Diagnostic};
+
+    #[test]
+    fn renders_snippet_with_caret_underline() {
+        let source = "# header\nIF a = \"1\" AND b IN {\"x\"} THEN b := \"y\"\n";
+        let diag = Diagnostic::new(
+            Code::DeadRule,
+            Span::new(2, 1, 40),
+            "rule can never contribute",
+        )
+        .with_note("sample note");
+        let text = render(&diag, "rules.frl", source);
+        assert!(
+            text.contains("warning[FR002]: rule can never contribute"),
+            "{text}"
+        );
+        assert!(text.contains("--> rules.frl:2:1"), "{text}");
+        assert!(text.contains("2 | IF a = \"1\""), "{text}");
+        assert!(text.contains("^^^^^"), "{text}");
+        assert!(text.contains("= note: sample note"), "{text}");
+    }
+
+    #[test]
+    fn related_spans_use_dashes_and_labels() {
+        let source = "IF a = \"1\" AND b IN {\"x\"} THEN b := \"y\"\nIF a = \"1\" AND b IN {\"x\"} THEN b := \"z\"\n";
+        let diag = Diagnostic::new(Code::ConflictingRules, Span::new(2, 1, 40), "conflict")
+            .with_related(Span::new(1, 1, 40), "the other rule");
+        let text = render(&diag, "r.frl", source);
+        // Related line appears before the primary (source order) with dashes.
+        let dash_pos = text.find("----").expect("dash underline");
+        let caret_pos = text.find("^^^^").expect("caret underline");
+        assert!(dash_pos < caret_pos, "{text}");
+        assert!(
+            text.contains("---- the other rule") || text.contains("- the other rule"),
+            "{text}"
+        );
+    }
+}

@@ -1,6 +1,8 @@
 //! `fixctl` — repair CSV data with fixing rules from the command line.
 //!
 //! ```text
+//! fixctl lint    rules.frl [--deny warnings] [--format json]
+//!                                                         # static analysis (fixlint)
 //! fixctl check   --rules rules.frl --data data.csv        # consistency report
 //! fixctl resolve --rules rules.frl --data data.csv --out fixed_rules.frl
 //!                [--strategy shrink|drop]                 # §5.3 workflow
@@ -41,7 +43,7 @@ use relation::{SymbolTable, Table};
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match run(&args) {
-        Ok(()) => ExitCode::SUCCESS,
+        Ok(code) => code,
         Err(msg) => {
             eprintln!("fixctl: {msg}");
             ExitCode::from(2)
@@ -124,23 +126,32 @@ impl Flags {
     }
 }
 
-fn run(args: &[String]) -> Result<(), String> {
+fn run(args: &[String]) -> Result<ExitCode, String> {
     let Some(command) = args.first() else {
         return Err(usage());
     };
-    let flags = Flags::parse(&args[1..])?;
+    // `lint` takes its rules file as a positional argument (like rustc);
+    // every other command is pure `--flag value` pairs.
+    let (positional, flag_args) = match args.get(1) {
+        Some(arg) if command == "lint" && !arg.starts_with("--") => {
+            (Some(arg.as_str()), &args[2..])
+        }
+        _ => (None, &args[1..]),
+    };
+    let flags = Flags::parse(flag_args)?;
     let obs_ctx = ObsCtx::from_flags(&flags)?;
     let result = match command.as_str() {
-        "check" => cmd_check(&flags, &obs_ctx),
-        "convert" => cmd_convert(&flags, &obs_ctx),
-        "detect" => cmd_detect(&flags, &obs_ctx),
-        "discover" => cmd_discover(&flags),
-        "resolve" => cmd_resolve(&flags, &obs_ctx),
-        "repair" => cmd_repair(&flags, &obs_ctx),
-        "stats" => cmd_stats(&flags, &obs_ctx),
+        "check" => cmd_check(&flags, &obs_ctx).map(|()| ExitCode::SUCCESS),
+        "convert" => cmd_convert(&flags, &obs_ctx).map(|()| ExitCode::SUCCESS),
+        "detect" => cmd_detect(&flags, &obs_ctx).map(|()| ExitCode::SUCCESS),
+        "discover" => cmd_discover(&flags).map(|()| ExitCode::SUCCESS),
+        "lint" => cmd_lint(positional, &flags, &obs_ctx),
+        "resolve" => cmd_resolve(&flags, &obs_ctx).map(|()| ExitCode::SUCCESS),
+        "repair" => cmd_repair(&flags, &obs_ctx).map(|()| ExitCode::SUCCESS),
+        "stats" => cmd_stats(&flags, &obs_ctx).map(|()| ExitCode::SUCCESS),
         "help" | "--help" | "-h" => {
             println!("{}", usage());
-            Ok(())
+            Ok(ExitCode::SUCCESS)
         }
         other => Err(format!("unknown command `{other}`\n{}", usage())),
     };
@@ -152,8 +163,69 @@ fn usage() -> String {
     "usage: fixctl <check|detect|discover|resolve|repair|stats|convert> --rules FILE --data FILE.csv \
      [--out FILE] [--algo lrepair|crepair|stream] [--strategy shrink|drop] [--updates-log FILE] \
      [--metrics FILE.json] [--log off|info|debug] \
+     | lint RULES.frl [--schema a,b,c | --data FILE.csv] [--format human|json] \
+     [--deny warnings|FR001,...] \
      | discover --data FILE.csv --fds FILE --out rules.frl [--min-support N] [--min-confidence F]"
         .to_string()
+}
+
+/// Static analysis of a rule file: parse (inferring a schema from the
+/// rules themselves unless `--schema`/`--data` provides one), run the
+/// `fixlint` passes, and render the findings rustc-style or as JSON.
+/// Exit status: 2 on operational errors, 1 when any finding is fatal
+/// (errors always; plus whatever `--deny` promotes), 0 otherwise.
+fn cmd_lint(positional: Option<&str>, flags: &Flags, obs_ctx: &ObsCtx) -> Result<ExitCode, String> {
+    let path = positional
+        .or_else(|| flags.optional("rules"))
+        .ok_or("lint needs a rules file: fixctl lint <rules.frl>")?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    let deny = match flags.optional("deny") {
+        Some(spec) => fixlint::DenyList::parse(spec)?,
+        None => fixlint::DenyList::none(),
+    };
+    let format = flags.optional("format").unwrap_or("human");
+    let mut symbols = SymbolTable::new();
+    let schema = if let Some(names) = flags.optional("schema") {
+        relation::Schema::new("R", names.split(',').map(str::trim)).map_err(|e| e.to_string())?
+    } else if let Some(data_path) = flags.optional("data") {
+        relation::csv_io::read_csv_file(data_path, "data", &mut symbols)
+            .map_err(|e| format!("reading {data_path}: {e}"))?
+            .schema()
+            .clone()
+    } else {
+        match fixrules::io::infer_schema(&text, "R") {
+            Ok(schema) => schema,
+            // An unparseable file still gets a rendered FR000 report below.
+            Err(_) => relation::Schema::new("R", ["_"]).map_err(|e| e.to_string())?,
+        }
+    };
+    let report = {
+        let _span = obs_ctx.span("lint");
+        fixlint::lint_source(
+            &text,
+            &schema,
+            &mut symbols,
+            &fixlint::LintOptions::default(),
+        )
+    };
+    report.observe(&obs_ctx.observer);
+    obs::info!(
+        "lint.done",
+        file = path,
+        errors = report.errors(),
+        warnings = report.warnings(),
+        notes = report.notes()
+    );
+    match format {
+        "json" => println!("{}", report.to_json(path).to_string_pretty()),
+        "human" => print!("{}", fixlint::render_report(&report, path, &text)),
+        other => return Err(format!("unknown format `{other}` (human|json)")),
+    }
+    if report.fatal(&deny) > 0 {
+        Ok(ExitCode::from(1))
+    } else {
+        Ok(ExitCode::SUCCESS)
+    }
 }
 
 /// Convert between the `.frl` line format and the portable JSON document,

@@ -467,6 +467,122 @@ fn metrics_flag_emits_stage_timings_and_counters() {
     assert!(csv.contains("Mike,Canada,Ottawa,Toronto,VLDB"), "{csv}");
 }
 
+fn example(rel: &str) -> String {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../../examples")
+        .join(rel)
+        .to_str()
+        .unwrap()
+        .to_string()
+}
+
+#[test]
+fn lint_reports_conflict_with_stable_code_and_span() {
+    let out = fixctl(&["lint", &example("lint/conflicting.frl")]);
+    assert_eq!(out.status.code(), Some(1));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("error[FR001]"), "{stdout}");
+    assert!(stdout.contains("conflicting.frl:3:1"), "{stdout}");
+    assert!(stdout.contains("witness tuple:"), "{stdout}");
+    assert!(stdout.contains("1 error(s)"), "{stdout}");
+}
+
+#[test]
+fn lint_warnings_exit_zero_unless_denied() {
+    let path = example("lint/dead_redundant.frl");
+    let out = fixctl(&["lint", &path]);
+    assert_eq!(out.status.code(), Some(0));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("warning[FR002]"), "{stdout}");
+    assert!(stdout.contains("dead_redundant.frl:4:1"), "{stdout}");
+    assert!(stdout.contains("warning[FR003]"), "{stdout}");
+    assert!(stdout.contains("dead_redundant.frl:5:1"), "{stdout}");
+    assert!(stdout.contains("warning[FR004]"), "{stdout}");
+
+    let out = fixctl(&["lint", &path, "--deny", "warnings"]);
+    assert_eq!(out.status.code(), Some(1));
+}
+
+#[test]
+fn lint_deny_specific_code_is_fatal() {
+    let path = example("lint/dead_redundant.frl");
+    let out = fixctl(&["lint", &path, "--deny", "FR002"]);
+    assert_eq!(out.status.code(), Some(1));
+    // Denying a code that never fires stays clean.
+    let out = fixctl(&["lint", &path, "--deny", "FR001"]);
+    assert_eq!(out.status.code(), Some(0));
+    // Unknown codes are an operational error, not a lint result.
+    let out = fixctl(&["lint", &path, "--deny", "FR999"]);
+    assert_eq!(out.status.code(), Some(2));
+}
+
+#[test]
+fn lint_good_rulesets_are_clean() {
+    for rel in ["rulesets/travel.frl", "rulesets/hosp_zip.frl"] {
+        let out = fixctl(&["lint", &example(rel), "--deny", "warnings"]);
+        assert_eq!(out.status.code(), Some(0), "{rel} should lint clean");
+        let stdout = String::from_utf8_lossy(&out.stdout);
+        assert!(stdout.contains("0 error(s), 0 warning(s)"), "{stdout}");
+    }
+}
+
+#[test]
+fn lint_json_is_deterministic_and_parses() {
+    let path = example("lint/dead_redundant.frl");
+    let first = fixctl(&["lint", &path, "--format", "json"]);
+    let second = fixctl(&["lint", &path, "--format", "json"]);
+    assert_eq!(first.stdout, second.stdout, "JSON output must be stable");
+    let doc = obs::json::parse(&String::from_utf8_lossy(&first.stdout)).expect("valid JSON");
+    let findings = doc
+        .get("findings")
+        .and_then(|f| f.as_arr())
+        .expect("findings array");
+    let codes: Vec<_> = findings
+        .iter()
+        .map(|f| f.get("code").and_then(|c| c.as_str()).unwrap())
+        .collect();
+    assert_eq!(codes, ["FR002", "FR003", "FR004", "FR004"]);
+    let summary = doc.get("summary").expect("summary");
+    assert_eq!(summary.get("warnings").unwrap().as_i64(), Some(4));
+    assert_eq!(summary.get("errors").unwrap().as_i64(), Some(0));
+}
+
+#[test]
+fn lint_parse_error_is_fr000() {
+    let dir = tmpdir("lint_parse");
+    let rules = dir.join("broken.frl");
+    std::fs::write(&rules, "IF country = \"China\" capital := \"Beijing\"\n").unwrap();
+    let out = fixctl(&["lint", rules.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(1));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("error[FR000]"), "{stdout}");
+    assert!(stdout.contains("broken.frl:1:"), "{stdout}");
+}
+
+#[test]
+fn lint_counts_findings_in_metrics() {
+    let dir = tmpdir("lint_metrics");
+    let metrics = dir.join("m.json");
+    let out = fixctl(&[
+        "lint",
+        &example("lint/dead_redundant.frl"),
+        "--metrics",
+        metrics.to_str().unwrap(),
+    ]);
+    assert_eq!(out.status.code(), Some(0));
+    let snap = obs::json::parse(&std::fs::read_to_string(&metrics).unwrap()).unwrap();
+    let counters = snap.get("counters").expect("counters");
+    assert_eq!(counters.get("lint.findings").unwrap().as_i64(), Some(4));
+    assert_eq!(
+        counters.get("lint.findings.FR002").unwrap().as_i64(),
+        Some(1)
+    );
+    assert_eq!(
+        counters.get("lint.severity.warning").unwrap().as_i64(),
+        Some(4)
+    );
+}
+
 /// `--metrics` without `--log` still writes the snapshot; `--log off` (the
 /// default) emits nothing on stderr beyond the usual human summary.
 #[test]

@@ -138,6 +138,48 @@ pub fn check_candidate(rules: &RuleSet, candidate: &crate::rule::FixingRule) -> 
         .collect()
 }
 
+/// A materialized proof of a pairwise conflict: a concrete tuple together
+/// with two distinct fixes it can reach under the pair, depending on which
+/// rule fires first. This is the evidence a diagnostic can show a rule
+/// author — "on this valuation, your rules disagree".
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConflictWitness {
+    /// The witness tuple; attributes untouched by either rule hold
+    /// [`enumerate::WILDCARD`].
+    pub tuple: Vec<Symbol>,
+    /// Two distinct fixpoints reachable from `tuple`, in sorted order.
+    pub fixes: [Vec<Symbol>; 2],
+}
+
+/// Materialize a [`ConflictWitness`] for a conflict reported by either
+/// checker. Enumerates the pair's candidate-tuple space (skipped, returning
+/// `None`, when larger than `max_candidates`) and chases the witness tuple
+/// in all rule orders; deterministic because the enumeration order and the
+/// fixpoint set ([`crate::semantics::all_fixes`], a `BTreeSet`) are.
+pub fn conflict_witness(
+    rules: &RuleSet,
+    conflict: &Conflict,
+    max_candidates: usize,
+) -> Option<ConflictWitness> {
+    let a = rules.rule(conflict.first);
+    let b = rules.rule(conflict.second);
+    if enumerate::enumeration_size(a, b) > max_candidates {
+        return None;
+    }
+    let tuple = match &conflict.witness {
+        Some(tuple) => tuple.clone(),
+        None => enumerate::check_pair_enumerate(a, b, rules.schema().arity())?,
+    };
+    let mut fixes = crate::semantics::all_fixes(&[a, b], &tuple).into_iter();
+    match (fixes.next(), fixes.next()) {
+        (Some(first), Some(second)) => Some(ConflictWitness {
+            tuple,
+            fixes: [first, second],
+        }),
+        _ => None,
+    }
+}
+
 /// Convenience: check a whole rule set with both algorithms and assert they
 /// agree (used by tests and the eval harness in debug runs).
 pub fn check_both_agree(rules: &RuleSet) -> (ConsistencyReport, ConsistencyReport) {
@@ -189,6 +231,46 @@ mod tests {
         assert!(evidence_compatible(&china, &disjoint));
         // Identity: compatible.
         assert!(evidence_compatible(&china, &china));
+    }
+
+    #[test]
+    fn conflict_witness_materializes_two_fixes() {
+        // Example 8: φ'1 (Tokyo among the negatives) conflicts with φ3.
+        let schema = Schema::new("Travel", ["name", "country", "capital", "city", "conf"]).unwrap();
+        let mut sy = SymbolTable::new();
+        let mut rules = RuleSet::new(schema.clone());
+        rules
+            .push_named(
+                &mut sy,
+                &[("country", "China")],
+                "capital",
+                &["Shanghai", "Hongkong", "Tokyo"],
+                "Beijing",
+            )
+            .unwrap();
+        rules
+            .push_named(
+                &mut sy,
+                &[("capital", "Tokyo"), ("city", "Tokyo"), ("conf", "ICDE")],
+                "country",
+                &["China"],
+                "Japan",
+            )
+            .unwrap();
+        let report = is_consistent_characterize(&rules, usize::MAX);
+        assert_eq!(report.conflicts.len(), 1);
+        let witness =
+            conflict_witness(&rules, &report.conflicts[0], 1 << 16).expect("witness space is tiny");
+        assert_ne!(witness.fixes[0], witness.fixes[1]);
+        // The two fixes disagree on country and/or capital.
+        let country = schema.attr("country").unwrap().index();
+        let capital = schema.attr("capital").unwrap().index();
+        assert!(
+            witness.fixes[0][country] != witness.fixes[1][country]
+                || witness.fixes[0][capital] != witness.fixes[1][capital]
+        );
+        // A zero budget refuses to enumerate.
+        assert_eq!(conflict_witness(&rules, &report.conflicts[0], 0), None);
     }
 
     #[test]

@@ -33,11 +33,50 @@ pub enum ImplicationOutcome {
         /// The differing tuple.
         witness: Vec<Symbol>,
     },
-    /// The candidate space exceeded the supplied budget.
-    BudgetExceeded {
+    /// The candidate space exceeded the supplied budget, so the check ran
+    /// out before deciding: `φ` was neither proved implied nor refuted.
+    /// Callers must treat this as "don't know", never as a refutation.
+    Unknown {
         /// Size of the space that was refused.
         candidates: usize,
     },
+}
+
+/// Build the per-attribute small-model value pools for `Σ ∪ {φ}`: every
+/// constant mentioned for the attribute anywhere in the extended set
+/// (evidence, negative patterns, facts), plus the wildcard. Facts are
+/// included because a fact of one rule can be the evidence of another on
+/// the *initial* tuple.
+fn small_model_domains(extended: &RuleSet) -> BTreeMap<AttrId, Vec<Symbol>> {
+    let mut values: BTreeMap<AttrId, Vec<Symbol>> = BTreeMap::new();
+    for attr in extended.schema().attr_ids() {
+        values.insert(attr, vec![WILDCARD]);
+    }
+    for rule in extended.rules() {
+        for (&attr, &val) in rule.x().iter().zip(rule.tp().iter()) {
+            values.get_mut(&attr).expect("schema attr").push(val);
+        }
+        let b = values.get_mut(&rule.b()).expect("schema attr");
+        b.extend_from_slice(rule.neg());
+        b.push(rule.fact());
+    }
+    for vals in values.values_mut() {
+        vals.sort();
+        vals.dedup();
+    }
+    values
+}
+
+/// Number of candidate tuples [`implies`] inspects for `Σ |= φ` — the
+/// product `Π_A (|V(A)|)` over the small-model pools. Callers can pre-size
+/// budgets with this: `implies(rules, phi, model_size(rules, phi))` always
+/// decides.
+pub fn model_size(rules: &RuleSet, phi: &FixingRule) -> usize {
+    let mut extended = rules.clone();
+    extended.push(phi.clone());
+    small_model_domains(&extended)
+        .values()
+        .fold(1usize, |acc, vals| acc.saturating_mul(vals.len()))
 }
 
 /// Check whether a consistent `Σ` implies `φ`.
@@ -73,30 +112,12 @@ pub fn implies(rules: &RuleSet, phi: &FixingRule, budget: usize) -> ImplicationO
         return ImplicationOutcome::ExtensionInconsistent;
     }
 
-    // Small-model candidate values: per attribute, every constant mentioned
-    // anywhere in Σ ∪ {φ} (evidence, negative patterns, facts), plus the
-    // wildcard. Facts are included because a fact of one rule can be the
-    // evidence of another on the *initial* tuple.
-    let mut values: BTreeMap<AttrId, Vec<Symbol>> = BTreeMap::new();
-    for attr in rules.schema().attr_ids() {
-        values.insert(attr, vec![WILDCARD]);
-    }
-    for rule in extended.rules() {
-        for (&attr, &val) in rule.x().iter().zip(rule.tp().iter()) {
-            values.get_mut(&attr).expect("schema attr").push(val);
-        }
-        let b = values.get_mut(&rule.b()).expect("schema attr");
-        b.extend_from_slice(rule.neg());
-        b.push(rule.fact());
-    }
-    let mut total: usize = 1;
-    for vals in values.values_mut() {
-        vals.sort();
-        vals.dedup();
-        total = total.saturating_mul(vals.len());
-    }
+    let values = small_model_domains(&extended);
+    let total = values
+        .values()
+        .fold(1usize, |acc, vals| acc.saturating_mul(vals.len()));
     if total > budget {
-        return ImplicationOutcome::BudgetExceeded { candidates: total };
+        return ImplicationOutcome::Unknown { candidates: total };
     }
 
     // Condition (ii): chase every candidate under both sets.
@@ -272,9 +293,77 @@ mod tests {
         )
         .unwrap();
         match implies(&rs, &phi, 1) {
-            ImplicationOutcome::BudgetExceeded { candidates } => assert!(candidates > 1),
-            other => panic!("expected BudgetExceeded, got {other:?}"),
+            ImplicationOutcome::Unknown { candidates } => assert!(candidates > 1),
+            other => panic!("expected Unknown, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn budget_boundary_is_exact() {
+        // A budget of exactly the model size decides; one less is Unknown.
+        let s = schema();
+        let mut sy = SymbolTable::new();
+        let mut rs = RuleSet::new(s.clone());
+        rs.push_named(
+            &mut sy,
+            &[("country", "China")],
+            "capital",
+            &["Shanghai", "Hongkong"],
+            "Beijing",
+        )
+        .unwrap();
+        let phi = FixingRule::from_named(
+            &s,
+            &mut sy,
+            &[("country", "China")],
+            "capital",
+            &["Shanghai"],
+            "Beijing",
+        )
+        .unwrap();
+        let size = model_size(&rs, &phi);
+        // country {China, _} × capital {Shanghai, Hongkong, Beijing, _} × city {_}.
+        assert_eq!(size, 8);
+        assert_eq!(implies(&rs, &phi, size), ImplicationOutcome::Implied);
+        assert_eq!(
+            implies(&rs, &phi, size - 1),
+            ImplicationOutcome::Unknown { candidates: size }
+        );
+    }
+
+    #[test]
+    fn unknown_is_not_a_refutation() {
+        // The same φ that is NotImplied with enough budget must come back
+        // Unknown — not NotImplied — when the budget is too small.
+        let s = schema();
+        let mut sy = SymbolTable::new();
+        let mut rs = RuleSet::new(s.clone());
+        rs.push_named(
+            &mut sy,
+            &[("country", "China")],
+            "capital",
+            &["Shanghai"],
+            "Beijing",
+        )
+        .unwrap();
+        let broader = FixingRule::from_named(
+            &s,
+            &mut sy,
+            &[("country", "China")],
+            "capital",
+            &["Shanghai", "Nanjing"],
+            "Beijing",
+        )
+        .unwrap();
+        let size = model_size(&rs, &broader);
+        assert!(matches!(
+            implies(&rs, &broader, size),
+            ImplicationOutcome::NotImplied { .. }
+        ));
+        assert_eq!(
+            implies(&rs, &broader, size - 1),
+            ImplicationOutcome::Unknown { candidates: size }
+        );
     }
 
     #[test]

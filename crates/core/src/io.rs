@@ -30,35 +30,82 @@ use relation::{Schema, SymbolTable};
 use crate::rule::FixingRule;
 use crate::ruleset::RuleSet;
 
+/// A source location inside a rule file: 1-based line and column plus the
+/// length of the region, all measured in characters. Spans order by
+/// position, so sorting diagnostics by span yields file order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Span {
+    /// 1-based line number.
+    pub line: usize,
+    /// 1-based column (in characters) of the first character.
+    pub col: usize,
+    /// Length of the region in characters (at least 1 for point spans).
+    pub len: usize,
+}
+
+impl Span {
+    /// A span covering `len` characters starting at `line:col`.
+    pub fn new(line: usize, col: usize, len: usize) -> Span {
+        Span { line, col, len }
+    }
+
+    /// A single-character span at `line:col`.
+    pub fn point(line: usize, col: usize) -> Span {
+        Span { line, col, len: 1 }
+    }
+}
+
+impl std::fmt::Display for Span {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}:{}", self.line, self.col)
+    }
+}
+
 /// Errors raised while parsing a rule file.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum RuleParseError {
     /// Line did not match the grammar.
     Syntax {
-        /// 1-based line number.
-        line: usize,
+        /// Where the parse failed.
+        span: Span,
         /// What went wrong.
         message: String,
     },
     /// The parsed rule failed validation (e.g. fact among negatives).
     Invalid {
-        /// 1-based line number.
-        line: usize,
+        /// The offending rule line.
+        span: Span,
         /// The validation failure.
         source: crate::rule::FixRuleError,
     },
 }
 
+impl RuleParseError {
+    /// Where the error occurred.
+    pub fn span(&self) -> Span {
+        match self {
+            RuleParseError::Syntax { span, .. } | RuleParseError::Invalid { span, .. } => *span,
+        }
+    }
+
+    /// 1-based line of the error.
+    pub fn line(&self) -> usize {
+        self.span().line
+    }
+
+    /// The error text without the location prefix.
+    pub fn message(&self) -> String {
+        match self {
+            RuleParseError::Syntax { message, .. } => message.clone(),
+            RuleParseError::Invalid { source, .. } => format!("invalid rule: {source}"),
+        }
+    }
+}
+
 impl std::fmt::Display for RuleParseError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match self {
-            RuleParseError::Syntax { line, message } => {
-                write!(f, "line {line}: {message}")
-            }
-            RuleParseError::Invalid { line, source } => {
-                write!(f, "line {line}: invalid rule: {source}")
-            }
-        }
+        let span = self.span();
+        write!(f, "line {}:{}: {}", span.line, span.col, self.message())
     }
 }
 
@@ -128,17 +175,71 @@ pub fn parse_rules(
     schema: &Schema,
     symbols: &mut SymbolTable,
 ) -> Result<RuleSet, RuleParseError> {
+    parse_rules_spanned(text, schema, symbols).map(|spanned| spanned.rules)
+}
+
+/// A parsed rule set together with the source span of each rule, aligned
+/// with [`crate::ruleset::RuleId`] order: `spans[id.index()]` is where the
+/// rule with that id was written. Produced by [`parse_rules_spanned`] so
+/// tooling (the `fixlint` analyzer, error reporters) can point back at the
+/// offending line of the rule file.
+#[derive(Debug, Clone)]
+pub struct SpannedRuleSet {
+    /// The parsed rules.
+    pub rules: RuleSet,
+    /// One span per rule, in rule-id order.
+    pub spans: Vec<Span>,
+}
+
+/// [`parse_rules`], additionally reporting where in the file each rule was
+/// written (the span covers the whole rule text on its line).
+pub fn parse_rules_spanned(
+    text: &str,
+    schema: &Schema,
+    symbols: &mut SymbolTable,
+) -> Result<SpannedRuleSet, RuleParseError> {
     let mut rules = RuleSet::new(schema.clone());
+    let mut spans = Vec::new();
     for (i, raw) in text.lines().enumerate() {
         let line_no = i + 1;
-        let line = raw.trim();
-        if line.is_empty() || line.starts_with('#') {
+        if is_skippable(raw) {
             continue;
         }
-        let rule = parse_rule_line(line, line_no, schema, symbols)?;
-        rules.push(rule);
+        let span = line_span(raw, line_no);
+        let parsed = parse_raw(raw, line_no)?;
+        rules.push(resolve_raw(&parsed, span, schema, symbols)?);
+        spans.push(span);
     }
-    Ok(rules)
+    Ok(SpannedRuleSet { rules, spans })
+}
+
+/// Infer a schema from the attribute names a rule file mentions, in order
+/// of first appearance. This lets tools operate on a rule file alone (no
+/// CSV header to borrow a schema from): the rules themselves name every
+/// attribute they constrain, which is exactly the projection the rule
+/// semantics can observe.
+pub fn infer_schema(text: &str, relation: impl Into<String>) -> Result<Schema, RuleParseError> {
+    let mut names: Vec<&str> = Vec::new();
+    for (i, raw) in text.lines().enumerate() {
+        if is_skippable(raw) {
+            continue;
+        }
+        let parsed = parse_raw(raw, i + 1)?;
+        let mentioned = parsed
+            .evidence
+            .iter()
+            .map(|(attr, _)| attr.text)
+            .chain([parsed.neg_attr.text, parsed.then_attr.text]);
+        for name in mentioned {
+            if !names.contains(&name) {
+                names.push(name);
+            }
+        }
+    }
+    Schema::new(relation, names).map_err(|e| RuleParseError::Syntax {
+        span: Span::point(1, 1),
+        message: format!("cannot infer schema: {e}"),
+    })
 }
 
 /// Parse a single rule line.
@@ -148,74 +249,148 @@ pub fn parse_rule_line(
     schema: &Schema,
     symbols: &mut SymbolTable,
 ) -> Result<FixingRule, RuleParseError> {
-    let syntax = |message: String| RuleParseError::Syntax {
+    let parsed = parse_raw(line, line_no)?;
+    resolve_raw(&parsed, line_span(line, line_no), schema, symbols)
+}
+
+fn is_skippable(raw: &str) -> bool {
+    let line = raw.trim();
+    line.is_empty() || line.starts_with('#')
+}
+
+/// Span of the rule text on `raw` (leading/trailing whitespace excluded).
+fn line_span(raw: &str, line_no: usize) -> Span {
+    let leading = raw.len() - raw.trim_start().len();
+    Span {
         line: line_no,
+        col: raw[..leading].chars().count() + 1,
+        len: raw.trim().chars().count().max(1),
+    }
+}
+
+/// An attribute-name token with its source column.
+struct RawToken<'a> {
+    text: &'a str,
+    col: usize,
+}
+
+impl RawToken<'_> {
+    fn span(&self, line: usize) -> Span {
+        Span::new(line, self.col, self.text.chars().count().max(1))
+    }
+}
+
+/// One rule line in purely syntactic form: attribute *names* (with their
+/// columns, for diagnostics) and unresolved string values. Produced by
+/// [`parse_raw`], turned into a [`FixingRule`] by [`resolve_raw`] —
+/// splitting the two lets [`infer_schema`] read attribute names before any
+/// schema exists.
+struct RawRule<'a> {
+    line: usize,
+    evidence: Vec<(RawToken<'a>, String)>,
+    neg_attr: RawToken<'a>,
+    negatives: Vec<String>,
+    then_attr: RawToken<'a>,
+    fact: String,
+}
+
+fn parse_raw(line: &str, line_no: usize) -> Result<RawRule<'_>, RuleParseError> {
+    let syntax = |e: LexError| RuleParseError::Syntax {
+        span: Span::point(line_no, e.col),
+        message: e.message,
+    };
+    let at = |col: usize, message: String| RuleParseError::Syntax {
+        span: Span::point(line_no, col),
         message,
     };
     let mut lex = Lexer::new(line);
-    lex.expect_word("IF").map_err(&syntax)?;
+    lex.expect_word("IF").map_err(syntax)?;
 
-    let mut evidence: Vec<(&str, String)> = Vec::new();
-    let mut neg_clause: Option<(&str, Vec<String>)> = None;
+    let mut evidence: Vec<(RawToken<'_>, String)> = Vec::new();
+    let mut neg_clause: Option<(RawToken<'_>, Vec<String>)> = None;
     loop {
-        let attr = lex.ident().map_err(&syntax)?;
+        let attr = lex.ident().map_err(syntax)?;
         if lex.try_word("=") {
-            let value = lex.quoted().map_err(&syntax)?;
+            let value = lex.quoted().map_err(syntax)?;
             evidence.push((attr, value));
         } else if lex.try_word("IN") {
             if neg_clause.is_some() {
-                return Err(syntax("more than one IN clause".into()));
+                return Err(at(attr.col, "more than one IN clause".into()));
             }
-            lex.expect_word("{").map_err(&syntax)?;
+            lex.expect_word("{").map_err(syntax)?;
             let mut values = Vec::new();
             loop {
-                values.push(lex.quoted().map_err(&syntax)?);
+                values.push(lex.quoted().map_err(syntax)?);
                 if lex.try_word(",") {
                     continue;
                 }
-                lex.expect_word("}").map_err(&syntax)?;
+                lex.expect_word("}").map_err(syntax)?;
                 break;
             }
             neg_clause = Some((attr, values));
         } else {
-            return Err(syntax(format!("expected `=` or `IN` after `{attr}`")));
+            let col = lex.next_col();
+            return Err(at(
+                col,
+                format!("expected `=` or `IN` after `{}`", attr.text),
+            ));
         }
         if lex.try_word("AND") {
             continue;
         }
-        lex.expect_word("THEN").map_err(&syntax)?;
+        lex.expect_word("THEN").map_err(syntax)?;
         break;
     }
-    let then_attr = lex.ident().map_err(&syntax)?;
-    lex.expect_word(":=").map_err(&syntax)?;
-    let fact = lex.quoted().map_err(&syntax)?;
-    lex.expect_end().map_err(&syntax)?;
+    let then_attr = lex.ident().map_err(syntax)?;
+    lex.expect_word(":=").map_err(syntax)?;
+    let fact = lex.quoted().map_err(syntax)?;
+    lex.expect_end().map_err(syntax)?;
 
-    let Some((neg_attr, neg_values)) = neg_clause else {
-        return Err(syntax("missing IN clause (negative patterns)".into()));
+    let Some((neg_attr, negatives)) = neg_clause else {
+        let span = line_span(line, line_no);
+        return Err(at(span.col, "missing IN clause (negative patterns)".into()));
     };
-    if neg_attr != then_attr {
-        return Err(syntax(format!(
-            "IN attribute `{neg_attr}` does not match THEN attribute `{then_attr}`"
-        )));
+    if neg_attr.text != then_attr.text {
+        return Err(at(
+            then_attr.col,
+            format!(
+                "IN attribute `{}` does not match THEN attribute `{}`",
+                neg_attr.text, then_attr.text
+            ),
+        ));
     }
-
-    let resolve = |name: &str| {
-        schema
-            .attr(name)
-            .ok_or_else(|| syntax(format!("attribute `{name}` is not in schema {schema}")))
-    };
-    let mut ev = Vec::with_capacity(evidence.len());
-    for (attr, value) in evidence {
-        ev.push((resolve(attr)?, symbols.intern(&value)));
-    }
-    let b = resolve(then_attr)?;
-    let neg = neg_values.iter().map(|v| symbols.intern(v)).collect();
-    let fact = symbols.intern(&fact);
-    FixingRule::new(ev, b, neg, fact).map_err(|source| RuleParseError::Invalid {
+    Ok(RawRule {
         line: line_no,
-        source,
+        evidence,
+        neg_attr,
+        negatives,
+        then_attr,
+        fact,
     })
+}
+
+fn resolve_raw(
+    raw: &RawRule<'_>,
+    span: Span,
+    schema: &Schema,
+    symbols: &mut SymbolTable,
+) -> Result<FixingRule, RuleParseError> {
+    let resolve = |token: &RawToken<'_>| {
+        schema
+            .attr(token.text)
+            .ok_or_else(|| RuleParseError::Syntax {
+                span: token.span(raw.line),
+                message: format!("attribute `{}` is not in schema {schema}", token.text),
+            })
+    };
+    let mut ev = Vec::with_capacity(raw.evidence.len());
+    for (attr, value) in &raw.evidence {
+        ev.push((resolve(attr)?, symbols.intern(value)));
+    }
+    let b = resolve(&raw.then_attr)?;
+    let neg = raw.negatives.iter().map(|v| symbols.intern(v)).collect();
+    let fact = symbols.intern(&raw.fact);
+    FixingRule::new(ev, b, neg, fact).map_err(|source| RuleParseError::Invalid { span, source })
 }
 
 /// A fixing rule in schema-independent, serializable form (attribute names
@@ -444,14 +619,25 @@ fn quote(value: &str) -> String {
     out
 }
 
-/// Minimal hand-rolled tokenizer over one line.
+/// A lexing failure: 1-based column of the offending character plus the
+/// message. Converted to [`RuleParseError::Syntax`] by the caller, which
+/// knows the line number.
+struct LexError {
+    col: usize,
+    message: String,
+}
+
+/// Minimal hand-rolled tokenizer over one line, tracking the column of the
+/// next unconsumed character so errors can point into the source.
 struct Lexer<'a> {
+    full: &'a str,
     rest: &'a str,
 }
 
 impl<'a> Lexer<'a> {
     fn new(line: &'a str) -> Self {
         Lexer {
+            full: line,
             rest: line.trim_start(),
         }
     }
@@ -460,13 +646,26 @@ impl<'a> Lexer<'a> {
         self.rest = self.rest.trim_start();
     }
 
-    fn expect_word(&mut self, word: &str) -> Result<(), String> {
+    /// 1-based column (in characters) of the next unconsumed character.
+    fn next_col(&self) -> usize {
+        let consumed = self.full.len() - self.rest.len();
+        self.full[..consumed].chars().count() + 1
+    }
+
+    fn err<T>(&self, message: String) -> Result<T, LexError> {
+        Err(LexError {
+            col: self.next_col(),
+            message,
+        })
+    }
+
+    fn expect_word(&mut self, word: &str) -> Result<(), LexError> {
         self.skip_ws();
         if let Some(stripped) = self.rest.strip_prefix(word) {
             self.rest = stripped;
             Ok(())
         } else {
-            Err(format!(
+            self.err(format!(
                 "expected `{word}`, found `{}`",
                 self.rest.chars().take(12).collect::<String>()
             ))
@@ -484,31 +683,33 @@ impl<'a> Lexer<'a> {
     }
 
     /// Attribute identifier: up to whitespace or a reserved delimiter.
-    fn ident(&mut self) -> Result<&'a str, String> {
+    fn ident(&mut self) -> Result<RawToken<'a>, LexError> {
         self.skip_ws();
+        let col = self.next_col();
         let end = self
             .rest
             .find(|c: char| c.is_whitespace() || "={},".contains(c))
             .unwrap_or(self.rest.len());
         if end == 0 {
-            return Err(format!(
+            return self.err(format!(
                 "expected attribute name, found `{}`",
                 self.rest.chars().take(12).collect::<String>()
             ));
         }
         let (ident, rest) = self.rest.split_at(end);
         self.rest = rest;
-        Ok(ident)
+        Ok(RawToken { text: ident, col })
     }
 
     /// Double-quoted string with `\"`/`\\` escapes.
-    fn quoted(&mut self) -> Result<String, String> {
+    fn quoted(&mut self) -> Result<String, LexError> {
         self.skip_ws();
+        let start_col = self.next_col();
         let mut chars = self.rest.char_indices();
         match chars.next() {
             Some((_, '"')) => {}
             _ => {
-                return Err(format!(
+                return self.err(format!(
                     "expected quoted value, found `{}`",
                     self.rest.chars().take(12).collect::<String>()
                 ))
@@ -520,7 +721,12 @@ impl<'a> Lexer<'a> {
             if escaped {
                 match ch {
                     '"' | '\\' => out.push(ch),
-                    other => return Err(format!("bad escape `\\{other}`")),
+                    other => {
+                        return Err(LexError {
+                            col: start_col,
+                            message: format!("bad escape `\\{other}`"),
+                        })
+                    }
                 }
                 escaped = false;
             } else if ch == '\\' {
@@ -532,15 +738,18 @@ impl<'a> Lexer<'a> {
                 out.push(ch);
             }
         }
-        Err("unterminated quoted value".into())
+        Err(LexError {
+            col: start_col,
+            message: "unterminated quoted value".into(),
+        })
     }
 
-    fn expect_end(&mut self) -> Result<(), String> {
+    fn expect_end(&mut self) -> Result<(), LexError> {
         self.skip_ws();
         if self.rest.is_empty() {
             Ok(())
         } else {
-            Err(format!("trailing input `{}`", self.rest))
+            self.err(format!("trailing input `{}`", self.rest))
         }
     }
 }
@@ -664,12 +873,60 @@ IF country = "Canada" AND capital IN {"Toronto"} THEN capital := "Ottawa"
         let text = "# ok\nIF country = \"China\" THEN capital := \"Beijing\"\n";
         let err = parse_rules(text, &schema, &mut sy).unwrap_err();
         match err {
-            RuleParseError::Syntax { line, message } => {
-                assert_eq!(line, 2);
+            RuleParseError::Syntax { span, message } => {
+                assert_eq!(span.line, 2);
                 assert!(message.contains("IN"), "{message}");
             }
             other => panic!("unexpected {other:?}"),
         }
+    }
+
+    #[test]
+    fn error_reports_columns() {
+        let schema = schema();
+        let mut sy = SymbolTable::new();
+        // `nation` starts at column 4 of the line.
+        let line = r#"IF nation = "China" AND capital IN {"Shanghai"} THEN capital := "Beijing""#;
+        let err = parse_rule_line(line, 7, &schema, &mut sy).unwrap_err();
+        let span = err.span();
+        assert_eq!((span.line, span.col, span.len), (7, 4, 6));
+        assert!(err.to_string().starts_with("line 7:4: "), "{err}");
+    }
+
+    #[test]
+    fn parse_rules_spanned_reports_rule_spans() {
+        let schema = schema();
+        let mut sy = SymbolTable::new();
+        let text = "# header\n\n  IF country = \"China\" AND capital IN {\"Shanghai\"} THEN capital := \"Beijing\"\nIF country = \"Canada\" AND capital IN {\"Toronto\"} THEN capital := \"Ottawa\"\n";
+        let spanned = parse_rules_spanned(text, &schema, &mut sy).unwrap();
+        assert_eq!(spanned.rules.len(), 2);
+        assert_eq!(spanned.spans.len(), 2);
+        // First rule is indented by two spaces on line 3.
+        assert_eq!(spanned.spans[0].line, 3);
+        assert_eq!(spanned.spans[0].col, 3);
+        assert_eq!(spanned.spans[1].line, 4);
+        assert_eq!(spanned.spans[1].col, 1);
+        // The span covers the trimmed rule text.
+        assert_eq!(
+            spanned.spans[1].len,
+            text.lines().nth(3).unwrap().chars().count()
+        );
+    }
+
+    #[test]
+    fn infer_schema_collects_attributes_in_order() {
+        let text = r#"
+# rules over an undeclared schema
+IF country = "China" AND capital IN {"Shanghai"} THEN capital := "Beijing"
+IF capital = "Tokyo" AND conf = "ICDE" AND country IN {"China"} THEN country := "Japan"
+"#;
+        let schema = infer_schema(text, "Inferred").unwrap();
+        let names: Vec<&str> = schema.attr_names().collect();
+        assert_eq!(names, vec!["country", "capital", "conf"]);
+        // The inferred schema parses the same file.
+        let mut sy = SymbolTable::new();
+        let rules = parse_rules(text, &schema, &mut sy).unwrap();
+        assert_eq!(rules.len(), 2);
     }
 
     #[test]
@@ -697,7 +954,8 @@ IF country = "Canada" AND capital IN {"Toronto"} THEN capital := "Ottawa"
         // Fact among the negatives.
         let line = r#"IF country = "China" AND capital IN {"Beijing"} THEN capital := "Beijing""#;
         let err = parse_rule_line(line, 1, &schema, &mut sy).unwrap_err();
-        assert!(matches!(err, RuleParseError::Invalid { line: 1, .. }));
+        assert!(matches!(err, RuleParseError::Invalid { .. }));
+        assert_eq!(err.line(), 1);
     }
 
     #[test]

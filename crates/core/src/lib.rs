@@ -63,6 +63,8 @@
 //! assert_eq!(sy.resolve(table.cell(0, capital)), "Beijing");
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod bridge;
 pub mod consistency;
 pub mod discovery;

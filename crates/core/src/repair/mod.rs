@@ -53,7 +53,7 @@ pub struct CellUpdate {
 /// Aggregate statistics of one repair run — the single reporting type
 /// shared by the table drivers (via [`RepairOutcome::stats`]) and the
 /// streaming driver (which returns it directly as
-/// [`StreamStats`](crate::repair::stream::StreamStats)).
+/// [`StreamStats`]).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct RepairStats {
     /// Records processed.

@@ -20,7 +20,7 @@ use crate::repair::RepairStats;
 use crate::ruleset::RuleSet;
 
 /// Statistics of one streaming run — the shared
-/// [`RepairStats`](crate::repair::RepairStats) reporting type, so streaming
+/// [`RepairStats`] reporting type, so streaming
 /// and table runs expose identical `rows`/`updates`/`rows_touched` fields
 /// and `touched_ratio`/`rows_per_sec` accessors.
 pub type StreamStats = RepairStats;

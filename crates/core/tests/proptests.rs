@@ -13,8 +13,8 @@
 
 use proptest::prelude::*;
 
+use fixrules::consistency::is_consistent_characterize;
 use fixrules::consistency::resolve::{ensure_consistent, Strategy as ResolveStrategy};
-use fixrules::consistency::{is_consistent_characterize, is_consistent_enumerate};
 use fixrules::repair::{
     crepair_tuple, lrepair_tuple, par_lrepair_table, LRepairIndex, LRepairScratch,
 };
@@ -107,15 +107,16 @@ proptest! {
         }
     }
 
-    /// Theorem 1 machinery: the two consistency checkers agree on every
-    /// generated rule set.
+    /// Theorem 1 machinery: `check_both_agree` holds — the two consistency
+    /// checkers reach the same verdict on every generated rule set, flag the
+    /// same conflicting pairs, and every reported conflict materializes a
+    /// genuine two-fix witness.
     #[test]
     fn checkers_agree(rs in rulesets()) {
-        let r = is_consistent_characterize(&rs, usize::MAX);
-        let t = is_consistent_enumerate(&rs, usize::MAX);
+        let (r, t) = fixrules::consistency::check_both_agree(&rs);
         prop_assert_eq!(r.is_consistent(), t.is_consistent(),
             "characterize={:?} enumerate={:?}", r.conflicts, t.conflicts);
-        // And they flag the same pairs.
+        // They flag the same pairs...
         let pairs = |rep: &fixrules::ConsistencyReport| {
             let mut v: Vec<(u32, u32)> = rep.conflicts.iter()
                 .map(|c| (c.first.0, c.second.0)).collect();
@@ -123,6 +124,15 @@ proptest! {
             v
         };
         prop_assert_eq!(pairs(&r), pairs(&t));
+        // ...and the same conflicting-rule sets.
+        prop_assert_eq!(r.conflicting_rules(), t.conflicting_rules());
+        // Every conflict is real: a tuple the pair chases to two different
+        // fixpoints (the witness space is tiny under this vocabulary).
+        for conflict in r.conflicts.iter().chain(t.conflicts.iter()) {
+            let w = fixrules::consistency::conflict_witness(&rs, conflict, 1 << 16)
+                .expect("conflict must yield a witness within budget");
+            prop_assert_ne!(&w.fixes[0], &w.fixes[1]);
+        }
     }
 
     /// Church–Rosser (§6.1): for consistent Σ every tuple has exactly one

@@ -69,6 +69,14 @@ pub trait RepairObserver: Sync {
     fn conflict_found(&self, case: &'static str) {
         let _ = case;
     }
+
+    /// The static analyzer (`fixlint`) emitted one finding; `code` is the
+    /// stable diagnostic code (`FR001`, ...) and `severity` its severity
+    /// name (`error`/`warning`/`note`).
+    #[inline]
+    fn lint_finding(&self, code: &'static str, severity: &'static str) {
+        let _ = (code, severity);
+    }
 }
 
 /// The do-nothing observer; the default for every repair entry point.
@@ -83,6 +91,7 @@ impl RepairObserver for NoopObserver {}
 pub const METRIC_NAMES: &[&str] = &[
     "consistency.conflicts",
     "consistency.pairs_checked",
+    "lint.findings",
     "repair.chase.rounds",
     "repair.index.probe_hits",
     "repair.index.probes",
@@ -117,6 +126,7 @@ pub struct MetricsObserver {
     stream_vocab: Gauge,
     pairs_checked: Counter,
     conflicts: Counter,
+    lint_findings: Counter,
 }
 
 impl MetricsObserver {
@@ -136,6 +146,7 @@ impl MetricsObserver {
             stream_vocab: registry.gauge("stream.vocab"),
             pairs_checked: registry.counter("consistency.pairs_checked"),
             conflicts: registry.counter("consistency.conflicts"),
+            lint_findings: registry.counter("lint.findings"),
             registry: registry.clone(),
         }
     }
@@ -211,6 +222,16 @@ impl RepairObserver for MetricsObserver {
             .counter(&format!("consistency.conflicts.{case}"))
             .inc();
     }
+
+    fn lint_finding(&self, code: &'static str, severity: &'static str) {
+        self.lint_findings.inc();
+        self.registry
+            .counter(&format!("lint.findings.{code}"))
+            .inc();
+        self.registry
+            .counter(&format!("lint.severity.{severity}"))
+            .inc();
+    }
 }
 
 #[cfg(test)]
@@ -239,6 +260,8 @@ mod tests {
         obs.stream_record(256);
         obs.pairs_checked(6);
         obs.conflict_found("Mutual");
+        obs.lint_finding("FR001", "error");
+        obs.lint_finding("FR002", "warning");
 
         let snap = reg.snapshot();
         let counters = snap.get("counters").unwrap();
@@ -256,6 +279,9 @@ mod tests {
         assert_eq!(get("consistency.pairs_checked"), 6);
         assert_eq!(get("consistency.conflicts"), 1);
         assert_eq!(get("consistency.conflicts.Mutual"), 1);
+        assert_eq!(get("lint.findings"), 2);
+        assert_eq!(get("lint.findings.FR001"), 1);
+        assert_eq!(get("lint.severity.warning"), 1);
         assert_eq!(
             snap.get("gauges")
                 .unwrap()
@@ -288,6 +314,7 @@ mod tests {
         obs.stream_record(1);
         obs.pairs_checked(1);
         obs.conflict_found("BiInXj");
+        obs.lint_finding("FR001", "error");
         let snap = reg.snapshot();
         let counters = snap.get("counters").unwrap().as_obj().unwrap();
         for name in METRIC_NAMES {

@@ -14,4 +14,22 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "== cargo test =="
 cargo test --workspace -q
 
+echo "== cargo doc (deny warnings) =="
+RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
+
+echo "== fixctl lint =="
+cargo build -q -p fixctl
+FIXCTL=target/debug/fixctl
+for f in examples/rulesets/*.frl; do
+    echo "-- lint $f (must be clean)"
+    "$FIXCTL" lint "$f" --deny warnings
+done
+for f in examples/lint/*.frl; do
+    echo "-- lint $f (must report findings)"
+    if "$FIXCTL" lint "$f" --deny warnings >/dev/null; then
+        echo "expected lint findings in $f, got none" >&2
+        exit 1
+    fi
+done
+
 echo "CI green."
