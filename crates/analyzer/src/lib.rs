@@ -43,7 +43,7 @@ pub mod render;
 
 pub use diagnostic::{Code, Diagnostic, Related, Severity};
 pub use fixrules::io::Span;
-pub use render::{render, render_report};
+pub use render::{render, render_block, render_report, Excerpt};
 
 use fixrules::io::{parse_rules_spanned, RuleParseError};
 use fixrules::RuleSet;

@@ -18,51 +18,86 @@ use fixrules::io::Span;
 use crate::diagnostic::Diagnostic;
 use crate::LintReport;
 
-/// Render one diagnostic with source excerpts from `source` (the rule-file
-/// text) and `file` as the displayed path.
-pub fn render(diag: &Diagnostic, file: &str, source: &str) -> String {
-    let mut out = String::new();
-    let _ = writeln!(
-        out,
-        "{}[{}]: {}",
-        diag.severity.as_str(),
-        diag.code.as_str(),
-        diag.message
-    );
-    let _ = writeln!(out, "  --> {file}:{}:{}", diag.span.line, diag.span.col);
+/// One source excerpt of a rendered block: the span to show, the
+/// underline marker (`^` primary, `-` related), and an optional label
+/// after the underline.
+#[derive(Debug, Clone)]
+pub struct Excerpt {
+    /// Location in the source text.
+    pub span: Span,
+    /// Underline character (`^` for primary, `-` for related).
+    pub marker: char,
+    /// Trailing label after the underline; empty for none.
+    pub label: String,
+}
 
-    // Snippet lines: the primary span (underlined with ^) plus every
-    // related span (underlined with -), in source order.
-    let mut excerpts: Vec<(Span, char, &str)> = vec![(diag.span, '^', "")];
-    for related in &diag.related {
-        excerpts.push((related.span, '-', &related.message));
-    }
-    excerpts.sort_by_key(|&(span, ..)| span);
-    excerpts.retain(|&(span, ..)| span.line > 0);
+/// Render one rustc-style block from raw parts: a `header` line, a
+/// `location` (shown after `-->`), source `excerpts` underlined in source
+/// order, and trailing `= note:` lines. [`render`] delegates here;
+/// `fixctl explain` reuses it for provenance chains, where the "source"
+/// is the rule listing rather than a lint file.
+pub fn render_block(
+    header: &str,
+    location: &str,
+    excerpts: &[Excerpt],
+    notes: &[String],
+    source: &str,
+) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{header}");
+    let _ = writeln!(out, "  --> {location}");
+    let mut excerpts: Vec<&Excerpt> = excerpts.iter().collect();
+    excerpts.sort_by_key(|e| e.span);
+    excerpts.retain(|e| e.span.line > 0);
     let gutter = excerpts
         .iter()
-        .map(|&(span, ..)| span.line.to_string().len())
+        .map(|e| e.span.line.to_string().len())
         .max()
         .unwrap_or(1);
     if !excerpts.is_empty() {
         let _ = writeln!(out, "{:gutter$} |", "");
     }
-    for (span, marker, label) in excerpts {
-        let text = source.lines().nth(span.line - 1).unwrap_or("");
-        let _ = writeln!(out, "{:>gutter$} | {}", span.line, text);
-        let pad = " ".repeat(span.col.saturating_sub(1));
-        let underline = marker.to_string().repeat(span.len.max(1));
-        let label = if label.is_empty() {
+    for e in excerpts {
+        let text = source.lines().nth(e.span.line - 1).unwrap_or("");
+        let _ = writeln!(out, "{:>gutter$} | {}", e.span.line, text);
+        let pad = " ".repeat(e.span.col.saturating_sub(1));
+        let underline = e.marker.to_string().repeat(e.span.len.max(1));
+        let label = if e.label.is_empty() {
             String::new()
         } else {
-            format!(" {label}")
+            format!(" {}", e.label)
         };
         let _ = writeln!(out, "{:gutter$} | {pad}{underline}{label}", "");
     }
-    for note in &diag.notes {
+    for note in notes {
         let _ = writeln!(out, "{:gutter$} = note: {note}", "");
     }
     out
+}
+
+/// Render one diagnostic with source excerpts from `source` (the rule-file
+/// text) and `file` as the displayed path.
+pub fn render(diag: &Diagnostic, file: &str, source: &str) -> String {
+    let mut excerpts = vec![Excerpt {
+        span: diag.span,
+        marker: '^',
+        label: String::new(),
+    }];
+    for related in &diag.related {
+        excerpts.push(Excerpt {
+            span: related.span,
+            marker: '-',
+            label: related.message.clone(),
+        });
+    }
+    let header = format!(
+        "{}[{}]: {}",
+        diag.severity.as_str(),
+        diag.code.as_str(),
+        diag.message
+    );
+    let location = format!("{file}:{}:{}", diag.span.line, diag.span.col);
+    render_block(&header, &location, &excerpts, &diag.notes, source)
 }
 
 /// Render a whole report followed by a one-line summary.

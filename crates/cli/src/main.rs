@@ -8,7 +8,10 @@
 //!                [--strategy shrink|drop]                 # §5.3 workflow
 //! fixctl repair  --rules rules.frl --data dirty.csv --out repaired.csv
 //!                [--algo lrepair|crepair|stream] [--updates-log updates.csv]
+//!                [--trace trace.jsonl]                    # provenance journal
 //! fixctl stats   --rules rules.frl --data data.csv        # rule-set statistics
+//! fixctl explain trace.jsonl --row R --attr A             # why did this cell change?
+//! fixctl trace export trace.jsonl --chrome out.json       # Perfetto-viewable timeline
 //! ```
 //!
 //! Every command also takes the observability flags:
@@ -19,6 +22,11 @@
 //!   `consistency.conflicts`, ...; see [`obs::METRIC_NAMES`]).
 //! * `--log <off|info|debug>` — structured `key=value` progress lines on
 //!   stderr.
+//! * `--trace <path>` — append-only JSONL journal of stage spans plus, for
+//!   `repair`, the full provenance ledger (one `repair.cell` event per
+//!   fix, with rule, evidence bindings, and assured-set delta).
+//!   `--trace-clock logical|wall` picks timestamps: `logical` (default)
+//!   is byte-deterministic across runs, `wall` records microseconds.
 //!
 //! The schema is taken from the CSV header; rule files use the
 //! [`fixrules::io`] line format:
@@ -32,13 +40,15 @@ use std::process::ExitCode;
 
 use fixrules::consistency::resolve::{ensure_consistent, Strategy};
 use fixrules::consistency::{is_consistent_characterize_observed, ConsistencyReport};
-use fixrules::io::{format_rules, parse_rules};
+use fixrules::io::{format_rule, format_rules, parse_rules, Span};
+use fixrules::provenance::{ProvenanceLedger, ProvenanceObserver, ProvenanceRecord};
 use fixrules::repair::{
     crepair_table_observed, lrepair_table_observed, LRepairIndex, RepairOutcome,
 };
 use fixrules::RuleSet;
-use obs::{MetricsObserver, MetricsRegistry};
-use relation::{SymbolTable, Table};
+use obs::trace::{chrome_trace, parse_jsonl, TracePhase, TraceSpan};
+use obs::{Json, MetricsObserver, MetricsRegistry, Tee, TraceClock, TraceJournal};
+use relation::{Schema, SymbolTable, Table};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -52,12 +62,21 @@ fn main() -> ExitCode {
 }
 
 /// Observability context shared by every command: a metrics registry, the
-/// observer the repair drivers report into, and where (if anywhere) to dump
-/// the snapshot at exit.
+/// observer the repair drivers report into, an optional trace journal, and
+/// where (if anywhere) to dump each at exit.
 struct ObsCtx {
     registry: MetricsRegistry,
     observer: MetricsObserver,
     metrics_path: Option<String>,
+    journal: Option<TraceJournal>,
+    trace_path: Option<String>,
+}
+
+/// Compound stage guard from [`ObsCtx::span`]: a metrics span timer plus,
+/// when `--trace` is active, a matching journal span. Both close on drop.
+struct StageSpan<'a> {
+    _timer: obs::SpanTimer,
+    _trace: Option<TraceSpan<'a>>,
 }
 
 impl ObsCtx {
@@ -67,28 +86,49 @@ impl ObsCtx {
         }
         let registry = MetricsRegistry::new();
         let observer = MetricsObserver::new(&registry);
+        let (journal, trace_path) = match flags.optional("trace") {
+            Some(path) => {
+                let clock = match flags.optional("trace-clock") {
+                    Some(c) => c.parse::<TraceClock>()?,
+                    None => TraceClock::Logical,
+                };
+                (Some(TraceJournal::new(clock)), Some(path.to_string()))
+            }
+            None => (None, None),
+        };
         Ok(ObsCtx {
             observer,
             metrics_path: flags.optional("metrics").map(str::to_string),
+            journal,
+            trace_path,
             registry,
         })
     }
 
-    /// Time a named stage; the span records into `stage.<name>_ns`.
-    fn span(&self, stage: &str) -> obs::SpanTimer {
-        self.registry.span(&format!("stage.{stage}"))
+    /// Time a named stage; the span records into `stage.<name>_ns` and, when
+    /// tracing, opens a `stage.<name>` journal span.
+    fn span(&self, stage: &str) -> StageSpan<'_> {
+        let name = format!("stage.{stage}");
+        StageSpan {
+            _timer: self.registry.span(&name),
+            _trace: self.journal.as_ref().map(|j| j.span(&name, 0)),
+        }
     }
 
-    /// Write the metrics snapshot if `--metrics` was given. Called on both
-    /// success and failure so partial runs still leave a trace.
+    /// Write the metrics snapshot and trace journal if `--metrics`/`--trace`
+    /// were given. Called on both success and failure so partial runs still
+    /// leave a trace.
     fn finish(&self) -> Result<(), String> {
-        let Some(path) = &self.metrics_path else {
-            return Ok(());
-        };
-        let snapshot = self.registry.snapshot();
-        std::fs::write(path, snapshot.to_string_pretty() + "\n")
-            .map_err(|e| format!("writing {path}: {e}"))?;
-        obs::info!("metrics.written", path = path);
+        if let Some(path) = &self.metrics_path {
+            let snapshot = self.registry.snapshot();
+            std::fs::write(path, snapshot.to_string_pretty() + "\n")
+                .map_err(|e| format!("writing {path}: {e}"))?;
+            obs::info!("metrics.written", path = path);
+        }
+        if let (Some(journal), Some(path)) = (&self.journal, &self.trace_path) {
+            std::fs::write(path, journal.to_jsonl()).map_err(|e| format!("writing {path}: {e}"))?;
+            obs::info!("trace.written", path = path, records = journal.len());
+        }
         Ok(())
     }
 }
@@ -130,11 +170,26 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
     let Some(command) = args.first() else {
         return Err(usage());
     };
-    // `lint` takes its rules file as a positional argument (like rustc);
-    // every other command is pure `--flag value` pairs.
-    let (positional, flag_args) = match args.get(1) {
-        Some(arg) if command == "lint" && !arg.starts_with("--") => {
-            (Some(arg.as_str()), &args[2..])
+    // `lint` and `explain` take a file as a positional argument (like
+    // rustc), `trace` has an `export` subcommand; every other command is
+    // pure `--flag value` pairs.
+    let (positional, flag_args) = match command.as_str() {
+        "lint" | "explain" => match args.get(1) {
+            Some(arg) if !arg.starts_with("--") => (Some(arg.as_str()), &args[2..]),
+            _ => (None, &args[1..]),
+        },
+        "trace" => {
+            if args.get(1).map(String::as_str) != Some("export") {
+                return Err(
+                    "unknown trace subcommand (expected `fixctl trace export <trace.jsonl> \
+                     --chrome out.json`)"
+                        .to_string(),
+                );
+            }
+            match args.get(2) {
+                Some(arg) if !arg.starts_with("--") => (Some(arg.as_str()), &args[3..]),
+                _ => (None, &args[2..]),
+            }
         }
         _ => (None, &args[1..]),
     };
@@ -145,10 +200,12 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
         "convert" => cmd_convert(&flags, &obs_ctx).map(|()| ExitCode::SUCCESS),
         "detect" => cmd_detect(&flags, &obs_ctx).map(|()| ExitCode::SUCCESS),
         "discover" => cmd_discover(&flags).map(|()| ExitCode::SUCCESS),
+        "explain" => cmd_explain(positional, &flags),
         "lint" => cmd_lint(positional, &flags, &obs_ctx),
         "resolve" => cmd_resolve(&flags, &obs_ctx).map(|()| ExitCode::SUCCESS),
         "repair" => cmd_repair(&flags, &obs_ctx).map(|()| ExitCode::SUCCESS),
         "stats" => cmd_stats(&flags, &obs_ctx).map(|()| ExitCode::SUCCESS),
+        "trace" => cmd_trace_export(positional, &flags).map(|()| ExitCode::SUCCESS),
         "help" | "--help" | "-h" => {
             println!("{}", usage());
             Ok(ExitCode::SUCCESS)
@@ -162,9 +219,11 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
 fn usage() -> String {
     "usage: fixctl <check|detect|discover|resolve|repair|stats|convert> --rules FILE --data FILE.csv \
      [--out FILE] [--algo lrepair|crepair|stream] [--strategy shrink|drop] [--updates-log FILE] \
-     [--metrics FILE.json] [--log off|info|debug] \
+     [--metrics FILE.json] [--log off|info|debug] [--trace FILE.jsonl] [--trace-clock logical|wall] \
      | lint RULES.frl [--schema a,b,c | --data FILE.csv] [--format human|json] \
      [--deny warnings|FR001,...] \
+     | explain TRACE.jsonl --row N --attr NAME \
+     | trace export TRACE.jsonl --chrome OUT.json \
      | discover --data FILE.csv --fds FILE --out rules.frl [--min-support N] [--min-confidence F]"
         .to_string()
 }
@@ -448,18 +507,34 @@ fn cmd_repair(flags: &Flags, obs_ctx: &ObsCtx) -> Result<(), String> {
             std::fs::File::create(out).map_err(|e| format!("creating {out}: {e}"))?,
         );
         let started = std::time::Instant::now();
+        let ledger = ProvenanceLedger::new();
         let stats = {
             let _span = obs_ctx.span("repair");
-            fixrules::repair::stream_repair_csv_observed(
-                &rules2,
-                &index,
-                &mut symbols2,
-                reader,
-                writer,
-                &obs_ctx.observer,
-            )
-            .map_err(|e| format!("streaming: {e}"))?
+            let result = if obs_ctx.journal.is_some() {
+                let prov = ProvenanceObserver::new(&rules2, &ledger);
+                fixrules::repair::stream_repair_csv_observed(
+                    &rules2,
+                    &index,
+                    &mut symbols2,
+                    reader,
+                    writer,
+                    &Tee(&obs_ctx.observer, &prov),
+                )
+            } else {
+                fixrules::repair::stream_repair_csv_observed(
+                    &rules2,
+                    &index,
+                    &mut symbols2,
+                    reader,
+                    writer,
+                    &obs_ctx.observer,
+                )
+            };
+            result.map_err(|e| format!("streaming: {e}"))?
         };
+        if let Some(journal) = &obs_ctx.journal {
+            write_trace_events(journal, &rules2, &symbols2, &ledger, algo);
+        }
         obs::info!(
             "repair.done",
             algo = algo,
@@ -474,6 +549,7 @@ fn cmd_repair(flags: &Flags, obs_ctx: &ObsCtx) -> Result<(), String> {
         println!("wrote {out}");
         return Ok(());
     }
+    let ledger = ProvenanceLedger::new();
     let outcome: RepairOutcome = match algo {
         "lrepair" => {
             let index = {
@@ -481,14 +557,27 @@ fn cmd_repair(flags: &Flags, obs_ctx: &ObsCtx) -> Result<(), String> {
                 LRepairIndex::build(&rules)
             };
             let _span = obs_ctx.span("repair");
-            lrepair_table_observed(&rules, &index, &mut table, &obs_ctx.observer)
+            if obs_ctx.journal.is_some() {
+                let prov = ProvenanceObserver::new(&rules, &ledger);
+                lrepair_table_observed(&rules, &index, &mut table, &Tee(&obs_ctx.observer, &prov))
+            } else {
+                lrepair_table_observed(&rules, &index, &mut table, &obs_ctx.observer)
+            }
         }
         "crepair" => {
             let _span = obs_ctx.span("repair");
-            crepair_table_observed(&rules, &mut table, &obs_ctx.observer)
+            if obs_ctx.journal.is_some() {
+                let prov = ProvenanceObserver::new(&rules, &ledger);
+                crepair_table_observed(&rules, &mut table, &Tee(&obs_ctx.observer, &prov))
+            } else {
+                crepair_table_observed(&rules, &mut table, &obs_ctx.observer)
+            }
         }
         other => return Err(format!("unknown algo `{other}` (lrepair|crepair|stream)")),
     };
+    if let Some(journal) = &obs_ctx.journal {
+        write_trace_events(journal, &rules, &symbols, &ledger, algo);
+    }
     let stats = outcome.stats(table.len());
     obs::info!(
         "repair.done",
@@ -525,6 +614,185 @@ fn cmd_repair(flags: &Flags, obs_ctx: &ObsCtx) -> Result<(), String> {
         std::fs::write(log_path, w).map_err(|e| format!("writing {log_path}: {e}"))?;
         println!("wrote {log_path}");
     }
+    Ok(())
+}
+
+/// Dump the run metadata, rule texts, and provenance ledger into the trace
+/// journal as instant events; `fixctl explain` reconstructs rule chains
+/// from exactly these records.
+fn write_trace_events(
+    journal: &TraceJournal,
+    rules: &RuleSet,
+    symbols: &SymbolTable,
+    ledger: &ProvenanceLedger,
+    algo: &str,
+) {
+    let schema = rules.schema();
+    let attrs: Vec<Json> = schema.attr_names().map(Json::from).collect();
+    journal.event(
+        "trace.meta",
+        0,
+        Json::obj([
+            ("algo", Json::from(algo)),
+            ("attrs", Json::Arr(attrs)),
+            ("schema", Json::from(schema.name())),
+        ]),
+    );
+    for (id, rule) in rules.iter() {
+        journal.event(
+            "rule",
+            0,
+            Json::obj([
+                ("id", Json::from(u64::from(id.0))),
+                (
+                    "text",
+                    Json::from(format_rule(rule, schema, symbols).as_str()),
+                ),
+            ]),
+        );
+    }
+    for rec in ledger.records() {
+        journal.event("repair.cell", 0, rec.to_json(schema, symbols));
+    }
+}
+
+/// Reconstruct and render the causal rule chain behind one repaired cell,
+/// from a journal written by `fixctl repair --trace`. Exit status: 1 when
+/// the cell was never repaired, 0 when a chain is rendered.
+fn cmd_explain(positional: Option<&str>, flags: &Flags) -> Result<ExitCode, String> {
+    let path = positional
+        .or_else(|| flags.optional("trace"))
+        .ok_or("explain needs a journal: fixctl explain <trace.jsonl> --row N --attr NAME")?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    let records = parse_jsonl(&text)?;
+    // Rebuild the run context from the journal's instant events.
+    let meta = records
+        .iter()
+        .find(|r| r.phase == TracePhase::Event && r.name == "trace.meta")
+        .ok_or("journal has no `trace.meta` event (was it written by `fixctl repair --trace`?)")?;
+    let attr_names: Vec<String> = meta
+        .fields
+        .get("attrs")
+        .and_then(Json::as_arr)
+        .ok_or("trace.meta has no `attrs` array")?
+        .iter()
+        .filter_map(|a| a.as_str().map(str::to_string))
+        .collect();
+    let schema_name = meta
+        .fields
+        .get("schema")
+        .and_then(Json::as_str)
+        .unwrap_or("R");
+    let algo = meta
+        .fields
+        .get("algo")
+        .and_then(Json::as_str)
+        .unwrap_or("?");
+    let schema = Schema::new(schema_name, attr_names.iter().map(String::as_str))
+        .map_err(|e| e.to_string())?;
+    let mut rule_texts: Vec<String> = Vec::new();
+    for r in &records {
+        if r.phase != TracePhase::Event || r.name != "rule" {
+            continue;
+        }
+        let Some(id) = r.fields.get("id").and_then(Json::as_i64) else {
+            continue;
+        };
+        let rule_text = r.fields.get("text").and_then(Json::as_str).unwrap_or("");
+        let id = id as usize;
+        if rule_texts.len() <= id {
+            rule_texts.resize(id + 1, String::new());
+        }
+        rule_texts[id] = rule_text.to_string();
+    }
+    let mut symbols = SymbolTable::new();
+    let mut cells: Vec<ProvenanceRecord> = Vec::new();
+    for r in &records {
+        if r.phase == TracePhase::Event && r.name == "repair.cell" {
+            cells.push(ProvenanceRecord::from_json(
+                &r.fields,
+                &schema,
+                &mut symbols,
+            )?);
+        }
+    }
+    let row: usize = flags
+        .required("row")?
+        .parse()
+        .map_err(|_| "--row takes a 0-based row index".to_string())?;
+    let attr_name = flags.required("attr")?;
+    let attr = schema.attr(attr_name).ok_or_else(|| {
+        format!(
+            "unknown attribute `{attr_name}` (schema: {})",
+            attr_names.join(", ")
+        )
+    })?;
+    let mut row_records: Vec<ProvenanceRecord> =
+        cells.into_iter().filter(|r| r.row == row).collect();
+    row_records.sort_by_key(|r| r.ordinal);
+    let chain_ix = fixrules::provenance::chain(&row_records, attr);
+    if chain_ix.is_empty() {
+        println!("no repair recorded for row {row}, attribute `{attr_name}`");
+        return Ok(ExitCode::from(1));
+    }
+    let chain: Vec<&ProvenanceRecord> = chain_ix.iter().map(|&i| &row_records[i]).collect();
+    // Render rustc-style over a synthesized "source" where line N holds the
+    // text of rule N-1, so each chain link underlines the rule that fired.
+    let source = rule_texts.join("\n");
+    let last = chain.last().expect("chain is non-empty");
+    let header = format!(
+        "fix[row {row}, {attr_name}]: \"{}\" -> \"{}\"",
+        symbols.resolve(last.old),
+        symbols.resolve(last.new)
+    );
+    let location = format!("{path} (row {row})");
+    let mut excerpts = Vec::new();
+    for (step, rec) in chain.iter().enumerate() {
+        let rule_ix = rec.rule.0 as usize;
+        let text_len = rule_texts.get(rule_ix).map_or(1, |t| t.len().max(1));
+        let evidence: Vec<String> = rec
+            .evidence
+            .iter()
+            .map(|&(a, v)| format!("{} = \"{}\"", schema.attr_name(a), symbols.resolve(v)))
+            .collect();
+        excerpts.push(fixlint::Excerpt {
+            span: Span::new(rule_ix + 1, 1, text_len),
+            marker: if step + 1 == chain.len() { '^' } else { '-' },
+            label: format!(
+                "step {}: {} \"{}\" -> \"{}\" (round {}, evidence: {})",
+                step + 1,
+                schema.attr_name(rec.attr),
+                symbols.resolve(rec.old),
+                symbols.resolve(rec.new),
+                rec.round,
+                evidence.join(", ")
+            ),
+        });
+    }
+    let notes = vec![format!(
+        "chain of {} rule application(s) recorded by `{algo}`",
+        chain.len()
+    )];
+    print!(
+        "{}",
+        fixlint::render_block(&header, &location, &excerpts, &notes, &source)
+    );
+    Ok(ExitCode::SUCCESS)
+}
+
+/// Convert a JSONL trace journal to Chrome trace-event JSON (viewable in
+/// Perfetto / `chrome://tracing`).
+fn cmd_trace_export(positional: Option<&str>, flags: &Flags) -> Result<(), String> {
+    let path = positional.or_else(|| flags.optional("trace")).ok_or(
+        "trace export needs a journal: fixctl trace export <trace.jsonl> --chrome out.json",
+    )?;
+    let out = flags.required("chrome")?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    let records = parse_jsonl(&text)?;
+    let chrome = chrome_trace(&records);
+    std::fs::write(out, chrome.to_string_pretty() + "\n")
+        .map_err(|e| format!("writing {out}: {e}"))?;
+    println!("wrote {out} ({} trace event(s))", records.len());
     Ok(())
 }
 

@@ -583,6 +583,243 @@ fn lint_counts_findings_in_metrics() {
     );
 }
 
+/// Rules that cascade: φ1 repairs `capital`, and the repaired capital is
+/// then evidence for φ3's `city` fix — a two-link provenance chain.
+const CASCADE_RULES: &str = r#"
+IF country = "China" AND capital IN {"Shanghai", "Hongkong"} THEN capital := "Beijing"
+IF country = "Canada" AND capital IN {"Toronto"} THEN capital := "Ottawa"
+IF capital = "Beijing" AND conf = "ICDE" AND city IN {"Hongkong"} THEN city := "Shanghai"
+"#;
+
+fn repair_with_trace(dir: &std::path::Path, algo: &str, tag: &str) -> String {
+    let trace = dir.join(format!("{tag}.jsonl"));
+    let out = fixctl(&[
+        "repair",
+        "--rules",
+        dir.join("r.frl").to_str().unwrap(),
+        "--data",
+        dir.join("t.csv").to_str().unwrap(),
+        "--out",
+        dir.join(format!("{tag}.csv")).to_str().unwrap(),
+        "--algo",
+        algo,
+        "--trace",
+        trace.to_str().unwrap(),
+    ]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    std::fs::read_to_string(&trace).unwrap()
+}
+
+/// Two identical runs under the default logical clock produce byte-identical
+/// journals — the CI determinism gate relies on this.
+#[test]
+fn trace_journal_is_byte_deterministic() {
+    let dir = tmpdir("trace_det");
+    std::fs::write(dir.join("t.csv"), TRAVEL_CSV).unwrap();
+    std::fs::write(dir.join("r.frl"), GOOD_RULES).unwrap();
+    let first = repair_with_trace(&dir, "lrepair", "a");
+    let second = repair_with_trace(&dir, "lrepair", "b");
+    assert_eq!(
+        first, second,
+        "logical-clock journals must be byte-identical"
+    );
+    // The journal carries the run context and one event per applied fix.
+    assert!(first.contains("\"name\":\"trace.meta\""), "{first}");
+    assert!(first.contains("\"name\":\"stage.repair\""), "{first}");
+    let cells = first.matches("\"name\":\"repair.cell\"").count();
+    assert_eq!(cells, 3, "Ian, Peter, and Mike each get one fix:\n{first}");
+    // Logical clock: no wall timestamps anywhere.
+    assert!(!first.contains("ts_us"), "{first}");
+}
+
+/// The provenance events are driver-independent: the stream driver's
+/// journal records exactly the same `repair.cell` events as `lrepair`.
+#[test]
+fn stream_trace_records_same_provenance_as_lrepair() {
+    let dir = tmpdir("trace_stream");
+    std::fs::write(dir.join("t.csv"), TRAVEL_CSV).unwrap();
+    std::fs::write(dir.join("r.frl"), GOOD_RULES).unwrap();
+    let table = repair_with_trace(&dir, "lrepair", "table");
+    let stream = repair_with_trace(&dir, "stream", "stream");
+    let cells_of = |journal: &str| -> Vec<String> {
+        journal
+            .lines()
+            .filter(|l| l.contains("\"name\":\"repair.cell\""))
+            .map(|l| {
+                let fields_start = l.find("\"fields\":").unwrap();
+                let fields_end = l.find(",\"name\"").unwrap();
+                l[fields_start..fields_end].to_string()
+            })
+            .collect()
+    };
+    assert_eq!(cells_of(&table), cells_of(&stream));
+}
+
+/// `fixctl explain` walks the recorded evidence backwards and renders the
+/// full rule chain rustc-style; cells that were never repaired exit 1.
+#[test]
+fn explain_reconstructs_the_rule_chain() {
+    let dir = tmpdir("explain");
+    std::fs::write(dir.join("t.csv"), TRAVEL_CSV).unwrap();
+    std::fs::write(dir.join("r.frl"), CASCADE_RULES).unwrap();
+    let trace = dir.join("a.jsonl");
+    repair_with_trace(&dir, "lrepair", "a");
+
+    // Row 1 (Ian): city was repaired by φ3 whose evidence (capital =
+    // Beijing) was itself produced by φ1 — a two-step chain.
+    let out = fixctl(&[
+        "explain",
+        trace.to_str().unwrap(),
+        "--row",
+        "1",
+        "--attr",
+        "city",
+    ]);
+    assert_eq!(out.status.code(), Some(0));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains("fix[row 1, city]: \"Hongkong\" -> \"Shanghai\""),
+        "{stdout}"
+    );
+    assert!(
+        stdout.contains("step 1: capital \"Shanghai\" -> \"Beijing\""),
+        "{stdout}"
+    );
+    assert!(
+        stdout.contains("step 2: city \"Hongkong\" -> \"Shanghai\""),
+        "{stdout}"
+    );
+    assert!(
+        stdout.contains("evidence: capital = \"Beijing\""),
+        "{stdout}"
+    );
+    assert!(
+        stdout.contains("chain of 2 rule application(s)"),
+        "{stdout}"
+    );
+    // The fired rules are excerpted from the journal's own rule listing,
+    // final link underlined with carets, its dependency with dashes.
+    assert!(stdout.contains("THEN city := \"Shanghai\""), "{stdout}");
+    let dash = stdout.find("----").expect("dash underline");
+    let caret = stdout.find("^^^^").expect("caret underline");
+    assert!(dash < caret, "{stdout}");
+
+    // George (row 0) was never touched.
+    let out = fixctl(&[
+        "explain",
+        trace.to_str().unwrap(),
+        "--row",
+        "0",
+        "--attr",
+        "city",
+    ]);
+    assert_eq!(out.status.code(), Some(1));
+    assert!(String::from_utf8_lossy(&out.stdout).contains("no repair recorded"));
+
+    // Unknown attributes are an operational error.
+    let out = fixctl(&[
+        "explain",
+        trace.to_str().unwrap(),
+        "--row",
+        "1",
+        "--attr",
+        "zipcode",
+    ]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown attribute"));
+}
+
+/// `fixctl trace export --chrome` emits valid trace-event JSON with
+/// balanced span begin/end pairs.
+#[test]
+fn trace_export_produces_chrome_json() {
+    let dir = tmpdir("trace_chrome");
+    std::fs::write(dir.join("t.csv"), TRAVEL_CSV).unwrap();
+    std::fs::write(dir.join("r.frl"), GOOD_RULES).unwrap();
+    repair_with_trace(&dir, "lrepair", "a");
+    let chrome = dir.join("chrome.json");
+    let out = fixctl(&[
+        "trace",
+        "export",
+        dir.join("a.jsonl").to_str().unwrap(),
+        "--chrome",
+        chrome.to_str().unwrap(),
+    ]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let doc = obs::json::parse(&std::fs::read_to_string(&chrome).unwrap()).expect("valid JSON");
+    let events = doc
+        .get("traceEvents")
+        .and_then(|e| e.as_arr())
+        .expect("traceEvents array");
+    assert!(!events.is_empty());
+    let phase_count = |ph: &str| {
+        events
+            .iter()
+            .filter(|e| e.get("ph").and_then(|p| p.as_str()) == Some(ph))
+            .count()
+    };
+    assert_eq!(phase_count("B"), phase_count("E"), "balanced spans");
+    assert!(phase_count("i") >= 3, "instant events carried over");
+
+    // Unknown subcommands are rejected up front.
+    let out = fixctl(&["trace", "frobnicate"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("trace export"));
+}
+
+/// `--trace-clock wall` opts into real timestamps (and thereby gives up
+/// byte determinism).
+#[test]
+fn wall_clock_trace_carries_timestamps() {
+    let dir = tmpdir("trace_wall");
+    std::fs::write(dir.join("t.csv"), TRAVEL_CSV).unwrap();
+    std::fs::write(dir.join("r.frl"), GOOD_RULES).unwrap();
+    let trace = dir.join("w.jsonl");
+    let out = fixctl(&[
+        "repair",
+        "--rules",
+        dir.join("r.frl").to_str().unwrap(),
+        "--data",
+        dir.join("t.csv").to_str().unwrap(),
+        "--out",
+        dir.join("w.csv").to_str().unwrap(),
+        "--trace",
+        trace.to_str().unwrap(),
+        "--trace-clock",
+        "wall",
+    ]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(std::fs::read_to_string(&trace).unwrap().contains("ts_us"));
+
+    let out = fixctl(&[
+        "repair",
+        "--rules",
+        dir.join("r.frl").to_str().unwrap(),
+        "--data",
+        dir.join("t.csv").to_str().unwrap(),
+        "--out",
+        dir.join("w.csv").to_str().unwrap(),
+        "--trace",
+        trace.to_str().unwrap(),
+        "--trace-clock",
+        "sundial",
+    ]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown trace clock"));
+}
+
 /// `--metrics` without `--log` still writes the snapshot; `--log off` (the
 /// default) emits nothing on stderr beyond the usual human summary.
 #[test]

@@ -28,6 +28,9 @@
 //! * the two repair algorithms: chase-based `cRepair` (Fig 6) and linear
 //!   `lRepair` with inverted lists and hash counters (Fig 7), plus a
 //!   parallel table driver ([`repair`]);
+//! * per-cell repair provenance: a replayable ledger of rule applications
+//!   with their evidence bindings, feeding `fixctl explain`
+//!   ([`provenance`]);
 //! * rule generation from FD violations with negative-pattern enrichment
 //!   (§7.1) ([`generation`]);
 //! * the paper's §8 future work: automatic rule discovery from dirty data
@@ -71,11 +74,13 @@ pub mod discovery;
 pub mod generation;
 pub mod implication;
 pub mod io;
+pub mod provenance;
 pub mod repair;
 pub mod rule;
 pub mod ruleset;
 pub mod semantics;
 
 pub use consistency::{Conflict, ConsistencyReport};
+pub use provenance::{ProvenanceLedger, ProvenanceObserver, ProvenanceRecord};
 pub use rule::{FixRuleError, FixingRule};
 pub use ruleset::{RuleId, RuleSet};

@@ -55,6 +55,7 @@ pub fn crepair_tuple_observed<O: RepairObserver>(
                 old,
                 new: rule.fact(),
                 rule: RuleId(i as u32),
+                round: rounds as u32,
             });
         }
     }
@@ -67,7 +68,9 @@ pub fn crepair_table(rules: &RuleSet, table: &mut Table) -> RepairOutcome {
     crepair_table_observed(rules, table, &NoopObserver)
 }
 
-/// [`crepair_table`] with observer hooks.
+/// [`crepair_table`] with observer hooks; additionally emits one
+/// `cell_repaired` per applied update (the table driver knows the row
+/// index; the per-tuple algorithm doesn't).
 pub fn crepair_table_observed<O: RepairObserver>(
     rules: &RuleSet,
     table: &mut Table,
@@ -80,8 +83,9 @@ pub fn crepair_table_observed<O: RepairObserver>(
     let mut outcome = RepairOutcome::default();
     for i in 0..table.len() {
         let mut ups = crepair_tuple_observed(rules, table.row_mut(i), observer);
-        for u in &mut ups {
+        for (k, u) in ups.iter_mut().enumerate() {
             u.row = i;
+            observer.cell_repaired(u.as_fix(k));
         }
         outcome.updates.extend(ups);
     }

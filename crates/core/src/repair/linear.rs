@@ -200,6 +200,7 @@ pub fn lrepair_tuple_observed<O: RepairObserver>(
             old,
             new,
             rule: rid,
+            round: pops as u32,
         });
         // Lines 13–15: recalculate counters for the updated cell only.
         let stale = index.rules_for(b, old);
@@ -228,7 +229,9 @@ pub fn lrepair_table(rules: &RuleSet, index: &LRepairIndex, table: &mut Table) -
     lrepair_table_observed(rules, index, table, &NoopObserver)
 }
 
-/// [`lrepair_table`] with observer hooks.
+/// [`lrepair_table`] with observer hooks; additionally emits one
+/// `cell_repaired` per applied update (the table driver knows the row
+/// index; the per-tuple algorithm doesn't).
 pub fn lrepair_table_observed<O: RepairObserver>(
     rules: &RuleSet,
     index: &LRepairIndex,
@@ -244,8 +247,9 @@ pub fn lrepair_table_observed<O: RepairObserver>(
     for i in 0..table.len() {
         let mut ups =
             lrepair_tuple_observed(rules, index, &mut scratch, table.row_mut(i), observer);
-        for u in &mut ups {
+        for (k, u) in ups.iter_mut().enumerate() {
             u.row = i;
+            observer.cell_repaired(u.as_fix(k));
         }
         outcome.updates.extend(ups);
     }

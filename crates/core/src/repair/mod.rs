@@ -48,6 +48,27 @@ pub struct CellUpdate {
     pub new: Symbol,
     /// The rule that fired.
     pub rule: RuleId,
+    /// Chase round (`cRepair`) or candidate-queue pop index (`lRepair`)
+    /// at which the rule fired, 1-based — the "when" of the provenance
+    /// chain.
+    pub round: u32,
+}
+
+impl CellUpdate {
+    /// Translate into the plain-id [`obs::CellFix`] hook payload;
+    /// `ordinal` is this update's application order within its row.
+    /// Expects `row` to already be re-indexed by a table driver.
+    pub fn as_fix(&self, ordinal: usize) -> obs::CellFix {
+        obs::CellFix {
+            row: self.row,
+            ordinal,
+            rule: self.rule.index(),
+            attr: self.attr.index(),
+            old: self.old.0,
+            new: self.new.0,
+            round: self.round,
+        }
+    }
 }
 
 /// Aggregate statistics of one repair run — the single reporting type
@@ -158,6 +179,7 @@ mod tests {
                     old: Symbol(1),
                     new: Symbol(2),
                     rule: RuleId(0),
+                    round: 1,
                 },
                 CellUpdate {
                     row: 0,
@@ -165,6 +187,7 @@ mod tests {
                     old: Symbol(3),
                     new: Symbol(4),
                     rule: RuleId(1),
+                    round: 2,
                 },
                 CellUpdate {
                     row: 5,
@@ -172,6 +195,7 @@ mod tests {
                     old: Symbol(1),
                     new: Symbol(2),
                     rule: RuleId(0),
+                    round: 1,
                 },
             ],
         };

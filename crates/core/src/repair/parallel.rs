@@ -32,8 +32,10 @@ pub fn par_lrepair_table(
 }
 
 /// [`par_lrepair_table`] with observer hooks: per-tuple hooks from the
-/// shared observer (which must therefore be `Sync`), plus one
-/// `worker_done(worker, rows, updates, busy_ns)` per worker.
+/// shared observer (which must therefore be `Sync`), one `cell_repaired`
+/// per applied update (in worker order — provenance consumers sort by
+/// `(row, ordinal)`), plus one `worker_done(worker, rows, updates,
+/// busy_ns)` per worker.
 pub fn par_lrepair_table_observed<O: RepairObserver>(
     rules: &RuleSet,
     index: &LRepairIndex,
@@ -64,8 +66,9 @@ pub fn par_lrepair_table_observed<O: RepairObserver>(
                 let mut worker_rows = 0usize;
                 for (r, row) in chunk.chunks_exact_mut(arity).enumerate() {
                     let mut ups = lrepair_tuple_observed(rules, index, &mut scratch, row, observer);
-                    for u in &mut ups {
+                    for (k, u) in ups.iter_mut().enumerate() {
                         u.row = base_row + r;
+                        observer.cell_repaired(u.as_fix(k));
                     }
                     local.extend(ups);
                     worker_rows += 1;

@@ -41,7 +41,8 @@ pub fn stream_repair_csv<R: Read, W: Write>(
 }
 
 /// [`stream_repair_csv`] with observer hooks: per-tuple hooks from
-/// `lRepair` plus one `stream_record(vocab)` per record carrying the
+/// `lRepair`, one `cell_repaired` per applied update (`row` = 0-based
+/// record index), plus one `stream_record(vocab)` per record carrying the
 /// interner size (the memory-bounding quantity of this driver).
 pub fn stream_repair_csv_observed<R: Read, W: Write, O: RepairObserver>(
     rules: &RuleSet,
@@ -76,10 +77,14 @@ pub fn stream_repair_csv_observed<R: Read, W: Write, O: RepairObserver>(
         let record = record?;
         row.clear();
         row.extend(record.iter().map(|cell| symbols.intern(cell)));
-        let updates = lrepair_tuple_observed(rules, index, &mut scratch, &mut row, observer);
+        let mut updates = lrepair_tuple_observed(rules, index, &mut scratch, &mut row, observer);
         if !updates.is_empty() {
             stats.rows_touched += 1;
             stats.updates += updates.len();
+        }
+        for (k, u) in updates.iter_mut().enumerate() {
+            u.row = stats.rows;
+            observer.cell_repaired(u.as_fix(k));
         }
         stats.rows += 1;
         observer.stream_record(symbols.len());

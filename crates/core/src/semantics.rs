@@ -3,7 +3,7 @@
 
 use std::collections::BTreeSet;
 
-use relation::{AttrSet, Symbol};
+use relation::{AttrId, AttrSet, Symbol};
 
 use crate::rule::FixingRule;
 use crate::ruleset::RuleSet;
@@ -16,6 +16,19 @@ pub fn matches(rule: &FixingRule, row: &[Symbol]) -> bool {
         .zip(rule.tp().iter())
         .all(|(&a, &v)| row[a.index()] == v)
         && rule.neg_contains(row[rule.b().index()])
+}
+
+/// The evidence cells `(A, tp[A])` for `A ∈ X` that a tuple must exhibit
+/// for `rule` to match. Because matching requires `t[X] = tp[X]` exactly,
+/// these bindings *are* the tuple's evidence cells at application time —
+/// which is what makes a recorded rule application replayable (the
+/// provenance ledger stores them per fix).
+pub fn evidence_bindings(rule: &FixingRule) -> Vec<(AttrId, Symbol)> {
+    rule.x()
+        .iter()
+        .copied()
+        .zip(rule.tp().iter().copied())
+        .collect()
 }
 
 /// `t →(A,φ) t'`: the rule is *properly applicable* w.r.t. the assured set —

@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! repro <experiment> [--quick] [--seed N] [--hosp-rows N] [--uis-rows N]
-//!       [--hosp-rules N] [--uis-rules N] [--out DIR]
+//!       [--hosp-rules N] [--uis-rules N] [--out DIR] [--metrics FILE.json]
 //!
 //! experiments:
 //!   fig9a fig9b           consistency-check efficiency (hosp / uis)
@@ -25,9 +25,14 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut which_exp: Option<String> = None;
     let mut cfg = ExpConfig::default();
+    let mut metrics_path: Option<PathBuf> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
+            "--metrics" => {
+                i += 1;
+                metrics_path = Some(PathBuf::from(&args[i]));
+            }
             "--quick" => {
                 let out = cfg.out_dir.clone();
                 let seed = cfg.seed;
@@ -97,6 +102,14 @@ fn main() {
             }
         }
         name => run(name, &cfg),
+    }
+    // The timed stages above fed the shared registry under the same
+    // `stage.*_ns` names `fixctl --metrics` uses; dump it on request.
+    if let Some(path) = metrics_path {
+        let snapshot = eval::timing::registry().snapshot();
+        std::fs::write(&path, snapshot.to_string_pretty() + "\n")
+            .unwrap_or_else(|e| panic!("writing {}: {e}", path.display()));
+        println!("wrote {}", path.display());
     }
 }
 

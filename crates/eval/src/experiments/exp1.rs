@@ -11,7 +11,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use relation::SymbolTable;
 
-use crate::timing::time_ms;
+use crate::timing::{stage_ms, time_ms};
 
 /// One measured point of Fig 9.
 #[derive(Debug, Clone)]
@@ -46,8 +46,12 @@ pub fn run_fig9(
         let mut subset = rules.clone();
         subset.truncate(n);
         // Worst case: inspect every pair.
-        let (rep_r, ms_r) = time_ms(|| is_consistent_characterize(&subset, usize::MAX));
-        let (rep_t, ms_t) = time_ms(|| is_consistent_enumerate(&subset, usize::MAX));
+        let (rep_r, ms_r) = stage_ms("consistency_check", || {
+            is_consistent_characterize(&subset, usize::MAX)
+        });
+        let (rep_t, ms_t) = stage_ms("consistency_check", || {
+            is_consistent_enumerate(&subset, usize::MAX)
+        });
         debug_assert_eq!(rep_r.is_consistent(), rep_t.is_consistent());
         out.push(Fig9Point {
             n_rules: n,

@@ -1,12 +1,38 @@
 //! Wall-clock helpers for the efficiency experiments.
+//!
+//! Timed sections double as observability samples: [`stage_ms`] feeds the
+//! harness-wide [`registry`] under the same `stage.<name>_ns` histogram
+//! names `fixctl --metrics` uses, so a repro run and a CLI run of the same
+//! pipeline produce comparable snapshots (`repro --metrics FILE` dumps it).
 
+use std::sync::OnceLock;
 use std::time::Instant;
+
+use obs::MetricsRegistry;
+
+/// The process-wide metrics registry shared by every experiment.
+pub fn registry() -> &'static MetricsRegistry {
+    static REGISTRY: OnceLock<MetricsRegistry> = OnceLock::new();
+    REGISTRY.get_or_init(MetricsRegistry::new)
+}
 
 /// Run `f`, returning its value and the elapsed milliseconds.
 pub fn time_ms<T>(f: impl FnOnce() -> T) -> (T, f64) {
     let start = Instant::now();
     let v = f();
     (v, start.elapsed().as_secs_f64() * 1e3)
+}
+
+/// [`time_ms`], but the sample also lands in the shared [`registry`] as a
+/// `stage.<name>_ns` histogram observation.
+pub fn stage_ms<T>(stage: &str, f: impl FnOnce() -> T) -> (T, f64) {
+    let start = Instant::now();
+    let v = f();
+    let elapsed = start.elapsed();
+    registry()
+        .histogram(&format!("stage.{stage}_ns"))
+        .record(u64::try_from(elapsed.as_nanos()).unwrap_or(u64::MAX));
+    (v, elapsed.as_secs_f64() * 1e3)
 }
 
 /// Median of `n` timed runs of `f` (each run gets a fresh closure result).
@@ -31,6 +57,16 @@ mod tests {
         let (v, ms) = time_ms(|| 41 + 1);
         assert_eq!(v, 42);
         assert!(ms >= 0.0);
+    }
+
+    #[test]
+    fn stage_ms_records_into_the_shared_registry() {
+        let before = registry().histogram("stage.timing_test_ns").count();
+        let (v, ms) = stage_ms("timing_test", || 7);
+        assert_eq!(v, 7);
+        assert!(ms >= 0.0);
+        let h = registry().histogram("stage.timing_test_ns");
+        assert_eq!(h.count(), before + 1);
     }
 
     #[test]

@@ -12,6 +12,9 @@
 //!   ([`observer`]);
 //! * [`Json`] — a small self-contained JSON value for deterministic
 //!   snapshot export and parsing ([`json`]);
+//! * [`TraceJournal`] — an append-only structured event journal
+//!   (`span_begin`/`span_end`/`event` records) with byte-deterministic
+//!   JSONL output and a Chrome trace-event converter ([`trace`]);
 //! * structured `key=value` stderr logging behind a global level
 //!   ([`log`], [`info!`], [`debug!`]).
 //!
@@ -47,8 +50,10 @@ pub mod json;
 pub mod log;
 pub mod metrics;
 pub mod observer;
+pub mod trace;
 
 pub use json::Json;
 pub use log::Level;
 pub use metrics::{Counter, Gauge, Histogram, MetricsRegistry, SpanTimer};
-pub use observer::{MetricsObserver, NoopObserver, RepairObserver, METRIC_NAMES};
+pub use observer::{CellFix, MetricsObserver, NoopObserver, RepairObserver, Tee, METRIC_NAMES};
+pub use trace::{TraceClock, TraceJournal, TracePhase, TraceRecord};

@@ -65,7 +65,10 @@ impl Gauge {
     }
 }
 
-/// Sub-buckets per power of two. 8 gives ≤ ~6% relative quantile error.
+/// Sub-buckets per power of two. Quantiles report the lower bound of the
+/// matched bucket, so with 8 sub-buckets the worst-case relative error is
+/// `(width - 1) / (lower + width - 1) ≤ 1/9 ≈ 11%` for values ≥ 8 (values
+/// below 8 and exact bucket bounds are reported exactly).
 const SUBBUCKETS_BITS: u32 = 3;
 const SUBBUCKETS: u32 = 1 << SUBBUCKETS_BITS;
 /// Buckets 0..8 hold the values 0..8 exactly; each higher power of two

@@ -13,6 +13,31 @@
 
 use crate::metrics::{Counter, Gauge, Histogram, MetricsRegistry};
 
+/// Value-carrying description of one applied fix, passed to
+/// [`RepairObserver::cell_repaired`] by the table and stream drivers.
+///
+/// Plain ids only (row/attr/rule ordinals, interned symbol ids) so this
+/// crate stays a leaf; consumers that know the rule set — like the
+/// provenance ledger in `fixrules` — expand them back to evidence bindings
+/// and names.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CellFix {
+    /// Row index in the table (record index for the stream driver).
+    pub row: usize,
+    /// Application order within the row, from 0.
+    pub ordinal: usize,
+    /// `RuleId::index()` of the rule that fired.
+    pub rule: usize,
+    /// `AttrId::index()` of the updated attribute.
+    pub attr: usize,
+    /// Interned symbol id of the value before the update.
+    pub old: u32,
+    /// Interned symbol id of the value after the update.
+    pub new: u32,
+    /// Chase round (`cRepair`) or queue-pop index (`lRepair`), 1-based.
+    pub round: u32,
+}
+
 /// Hooks called from the repair stack. All default to no-ops.
 ///
 /// `Sync` is required because the parallel driver shares one observer
@@ -77,6 +102,14 @@ pub trait RepairObserver: Sync {
     fn lint_finding(&self, code: &'static str, severity: &'static str) {
         let _ = (code, severity);
     }
+
+    /// A table/stream driver applied one fix, with full values — the
+    /// provenance hook. Called once per update after each tuple completes
+    /// (the drivers know the row index there; per-tuple algorithms don't).
+    #[inline]
+    fn cell_repaired(&self, fix: CellFix) {
+        let _ = fix;
+    }
 }
 
 /// The do-nothing observer; the default for every repair entry point.
@@ -84,6 +117,79 @@ pub trait RepairObserver: Sync {
 pub struct NoopObserver;
 
 impl RepairObserver for NoopObserver {}
+
+/// Fans every hook out to two observers, so e.g. a `MetricsObserver` and a
+/// provenance ledger can watch the same repair run: `Tee(&metrics, &prov)`.
+#[derive(Debug, Clone, Copy)]
+pub struct Tee<'a, A: ?Sized, B: ?Sized>(pub &'a A, pub &'a B);
+
+impl<A: RepairObserver + ?Sized, B: RepairObserver + ?Sized> RepairObserver for Tee<'_, A, B> {
+    #[inline]
+    fn chase_round(&self) {
+        self.0.chase_round();
+        self.1.chase_round();
+    }
+
+    #[inline]
+    fn rule_applied(&self, rule: usize, attr: usize) {
+        self.0.rule_applied(rule, attr);
+        self.1.rule_applied(rule, attr);
+    }
+
+    #[inline]
+    fn tuple_done(&self, rounds: usize, updates: usize) {
+        self.0.tuple_done(rounds, updates);
+        self.1.tuple_done(rounds, updates);
+    }
+
+    #[inline]
+    fn index_probe(&self, rules_hit: usize) {
+        self.0.index_probe(rules_hit);
+        self.1.index_probe(rules_hit);
+    }
+
+    #[inline]
+    fn counter_saturated(&self) {
+        self.0.counter_saturated();
+        self.1.counter_saturated();
+    }
+
+    #[inline]
+    fn worker_done(&self, worker: usize, rows: usize, updates: usize, busy_ns: u64) {
+        self.0.worker_done(worker, rows, updates, busy_ns);
+        self.1.worker_done(worker, rows, updates, busy_ns);
+    }
+
+    #[inline]
+    fn stream_record(&self, vocab: usize) {
+        self.0.stream_record(vocab);
+        self.1.stream_record(vocab);
+    }
+
+    #[inline]
+    fn pairs_checked(&self, pairs: usize) {
+        self.0.pairs_checked(pairs);
+        self.1.pairs_checked(pairs);
+    }
+
+    #[inline]
+    fn conflict_found(&self, case: &'static str) {
+        self.0.conflict_found(case);
+        self.1.conflict_found(case);
+    }
+
+    #[inline]
+    fn lint_finding(&self, code: &'static str, severity: &'static str) {
+        self.0.lint_finding(code, severity);
+        self.1.lint_finding(code, severity);
+    }
+
+    #[inline]
+    fn cell_repaired(&self, fix: CellFix) {
+        self.0.cell_repaired(fix);
+        self.1.cell_repaired(fix);
+    }
+}
 
 /// Counter/histogram names written by [`MetricsObserver`], in snapshot
 /// (sorted) order. Kept public so tests and docs stay in sync with the

@@ -1,0 +1,75 @@
+//! Property tests for the log-bucketed histogram's quantile behavior.
+//!
+//! Quantiles report the *lower bound* of the bucket holding the requested
+//! rank, so the guarantees under test are:
+//!
+//! * `quantile(q)` is monotone non-decreasing in `q`;
+//! * `p50 ≤ p95 ≤ p99 ≤ quantile(1.0) ≤ max`;
+//! * the relative under-reporting error is within the documented bound
+//!   `(width - 1) / (lower + width - 1) ≤ 1/9` for values ≥ 8 (values
+//!   below 8 are exact).
+
+use obs::Histogram;
+use proptest::prelude::*;
+
+/// Worst-case relative error for the 8-sub-bucket layout (see
+/// `obs::metrics::SUBBUCKETS_BITS`): the reported lower bound `L` of a
+/// bucket of width `W` satisfies `(v - L) / v ≤ (W - 1) / (L + W - 1)`,
+/// maximized at the first split bucket `[8, 10)` where it is `1/9`.
+const MAX_RELATIVE_ERROR: f64 = 1.0 / 9.0;
+
+fn histogram_of(samples: &[u64]) -> Histogram {
+    let h = Histogram::default();
+    for &v in samples {
+        h.record(v);
+    }
+    h
+}
+
+proptest! {
+    #[test]
+    fn quantile_is_monotone_in_q(
+        samples in proptest::collection::vec(0u64..1_000_000, 1..200),
+        qa in 0.0f64..=1.0,
+        qb in 0.0f64..=1.0,
+    ) {
+        let h = histogram_of(&samples);
+        let (lo, hi) = if qa <= qb { (qa, qb) } else { (qb, qa) };
+        prop_assert!(
+            h.quantile(lo) <= h.quantile(hi),
+            "quantile({lo}) = {} > quantile({hi}) = {}",
+            h.quantile(lo),
+            h.quantile(hi),
+        );
+    }
+
+    #[test]
+    fn standard_quantiles_are_ordered_and_below_max(
+        samples in proptest::collection::vec(0u64..10_000_000, 1..200),
+    ) {
+        let h = histogram_of(&samples);
+        let p50 = h.quantile(0.50);
+        let p95 = h.quantile(0.95);
+        let p99 = h.quantile(0.99);
+        let top = h.quantile(1.0);
+        prop_assert!(p50 <= p95 && p95 <= p99 && p99 <= top);
+        prop_assert!(top <= h.max(), "quantile(1.0) = {top} > max = {}", h.max());
+    }
+
+    #[test]
+    fn single_value_relative_error_is_bounded(v in 0u64..100_000_000) {
+        let h = histogram_of(&[v]);
+        let reported = h.quantile(1.0);
+        prop_assert!(reported <= v, "bucket lower bound {reported} above sample {v}");
+        if v < 8 {
+            // The first 8 buckets hold 0..8 exactly.
+            prop_assert_eq!(reported, v);
+        } else {
+            let err = (v - reported) as f64 / v as f64;
+            prop_assert!(
+                err <= MAX_RELATIVE_ERROR,
+                "value {v} reported as {reported}: relative error {err} > 1/9",
+            );
+        }
+    }
+}

@@ -32,4 +32,29 @@ for f in examples/lint/*.frl; do
     fi
 done
 
+echo "== fixctl trace round trip =="
+# repair --trace → explain → trace export, and the determinism gate: two
+# identical runs under the default logical clock must produce
+# byte-identical journals.
+TRACE_DIR=$(mktemp -d)
+trap 'rm -rf "$TRACE_DIR"' EXIT
+for run in 1 2; do
+    "$FIXCTL" repair \
+        --rules examples/rulesets/hosp_zip.frl \
+        --data examples/data/hosp_dirty.csv \
+        --out "$TRACE_DIR/repaired_$run.csv" \
+        --trace "$TRACE_DIR/trace_$run.jsonl" >/dev/null
+done
+cmp "$TRACE_DIR/trace_1.jsonl" "$TRACE_DIR/trace_2.jsonl" \
+    || { echo "trace journals differ between identical runs" >&2; exit 1; }
+echo "-- journals byte-identical across two runs"
+"$FIXCTL" explain "$TRACE_DIR/trace_1.jsonl" --row 0 --attr city \
+    | grep -q 'fix\[row 0, city\]' \
+    || { echo "explain did not render the rule chain" >&2; exit 1; }
+echo "-- explain renders the rule chain"
+"$FIXCTL" trace export "$TRACE_DIR/trace_1.jsonl" --chrome "$TRACE_DIR/chrome.json" >/dev/null
+grep -q traceEvents "$TRACE_DIR/chrome.json" \
+    || { echo "chrome export has no traceEvents" >&2; exit 1; }
+echo "-- chrome export valid"
+
 echo "CI green."

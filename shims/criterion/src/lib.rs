@@ -16,7 +16,7 @@ use std::fmt::Display;
 use std::hint::black_box as std_black_box;
 use std::time::Instant;
 
-use obs::Json;
+use obs::{Json, MetricsRegistry};
 
 /// Re-export so `criterion::black_box` keeps working.
 pub fn black_box<T>(x: T) -> T {
@@ -65,9 +65,18 @@ impl BenchmarkId {
 pub struct Bencher {
     sample_size: usize,
     samples_ns: Vec<u64>,
+    metrics: MetricsRegistry,
 }
 
 impl Bencher {
+    /// A per-benchmark metrics registry (a shim extension, not upstream
+    /// criterion API): hand `obs::MetricsObserver::new(b.metrics())` to an
+    /// `*_observed` entry point and the snapshot is embedded under
+    /// `"metrics"` in this benchmark's `BENCH_<group>.json` entry.
+    pub fn metrics(&self) -> &MetricsRegistry {
+        &self.metrics
+    }
+
     /// Time `routine` once per sample.
     pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
         self.samples_ns.clear();
@@ -127,10 +136,13 @@ struct BenchReport {
     median_ns: u64,
     min_ns: u64,
     max_ns: u64,
+    /// Snapshot of the per-bench [`Bencher::metrics`] registry; omitted
+    /// when the benchmark recorded nothing into it.
+    metrics: Option<Json>,
 }
 
 impl BenchReport {
-    fn from_samples(id: String, mut samples_ns: Vec<u64>) -> Self {
+    fn from_samples(id: String, mut samples_ns: Vec<u64>, metrics: Option<Json>) -> Self {
         samples_ns.sort_unstable();
         let n = samples_ns.len().max(1);
         let sum: u128 = samples_ns.iter().map(|&v| v as u128).sum();
@@ -141,6 +153,7 @@ impl BenchReport {
             median_ns: samples_ns.get(samples_ns.len() / 2).copied().unwrap_or(0),
             min_ns: samples_ns.first().copied().unwrap_or(0),
             max_ns: samples_ns.last().copied().unwrap_or(0),
+            metrics,
         }
     }
 
@@ -163,8 +176,24 @@ impl BenchReport {
                 None => {}
             }
         }
+        if let Some(metrics) = &self.metrics {
+            obj.set("metrics", metrics.clone());
+        }
         obj
     }
+}
+
+/// A registry snapshot with any recorded data; `None` when every section
+/// (counters/gauges/histograms) is empty.
+fn non_empty_snapshot(registry: &MetricsRegistry) -> Option<Json> {
+    let snapshot = registry.snapshot();
+    let has_data = ["counters", "gauges", "histograms"].iter().any(|section| {
+        snapshot
+            .get(section)
+            .and_then(Json::as_obj)
+            .is_some_and(|m| !m.is_empty())
+    });
+    has_data.then_some(snapshot)
 }
 
 /// A named collection of benchmarks sharing a throughput annotation;
@@ -210,9 +239,11 @@ impl BenchmarkGroup<'_> {
         let mut bencher = Bencher {
             sample_size: self.sample_size,
             samples_ns: Vec::with_capacity(self.sample_size),
+            metrics: MetricsRegistry::new(),
         };
         f(&mut bencher);
-        let report = BenchReport::from_samples(id, bencher.samples_ns);
+        let metrics = non_empty_snapshot(&bencher.metrics);
+        let report = BenchReport::from_samples(id, bencher.samples_ns, metrics);
         println!(
             "{}/{}: mean {} (min {}, max {}, {} samples)",
             self.name,
@@ -430,7 +461,7 @@ mod tests {
 
     #[test]
     fn report_statistics_are_ordered() {
-        let r = BenchReport::from_samples("x".into(), vec![30, 10, 20]);
+        let r = BenchReport::from_samples("x".into(), vec![30, 10, 20], None);
         assert_eq!(r.min_ns, 10);
         assert_eq!(r.median_ns, 20);
         assert_eq!(r.max_ns, 30);
@@ -438,6 +469,30 @@ mod tests {
         let json = r.to_json(Some(Throughput::Elements(1_000)));
         assert_eq!(json.get("samples").and_then(|v| v.as_i64()), Some(3));
         assert!(json.get("elements_per_sec").is_some());
+    }
+
+    #[test]
+    fn bencher_metrics_are_embedded_only_when_recorded() {
+        let mut c = Criterion::default().sample_size(2);
+        let mut group = c.benchmark_group("shim_test_metrics");
+        group.bench_function("silent", |b| b.iter(|| 1 + 1));
+        group.bench_function("counting", |b| {
+            let counter = b.metrics().counter("bench.work");
+            b.iter(|| counter.inc())
+        });
+        assert!(group.reports[0].metrics.is_none());
+        let snap = group.reports[1].metrics.as_ref().expect("snapshot");
+        assert!(
+            snap.get("counters")
+                .and_then(|c| c.get("bench.work"))
+                .and_then(|v| v.as_i64())
+                .is_some_and(|n| n >= 2),
+            "{snap}"
+        );
+        // And the snapshot rides into the JSON report entry.
+        let json = group.reports[1].to_json(None);
+        assert!(json.get("metrics").is_some());
+        group.finished = true;
     }
 
     #[test]
