@@ -7,7 +7,9 @@
 //! fixctl resolve --rules rules.frl --data data.csv --out fixed_rules.frl
 //!                [--strategy shrink|drop]                 # §5.3 workflow
 //! fixctl repair  --rules rules.frl --data dirty.csv --out repaired.csv
-//!                [--algo lrepair|crepair|stream] [--updates-log updates.csv]
+//!                [--engine lrepair|chase|compiled|compiled-chase|stream]
+//!                [--plan-cache on|off|CAPACITY] [--threads N]
+//!                [--updates-log updates.csv]
 //!                [--trace trace.jsonl]                    # provenance journal
 //! fixctl stats   --rules rules.frl --data data.csv        # rule-set statistics
 //! fixctl explain trace.jsonl --row R --attr A             # why did this cell change?
@@ -39,11 +41,15 @@ use std::collections::HashMap;
 use std::process::ExitCode;
 
 use fixrules::consistency::resolve::{ensure_consistent, Strategy};
-use fixrules::consistency::{is_consistent_characterize_observed, ConsistencyReport};
+use fixrules::consistency::{
+    is_consistent_characterize_observed, is_consistent_parallel_observed, ConsistencyReport,
+};
 use fixrules::io::{format_rule, format_rules, parse_rules, Span};
 use fixrules::provenance::{ProvenanceLedger, ProvenanceObserver, ProvenanceRecord};
 use fixrules::repair::{
-    crepair_table_observed, lrepair_table_observed, LRepairIndex, RepairOutcome,
+    compiled_table_observed, crepair_table_observed, lrepair_table_observed,
+    par_compiled_table_observed, par_lrepair_table_observed, stream_repair_csv_compiled_observed,
+    CompiledEngine, LRepairIndex, PlanCache, RepairOutcome, RuleProgram,
 };
 use fixrules::RuleSet;
 use obs::trace::{chrome_trace, parse_jsonl, TracePhase, TraceSpan};
@@ -218,7 +224,8 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
 
 fn usage() -> String {
     "usage: fixctl <check|detect|discover|resolve|repair|stats|convert> --rules FILE --data FILE.csv \
-     [--out FILE] [--algo lrepair|crepair|stream] [--strategy shrink|drop] [--updates-log FILE] \
+     [--out FILE] [--engine lrepair|chase|compiled|compiled-chase|stream] \
+     [--plan-cache on|off|CAPACITY] [--threads N] [--strategy shrink|drop] [--updates-log FILE] \
      [--metrics FILE.json] [--log off|info|debug] [--trace FILE.jsonl] [--trace-clock logical|wall] \
      | lint RULES.frl [--schema a,b,c | --data FILE.csv] [--format human|json] \
      [--deny warnings|FR001,...] \
@@ -345,7 +352,7 @@ fn cmd_discover(flags: &Flags) -> Result<(), String> {
 /// without writing anything.
 fn cmd_detect(flags: &Flags, obs_ctx: &ObsCtx) -> Result<(), String> {
     let (table, rules, symbols) = load(flags, obs_ctx)?;
-    let report = check_consistency_observed(&rules, obs_ctx);
+    let report = check_consistency_observed(&rules, obs_ctx, threads_flag(flags)?);
     if !report.is_consistent() {
         return Err(format!(
             "rule set has {} conflict(s); run `fixctl resolve` first",
@@ -399,10 +406,83 @@ fn load(flags: &Flags, obs_ctx: &ObsCtx) -> Result<(Table, RuleSet, SymbolTable)
     Ok((table, rules, symbols))
 }
 
-/// The pairwise `isConsist_r` check, timed and fed into the observer.
-fn check_consistency_observed(rules: &RuleSet, obs_ctx: &ObsCtx) -> ConsistencyReport {
+/// `--threads N` (default 1 = sequential).
+fn threads_flag(flags: &Flags) -> Result<usize, String> {
+    match flags.optional("threads") {
+        Some(t) => t
+            .parse::<usize>()
+            .ok()
+            .filter(|&n| n >= 1)
+            .ok_or_else(|| "--threads takes a worker count >= 1".to_string()),
+        None => Ok(1),
+    }
+}
+
+/// `--plan-cache on|off|CAPACITY`; `None` means the flag was absent and the
+/// engine's default applies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum CacheSpec {
+    Off,
+    On,
+    Bounded(usize),
+}
+
+fn plan_cache_flag(flags: &Flags) -> Result<Option<CacheSpec>, String> {
+    match flags.optional("plan-cache") {
+        None => Ok(None),
+        Some("on") => Ok(Some(CacheSpec::On)),
+        Some("off") => Ok(Some(CacheSpec::Off)),
+        Some(n) => n
+            .parse::<usize>()
+            .ok()
+            .filter(|&c| c >= 1)
+            .map(|c| Some(CacheSpec::Bounded(c)))
+            .ok_or_else(|| format!("--plan-cache takes on, off, or a capacity >= 1 (got `{n}`)")),
+    }
+}
+
+/// Build the plan cache an engine run should use: sharded when parallel
+/// workers will share it, exact-LRU when a capacity was requested.
+fn build_plan_cache(spec: CacheSpec, threads: usize) -> Option<PlanCache> {
+    match (spec, threads) {
+        (CacheSpec::Off, _) => None,
+        (CacheSpec::On, 1) => Some(PlanCache::unbounded()),
+        (CacheSpec::On, t) => Some(PlanCache::sharded(t * 4)),
+        (CacheSpec::Bounded(c), 1) => Some(PlanCache::bounded_lru(c)),
+        (CacheSpec::Bounded(c), t) => Some(PlanCache::sharded_bounded(t * 4, c)),
+    }
+}
+
+/// Log and print one plan-cache summary line after a cached run.
+fn report_plan_cache(cache: &PlanCache) {
+    let stats = cache.stats();
+    obs::info!(
+        "plan_cache.done",
+        hits = stats.hits,
+        misses = stats.misses,
+        evictions = stats.evictions,
+        plans = stats.entries
+    );
+    println!(
+        "plan cache: {} hit(s), {} miss(es), {} eviction(s), {} plan(s) held",
+        stats.hits, stats.misses, stats.evictions, stats.entries
+    );
+}
+
+/// The pairwise `isConsist_r` check, timed and fed into the observer;
+/// `threads > 1` partitions the pairs across workers (stopping at the
+/// lowest-indexed conflict).
+fn check_consistency_observed(
+    rules: &RuleSet,
+    obs_ctx: &ObsCtx,
+    threads: usize,
+) -> ConsistencyReport {
     let _span = obs_ctx.span("consistency_check");
-    let report = is_consistent_characterize_observed(rules, usize::MAX, &obs_ctx.observer);
+    let report = if threads > 1 {
+        is_consistent_parallel_observed(rules, threads, &obs_ctx.observer)
+    } else {
+        is_consistent_characterize_observed(rules, usize::MAX, &obs_ctx.observer)
+    };
     obs::info!(
         "consistency.done",
         pairs_checked = report.pairs_checked,
@@ -413,7 +493,7 @@ fn check_consistency_observed(rules: &RuleSet, obs_ctx: &ObsCtx) -> ConsistencyR
 
 fn cmd_check(flags: &Flags, obs_ctx: &ObsCtx) -> Result<(), String> {
     let (_table, rules, symbols) = load(flags, obs_ctx)?;
-    let report = check_consistency_observed(&rules, obs_ctx);
+    let report = check_consistency_observed(&rules, obs_ctx, threads_flag(flags)?);
     println!(
         "{} rules, size(Σ) = {}, {} pairs checked",
         rules.len(),
@@ -475,14 +555,29 @@ fn cmd_resolve(flags: &Flags, obs_ctx: &ObsCtx) -> Result<(), String> {
 
 fn cmd_repair(flags: &Flags, obs_ctx: &ObsCtx) -> Result<(), String> {
     let (mut table, rules, symbols) = load(flags, obs_ctx)?;
-    let report = check_consistency_observed(&rules, obs_ctx);
+    let threads = threads_flag(flags)?;
+    let cache_spec = plan_cache_flag(flags)?;
+    let report = check_consistency_observed(&rules, obs_ctx, threads);
     if !report.is_consistent() {
         return Err(format!(
             "rule set has {} conflict(s); run `fixctl resolve` first",
             report.conflicts.len()
         ));
     }
-    let algo = flags.optional("algo").unwrap_or("lrepair");
+    // `--engine` is the current spelling; `--algo` stays as an alias, and
+    // `chase` names the same engine `crepair` always did.
+    let algo = flags
+        .optional("engine")
+        .or_else(|| flags.optional("algo"))
+        .unwrap_or("lrepair");
+    if !matches!(algo, "compiled" | "compiled-chase" | "stream")
+        && cache_spec.is_some()
+        && cache_spec != Some(CacheSpec::Off)
+    {
+        return Err(format!(
+            "--plan-cache only applies to the compiled and stream engines (got `{algo}`)"
+        ));
+    }
     if algo == "stream" {
         // One-pass constant-memory repair: re-read the data file and write
         // records as they are repaired.
@@ -497,10 +592,11 @@ fn cmd_repair(flags: &Flags, obs_ctx: &ObsCtx) -> Result<(), String> {
             .map_err(|e| format!("re-reading rules: {e}"))?;
         let rules2 = parse_rules(&text, header_table.schema(), &mut symbols2)
             .map_err(|e| format!("parsing rules: {e}"))?;
-        let index = {
-            let _span = obs_ctx.span("index_build");
-            LRepairIndex::build(&rules2)
-        };
+        if threads > 1 {
+            return Err(
+                "--threads does not apply to the stream engine (one pass, one reader)".to_string(),
+            );
+        }
         let reader =
             std::fs::File::open(data_path).map_err(|e| format!("opening {data_path}: {e}"))?;
         let writer = std::io::BufWriter::new(
@@ -508,27 +604,70 @@ fn cmd_repair(flags: &Flags, obs_ctx: &ObsCtx) -> Result<(), String> {
         );
         let started = std::time::Instant::now();
         let ledger = ProvenanceLedger::new();
+        // `--plan-cache` switches the stream onto the compiled engine with
+        // a bounded LRU memo (a stream has no end, so the cache must not
+        // grow without bound); default capacity holds 4096 plans.
+        let stream_cache = match cache_spec.unwrap_or(CacheSpec::Off) {
+            CacheSpec::Off => None,
+            CacheSpec::On => Some(PlanCache::bounded_lru(4096)),
+            CacheSpec::Bounded(c) => Some(PlanCache::bounded_lru(c)),
+        };
         let stats = {
             let _span = obs_ctx.span("repair");
-            let result = if obs_ctx.journal.is_some() {
-                let prov = ProvenanceObserver::new(&rules2, &ledger);
-                fixrules::repair::stream_repair_csv_observed(
-                    &rules2,
-                    &index,
-                    &mut symbols2,
-                    reader,
-                    writer,
-                    &Tee(&obs_ctx.observer, &prov),
-                )
+            let result = if let Some(cache) = &stream_cache {
+                let program = {
+                    let _span = obs_ctx.span("compile");
+                    RuleProgram::compile(&rules2)
+                };
+                if obs_ctx.journal.is_some() {
+                    let prov = ProvenanceObserver::new(&rules2, &ledger);
+                    stream_repair_csv_compiled_observed(
+                        &rules2,
+                        &program,
+                        CompiledEngine::Linear,
+                        Some(cache),
+                        &mut symbols2,
+                        reader,
+                        writer,
+                        &Tee(&obs_ctx.observer, &prov),
+                    )
+                } else {
+                    stream_repair_csv_compiled_observed(
+                        &rules2,
+                        &program,
+                        CompiledEngine::Linear,
+                        Some(cache),
+                        &mut symbols2,
+                        reader,
+                        writer,
+                        &obs_ctx.observer,
+                    )
+                }
             } else {
-                fixrules::repair::stream_repair_csv_observed(
-                    &rules2,
-                    &index,
-                    &mut symbols2,
-                    reader,
-                    writer,
-                    &obs_ctx.observer,
-                )
+                let index = {
+                    let _span = obs_ctx.span("index_build");
+                    LRepairIndex::build(&rules2)
+                };
+                if obs_ctx.journal.is_some() {
+                    let prov = ProvenanceObserver::new(&rules2, &ledger);
+                    fixrules::repair::stream_repair_csv_observed(
+                        &rules2,
+                        &index,
+                        &mut symbols2,
+                        reader,
+                        writer,
+                        &Tee(&obs_ctx.observer, &prov),
+                    )
+                } else {
+                    fixrules::repair::stream_repair_csv_observed(
+                        &rules2,
+                        &index,
+                        &mut symbols2,
+                        reader,
+                        writer,
+                        &obs_ctx.observer,
+                    )
+                }
             };
             result.map_err(|e| format!("streaming: {e}"))?
         };
@@ -546,6 +685,9 @@ fn cmd_repair(flags: &Flags, obs_ctx: &ObsCtx) -> Result<(), String> {
             "{} update(s) across {} row(s) of {} (streamed)",
             stats.updates, stats.rows_touched, stats.rows
         );
+        if let Some(cache) = &stream_cache {
+            report_plan_cache(cache);
+        }
         println!("wrote {out}");
         return Ok(());
     }
@@ -559,12 +701,25 @@ fn cmd_repair(flags: &Flags, obs_ctx: &ObsCtx) -> Result<(), String> {
             let _span = obs_ctx.span("repair");
             if obs_ctx.journal.is_some() {
                 let prov = ProvenanceObserver::new(&rules, &ledger);
-                lrepair_table_observed(&rules, &index, &mut table, &Tee(&obs_ctx.observer, &prov))
+                let tee = Tee(&obs_ctx.observer, &prov);
+                if threads > 1 {
+                    par_lrepair_table_observed(&rules, &index, &mut table, threads, &tee)
+                } else {
+                    lrepair_table_observed(&rules, &index, &mut table, &tee)
+                }
+            } else if threads > 1 {
+                par_lrepair_table_observed(&rules, &index, &mut table, threads, &obs_ctx.observer)
             } else {
                 lrepair_table_observed(&rules, &index, &mut table, &obs_ctx.observer)
             }
         }
-        "crepair" => {
+        "crepair" | "chase" => {
+            if threads > 1 {
+                return Err(
+                    "--threads does not apply to the chase engine (use --engine compiled-chase)"
+                        .to_string(),
+                );
+            }
             let _span = obs_ctx.span("repair");
             if obs_ctx.journal.is_some() {
                 let prov = ProvenanceObserver::new(&rules, &ledger);
@@ -573,7 +728,76 @@ fn cmd_repair(flags: &Flags, obs_ctx: &ObsCtx) -> Result<(), String> {
                 crepair_table_observed(&rules, &mut table, &obs_ctx.observer)
             }
         }
-        other => return Err(format!("unknown algo `{other}` (lrepair|crepair|stream)")),
+        "compiled" | "compiled-chase" => {
+            let engine = if algo == "compiled" {
+                CompiledEngine::Linear
+            } else {
+                CompiledEngine::Chase
+            };
+            let program = {
+                let _span = obs_ctx.span("compile");
+                RuleProgram::compile(&rules)
+            };
+            let cache = {
+                let _span = obs_ctx.span("plan_cache");
+                build_plan_cache(cache_spec.unwrap_or(CacheSpec::On), threads)
+            };
+            let outcome = {
+                let _span = obs_ctx.span("repair");
+                if obs_ctx.journal.is_some() {
+                    let prov = ProvenanceObserver::new(&rules, &ledger);
+                    let tee = Tee(&obs_ctx.observer, &prov);
+                    if threads > 1 {
+                        par_compiled_table_observed(
+                            &rules,
+                            &program,
+                            engine,
+                            cache.as_ref(),
+                            &mut table,
+                            threads,
+                            &tee,
+                        )
+                    } else {
+                        compiled_table_observed(
+                            &rules,
+                            &program,
+                            engine,
+                            cache.as_ref(),
+                            &mut table,
+                            &tee,
+                        )
+                    }
+                } else if threads > 1 {
+                    par_compiled_table_observed(
+                        &rules,
+                        &program,
+                        engine,
+                        cache.as_ref(),
+                        &mut table,
+                        threads,
+                        &obs_ctx.observer,
+                    )
+                } else {
+                    compiled_table_observed(
+                        &rules,
+                        &program,
+                        engine,
+                        cache.as_ref(),
+                        &mut table,
+                        &obs_ctx.observer,
+                    )
+                }
+            };
+            if let Some(cache) = &cache {
+                report_plan_cache(cache);
+            }
+            outcome
+        }
+        other => {
+            return Err(format!(
+                "unknown engine `{other}` (lrepair|chase|crepair|compiled|compiled-chase|stream)"
+            ))
+        }
     };
     if let Some(journal) = &obs_ctx.journal {
         write_trace_events(journal, &rules, &symbols, &ledger, algo);

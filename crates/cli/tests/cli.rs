@@ -850,3 +850,193 @@ fn metrics_without_log_is_quiet() {
     assert!(snap.get("gauges").is_some());
     assert!(snap.get("histograms").is_some());
 }
+
+/// Every engine spelling produces byte-identical repaired CSV, and the
+/// compiled engines do so with the plan cache on, off, bounded, and across
+/// worker threads.
+#[test]
+fn engines_agree_on_repaired_output() {
+    let dir = tmpdir("engines_agree");
+    let data = dir.join("t.csv");
+    let rules = dir.join("r.frl");
+    std::fs::write(&data, TRAVEL_CSV).unwrap();
+    std::fs::write(&rules, GOOD_RULES).unwrap();
+    let run = |label: &str, extra: &[&str]| -> (String, String) {
+        let out_path = dir.join(format!("{label}.csv"));
+        let mut args = vec![
+            "repair",
+            "--rules",
+            rules.to_str().unwrap(),
+            "--data",
+            data.to_str().unwrap(),
+            "--out",
+        ];
+        let out_str = out_path.to_str().unwrap().to_string();
+        args.push(&out_str);
+        args.extend_from_slice(extra);
+        let out = fixctl(&args);
+        assert!(
+            out.status.success(),
+            "{label}: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        (
+            std::fs::read_to_string(&out_path).unwrap(),
+            String::from_utf8_lossy(&out.stdout).into_owned(),
+        )
+    };
+    let (baseline, base_stdout) = run("lrepair", &["--algo", "lrepair"]);
+    assert!(base_stdout.contains("3 update(s)"), "{base_stdout}");
+    for (label, extra) in [
+        ("chase", &["--engine", "chase"][..]),
+        ("compiled_on", &["--engine", "compiled"][..]),
+        (
+            "compiled_off",
+            &["--engine", "compiled", "--plan-cache", "off"][..],
+        ),
+        (
+            "compiled_cap",
+            &["--engine", "compiled", "--plan-cache", "2"][..],
+        ),
+        (
+            "compiled_chase",
+            &["--engine", "compiled-chase", "--plan-cache", "on"][..],
+        ),
+        (
+            "compiled_par",
+            &["--engine", "compiled", "--threads", "3"][..],
+        ),
+        (
+            "lrepair_par",
+            &["--engine", "lrepair", "--threads", "2"][..],
+        ),
+    ] {
+        let (csv, stdout) = run(label, extra);
+        assert_eq!(csv, baseline, "{label} diverged from lrepair");
+        assert!(stdout.contains("3 update(s)"), "{label}: {stdout}");
+    }
+    // Cached compiled run reports the cache; uncached one does not.
+    let (_, cached) = run("cache_report", &["--engine", "compiled"]);
+    assert!(cached.contains("plan cache:"), "{cached}");
+    let (_, uncached) = run(
+        "cache_silent",
+        &["--engine", "compiled", "--plan-cache", "off"],
+    );
+    assert!(!uncached.contains("plan cache:"), "{uncached}");
+}
+
+/// `--engine stream --plan-cache N` streams through the compiled engine
+/// with a bounded LRU memo; output matches the plain stream byte for byte.
+#[test]
+fn stream_engine_with_plan_cache_matches_plain_stream() {
+    let dir = tmpdir("stream_cache");
+    let data = dir.join("t.csv");
+    let rules = dir.join("r.frl");
+    std::fs::write(&data, TRAVEL_CSV).unwrap();
+    std::fs::write(&rules, GOOD_RULES).unwrap();
+    let mut outputs = Vec::new();
+    for (label, extra) in [
+        ("plain", &[][..]),
+        ("cached", &["--plan-cache", "2"][..]),
+        ("cached_on", &["--plan-cache", "on"][..]),
+    ] {
+        let out_path = dir.join(format!("{label}.csv"));
+        let mut args = vec![
+            "repair",
+            "--engine",
+            "stream",
+            "--rules",
+            rules.to_str().unwrap(),
+            "--data",
+            data.to_str().unwrap(),
+            "--out",
+        ];
+        let out_str = out_path.to_str().unwrap().to_string();
+        args.push(&out_str);
+        args.extend_from_slice(extra);
+        let out = fixctl(&args);
+        assert!(
+            out.status.success(),
+            "{label}: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        if !extra.is_empty() {
+            assert!(String::from_utf8_lossy(&out.stdout).contains("plan cache:"));
+        }
+        outputs.push(std::fs::read_to_string(&out_path).unwrap());
+    }
+    assert_eq!(outputs[0], outputs[1]);
+    assert_eq!(outputs[0], outputs[2]);
+}
+
+/// Flag validation: a plan cache on a non-memoizing engine, a bad capacity,
+/// and threads on engines that cannot use them are all rejected.
+#[test]
+fn engine_flag_validation() {
+    let dir = tmpdir("engine_flags");
+    let data = dir.join("t.csv");
+    let rules = dir.join("r.frl");
+    std::fs::write(&data, TRAVEL_CSV).unwrap();
+    std::fs::write(&rules, GOOD_RULES).unwrap();
+    let base = |extra: &[&str]| {
+        let mut args = vec![
+            "repair",
+            "--rules",
+            rules.to_str().unwrap(),
+            "--data",
+            data.to_str().unwrap(),
+            "--out",
+        ];
+        let out_str = dir.join("o.csv");
+        let out_str = out_str.to_str().unwrap().to_string();
+        args.push(&out_str);
+        args.extend_from_slice(extra);
+        fixctl(&args)
+    };
+    let out = base(&["--engine", "lrepair", "--plan-cache", "on"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--plan-cache only applies"));
+
+    let out = base(&["--engine", "compiled", "--plan-cache", "zero"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--plan-cache takes"));
+
+    let out = base(&["--engine", "chase", "--threads", "2"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--threads does not apply"));
+
+    let out = base(&["--engine", "stream", "--threads", "2"]);
+    assert_eq!(out.status.code(), Some(2));
+
+    let out = base(&["--engine", "warp"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown engine"));
+
+    let out = base(&["--threads", "0"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--threads takes"));
+}
+
+/// `check --threads N` runs the parallel pairwise checker and still finds
+/// the (lowest-indexed) conflict.
+#[test]
+fn parallel_check_finds_conflict() {
+    let dir = tmpdir("par_check");
+    let data = dir.join("t.csv");
+    let rules = dir.join("r.frl");
+    std::fs::write(&data, TRAVEL_CSV).unwrap();
+    std::fs::write(&rules, BAD_RULES).unwrap();
+    let out = fixctl(&[
+        "check",
+        "--rules",
+        rules.to_str().unwrap(),
+        "--data",
+        data.to_str().unwrap(),
+        "--threads",
+        "4",
+    ]);
+    assert!(!out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("INCONSISTENT"), "{stdout}");
+    assert!(stdout.contains("[0] vs [1]"), "{stdout}");
+}

@@ -1,0 +1,1075 @@
+//! Compiled rule programs and repair-plan memoization.
+//!
+//! Real dirty data is dominated by *repeated* evidence projections: fixing
+//! rules match on exact constants, so two tuples that agree on the
+//! attributes Σ touches receive byte-identical fix sequences. This module
+//! exploits that redundancy twice:
+//!
+//! * [`RuleProgram`] — Σ compiled once: rules are grouped by their
+//!   evidence-attribute set `X` and each group becomes a hash-dispatch
+//!   table keyed by the tuple's projection on `X`, so finding every rule
+//!   whose evidence matches costs **one probe per distinct X-set** instead
+//!   of one counter update per `(attribute, value)` cell. The program also
+//!   computes the *relevant attribute closure* of Σ — every attribute any
+//!   rule reads (`X`, and `B` for the negative patterns) or writes (`B`) —
+//!   so each tuple reduces to a compact [`TupleSignature`].
+//! * [`PlanCache`] — signature → [`RepairPlan`] memoization. The first
+//!   tuple with a given signature runs the compiled engine and records the
+//!   ordered fix list (plus the assured-set delta); every later tuple with
+//!   the same signature replays the plan: one hash lookup, zero rule
+//!   evaluation. Sharded interior state lets the parallel driver share
+//!   hits across threads; [`PlanCache::unbounded`] is the single-shard
+//!   (uncontended, effectively lock-free) fast path for sequential
+//!   drivers, and [`PlanCache::bounded_lru`] gives the streaming driver an
+//!   exact least-recently-used eviction bound.
+//!
+//! **Why memoization is sound.** An engine run on a tuple `t` reads only
+//! `t[A]` for `A` in the relevant closure (evidence via `X`, negative
+//! patterns via `B`) and writes only `B` attributes, which are in the
+//! closure too. Two tuples with equal projections on the closure therefore
+//! drive the engine through the identical decision sequence, including the
+//! recorded `old` values and `round` stamps — so a replayed plan reproduces
+//! the *exact* [`crate::provenance::ProvenanceLedger`] the uncached driver
+//! emits, which is what the ledger-equality property tests assert.
+//!
+//! **Exact driver emulation.** Plans carry engine-specific `round` values
+//! (`cRepair`: chase round; `lRepair`: queue-pop index) and application
+//! order, so the compiled engine comes in two flavors
+//! ([`CompiledEngine::Chase`] / [`CompiledEngine::Linear`]) that replicate
+//! the respective uncached algorithm's application order rule-for-rule:
+//!
+//! * the chase flavor sweeps matched candidates in ascending rule id per
+//!   round, splicing rules enabled mid-round into the unscanned suffix —
+//!   exactly where `cRepair`'s in-order rescan would encounter them;
+//! * the linear flavor seeds its candidate stack in `(max evidence
+//!   attribute, rule id)` order — the order in which `lRepair`'s cell scan
+//!   saturates hash counters — and pushes newly enabled rules in id order
+//!   after each update, matching the inverted-list traversal.
+//!
+//! A `PlanCache` must only be shared between runs using the same rule set
+//! *and* the same engine flavor: plans are keyed by signature alone.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use fxhash::FxHashMap;
+use obs::{NoopObserver, RepairObserver};
+use relation::{AttrId, AttrSet, Symbol, Table};
+
+use crate::repair::{CellUpdate, RepairOutcome};
+use crate::ruleset::{RuleId, RuleSet};
+use crate::semantics::{matches, properly_applicable};
+
+/// Which uncached driver a compiled run replicates (and therefore which
+/// `round` stamps and application order its plans carry).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CompiledEngine {
+    /// Replicate `cRepair` (Fig 6): `round` = 1-based chase round.
+    Chase,
+    /// Replicate `lRepair` (Fig 7): `round` = 1-based queue-pop index.
+    Linear,
+}
+
+/// One evidence group: all rules sharing the same evidence-attribute set
+/// `X`, dispatched by the tuple's projection on `X`.
+#[derive(Debug, Clone)]
+struct RuleGroup {
+    /// The shared evidence attributes, sorted ascending.
+    attrs: Vec<AttrId>,
+    /// `attrs.last()` — where `lRepair`'s cell scan saturates the counter.
+    max_attr: AttrId,
+    /// Projection on `attrs` → rules whose full evidence equals it, in
+    /// rule-id order.
+    table: FxHashMap<Box<[Symbol]>, Vec<RuleId>>,
+}
+
+impl RuleGroup {
+    /// All rules whose evidence pattern matches `row`, in one hash probe.
+    #[inline]
+    fn probe<'g>(&'g self, row: &[Symbol], buf: &mut Vec<Symbol>) -> &'g [RuleId] {
+        buf.clear();
+        buf.extend(self.attrs.iter().map(|a| row[a.index()]));
+        self.table
+            .get(buf.as_slice())
+            .map(|v| v.as_slice())
+            .unwrap_or(&[])
+    }
+}
+
+/// A rule set compiled for repeated per-tuple evaluation: evidence-group
+/// dispatch tables plus the relevant attribute closure. Immutable and
+/// shareable across threads.
+#[derive(Debug, Clone)]
+pub struct RuleProgram {
+    groups: Vec<RuleGroup>,
+    /// `attr.index()` → indices of groups whose `X` contains the attribute
+    /// (the groups to re-probe after that attribute is updated).
+    groups_by_attr: Vec<Vec<u32>>,
+    /// Relevant attribute closure, sorted ascending — the signature layout.
+    relevant_attrs: Vec<AttrId>,
+    relevant: AttrSet,
+    num_rules: usize,
+}
+
+impl RuleProgram {
+    /// Compile `rules` once; reuse across tuples, tables and threads.
+    pub fn compile(rules: &RuleSet) -> Self {
+        let arity = rules.schema().arity();
+        let mut by_xset: FxHashMap<AttrSet, usize> = FxHashMap::default();
+        let mut groups: Vec<RuleGroup> = Vec::new();
+        let mut relevant = AttrSet::EMPTY;
+        for (id, rule) in rules.iter() {
+            relevant.union_with(rule.assured_delta());
+            let gi = *by_xset.entry(rule.x_set()).or_insert_with(|| {
+                groups.push(RuleGroup {
+                    attrs: rule.x().to_vec(),
+                    max_attr: *rule.x().last().expect("evidence is non-empty"),
+                    table: FxHashMap::default(),
+                });
+                groups.len() - 1
+            });
+            // `x()` is sorted and `tp()` is parallel to it, so the rule's
+            // evidence pattern *is* the projection key.
+            groups[gi]
+                .table
+                .entry(rule.tp().to_vec().into_boxed_slice())
+                .or_default()
+                .push(id);
+        }
+        let mut groups_by_attr = vec![Vec::new(); arity];
+        for (gi, g) in groups.iter().enumerate() {
+            for a in &g.attrs {
+                groups_by_attr[a.index()].push(gi as u32);
+            }
+        }
+        RuleProgram {
+            groups,
+            groups_by_attr,
+            relevant_attrs: relevant.iter().collect(),
+            relevant,
+            num_rules: rules.len(),
+        }
+    }
+
+    /// The tuple's projection on the relevant attribute closure — the plan
+    /// cache key. Two rows with equal signatures are repaired identically.
+    #[inline]
+    pub fn signature(&self, row: &[Symbol]) -> TupleSignature {
+        TupleSignature(self.relevant_attrs.iter().map(|a| row[a.index()]).collect())
+    }
+
+    /// The relevant attribute closure: every attribute some rule reads or
+    /// writes.
+    pub fn relevant(&self) -> AttrSet {
+        self.relevant
+    }
+
+    /// Number of evidence groups (distinct X-sets) — the probes per round.
+    pub fn num_groups(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// Number of rules the program was compiled from.
+    pub fn num_rules(&self) -> usize {
+        self.num_rules
+    }
+}
+
+/// A tuple's projection on the relevant attribute closure; the exact
+/// projection (not a hash of it), so cache lookups cannot collide.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct TupleSignature(Box<[Symbol]>);
+
+impl TupleSignature {
+    /// The projected symbols, in relevant-attribute order.
+    pub fn symbols(&self) -> &[Symbol] {
+        &self.0
+    }
+}
+
+/// A memoized repair: the ordered fix list one engine run produced for a
+/// signature, replayable on any row with that signature.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RepairPlan {
+    /// Applied updates in application order (`row` field 0; drivers
+    /// re-index), with the engine's original `round` stamps.
+    updates: Vec<CellUpdate>,
+    /// Chase rounds / queue pops of the original run — replayed into
+    /// `tuple_done` so cached and uncached metrics agree.
+    rounds: usize,
+    /// Union of the applied rules' assured sets (`X ∪ {B}` per rule).
+    assured: AttrSet,
+}
+
+impl RepairPlan {
+    fn new(updates: Vec<CellUpdate>, rounds: usize, assured: AttrSet) -> Self {
+        RepairPlan {
+            updates,
+            rounds,
+            assured,
+        }
+    }
+
+    /// The planned updates, in application order.
+    pub fn updates(&self) -> &[CellUpdate] {
+        &self.updates
+    }
+
+    /// The assured-set delta the plan establishes.
+    pub fn assured(&self) -> AttrSet {
+        self.assured
+    }
+
+    /// True when the plan applies no fix (a clean signature).
+    pub fn is_clean(&self) -> bool {
+        self.updates.is_empty()
+    }
+
+    /// Apply the plan to `row`, emitting the same `rule_applied` /
+    /// `tuple_done` hook sequence the original engine run did. Returns the
+    /// updates (`row` field 0) for the driver to re-index.
+    fn replay<O: RepairObserver>(&self, row: &mut [Symbol], observer: &O) -> Vec<CellUpdate> {
+        for u in &self.updates {
+            debug_assert_eq!(
+                row[u.attr.index()],
+                u.old,
+                "plan replayed on a row with a different signature"
+            );
+            row[u.attr.index()] = u.new;
+            observer.rule_applied(u.rule.index(), u.attr.index());
+        }
+        observer.tuple_done(self.rounds, self.updates.len());
+        self.updates.clone()
+    }
+}
+
+/// Hit/miss/eviction counters and current size of a [`PlanCache`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PlanCacheStats {
+    /// Lookups that found a plan.
+    pub hits: u64,
+    /// Lookups that found nothing.
+    pub misses: u64,
+    /// Entries evicted to stay within capacity.
+    pub evictions: u64,
+    /// Plans currently cached.
+    pub entries: usize,
+}
+
+#[derive(Debug)]
+struct CacheEntry {
+    plan: Arc<RepairPlan>,
+    last_used: u64,
+}
+
+#[derive(Debug, Default)]
+struct Shard {
+    map: FxHashMap<TupleSignature, CacheEntry>,
+    /// Per-shard logical clock; bumped on every lookup/insert, stamped
+    /// into entries for exact LRU eviction.
+    tick: u64,
+}
+
+/// Signature → plan memo shared by the compiled drivers.
+///
+/// Interior state is sharded (`N` power-of-two shards, each behind its own
+/// mutex) so parallel workers share hits with minimal contention; the
+/// single-shard constructors serve the sequential drivers, where the one
+/// uncontended lock costs a single atomic exchange per probe. Capacity, if
+/// bounded, evicts the least-recently-used entry per shard.
+#[derive(Debug)]
+pub struct PlanCache {
+    shards: Box<[Mutex<Shard>]>,
+    /// `64 - log2(shards.len())`; shard index = top hash bits.
+    shift: u32,
+    shard_capacity: Option<usize>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl PlanCache {
+    fn with_shards_and_capacity(shards: usize, capacity: Option<usize>) -> Self {
+        let shards = shards.max(1).next_power_of_two();
+        let shard_capacity = capacity.map(|c| c.max(1).div_ceil(shards));
+        PlanCache {
+            shards: (0..shards).map(|_| Mutex::new(Shard::default())).collect(),
+            shift: 64 - shards.trailing_zeros(),
+            shard_capacity,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    /// Single-shard, no capacity bound — the sequential fast path.
+    pub fn unbounded() -> Self {
+        PlanCache::with_shards_and_capacity(1, None)
+    }
+
+    /// `shards` (rounded up to a power of two) mutex-guarded shards, no
+    /// capacity bound — for the parallel driver; size to ~4× the worker
+    /// count.
+    pub fn sharded(shards: usize) -> Self {
+        PlanCache::with_shards_and_capacity(shards, None)
+    }
+
+    /// Single shard holding at most `capacity` plans with exact
+    /// least-recently-used eviction — the streaming driver's bound.
+    pub fn bounded_lru(capacity: usize) -> Self {
+        PlanCache::with_shards_and_capacity(1, Some(capacity))
+    }
+
+    /// Sharded *and* capacity-bounded (capacity split evenly across
+    /// shards, LRU within each shard).
+    pub fn sharded_bounded(shards: usize, capacity: usize) -> Self {
+        PlanCache::with_shards_and_capacity(shards, Some(capacity))
+    }
+
+    #[inline]
+    fn shard_for(&self, sig: &TupleSignature) -> usize {
+        if self.shards.len() == 1 {
+            0
+        } else {
+            (fxhash::hash64(&sig.0) >> self.shift) as usize
+        }
+    }
+
+    /// Look a signature up, bumping its recency on hit.
+    pub fn get(&self, sig: &TupleSignature) -> Option<Arc<RepairPlan>> {
+        let mut shard = self.shards[self.shard_for(sig)].lock().unwrap();
+        shard.tick += 1;
+        let tick = shard.tick;
+        match shard.map.get_mut(sig) {
+            Some(entry) => {
+                entry.last_used = tick;
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(Arc::clone(&entry.plan))
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Insert a plan, evicting the shard's least-recently-used entry if at
+    /// capacity. Returns the number of evictions (0 or 1).
+    pub fn insert(&self, sig: TupleSignature, plan: RepairPlan) -> usize {
+        let mut shard = self.shards[self.shard_for(&sig)].lock().unwrap();
+        shard.tick += 1;
+        let tick = shard.tick;
+        let mut evicted = 0;
+        if let Some(cap) = self.shard_capacity {
+            if shard.map.len() >= cap && !shard.map.contains_key(&sig) {
+                // Exact LRU: ticks are unique per shard, so the minimum is
+                // deterministic. Linear scan is fine — bounded caches are
+                // small by construction and eviction is the rare path.
+                if let Some(victim) = shard
+                    .map
+                    .iter()
+                    .min_by_key(|(_, e)| e.last_used)
+                    .map(|(k, _)| k.clone())
+                {
+                    shard.map.remove(&victim);
+                    self.evictions.fetch_add(1, Ordering::Relaxed);
+                    evicted = 1;
+                }
+            }
+        }
+        shard.map.insert(
+            sig,
+            CacheEntry {
+                plan: Arc::new(plan),
+                last_used: tick,
+            },
+        );
+        evicted
+    }
+
+    /// Plans currently cached, summed over shards.
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().unwrap().map.len())
+            .sum()
+    }
+
+    /// True when no plan is cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Snapshot of the hit/miss/eviction counters and current size.
+    pub fn stats(&self) -> PlanCacheStats {
+        PlanCacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            entries: self.len(),
+        }
+    }
+}
+
+/// Reusable per-thread scratch for the compiled engines: token-stamped
+/// rule marks (O(1) clearing between tuples), the candidate worklist and
+/// the probe-key buffer.
+#[derive(Debug, Default)]
+pub struct CompiledScratch {
+    /// Globally unique, monotonically increasing stamps; a mark array cell
+    /// is "set" iff it equals the current token, so clearing is free.
+    token_gen: u64,
+    tuple_token: u64,
+    used: Vec<u64>,
+    queued: Vec<u64>,
+    worklist: Vec<RuleId>,
+    fresh: Vec<RuleId>,
+    seed: Vec<(AttrId, RuleId)>,
+    proj: Vec<Symbol>,
+}
+
+impl CompiledScratch {
+    /// Create scratch space for a program over `num_rules` rules.
+    pub fn new(num_rules: usize) -> Self {
+        CompiledScratch {
+            used: vec![0; num_rules],
+            queued: vec![0; num_rules],
+            ..CompiledScratch::default()
+        }
+    }
+
+    fn begin_tuple(&mut self, num_rules: usize) {
+        if self.used.len() != num_rules {
+            self.used = vec![0; num_rules];
+            self.queued = vec![0; num_rules];
+        }
+        self.token_gen += 1;
+        self.tuple_token = self.token_gen;
+    }
+
+    fn next_token(&mut self) -> u64 {
+        self.token_gen += 1;
+        self.token_gen
+    }
+}
+
+/// The chase flavor: replicates `cRepair`'s application order exactly.
+/// Returns the updates (`row` field 0) and the number of chase rounds.
+fn chase_compiled<O: RepairObserver>(
+    rules: &RuleSet,
+    program: &RuleProgram,
+    scratch: &mut CompiledScratch,
+    row: &mut [Symbol],
+    observer: &O,
+) -> (Vec<CellUpdate>, usize) {
+    scratch.begin_tuple(program.num_rules);
+    let tuple_token = scratch.tuple_token;
+    let mut assured = AttrSet::EMPTY;
+    let mut updates = Vec::new();
+    let mut rounds = 0usize;
+    loop {
+        rounds += 1;
+        observer.chase_round();
+        let round_token = scratch.next_token();
+        scratch.worklist.clear();
+        for g in &program.groups {
+            let hits = g.probe(row, &mut scratch.proj);
+            observer.plan_probe(hits.len());
+            for &rid in hits {
+                if scratch.used[rid.index()] != tuple_token {
+                    scratch.queued[rid.index()] = round_token;
+                    scratch.worklist.push(rid);
+                }
+            }
+        }
+        scratch.worklist.sort_unstable();
+        let mut applied = false;
+        let mut pos = 0usize;
+        while pos < scratch.worklist.len() {
+            let rid = scratch.worklist[pos];
+            pos += 1;
+            if scratch.used[rid.index()] == tuple_token {
+                continue;
+            }
+            let rule = rules.rule(rid);
+            // An earlier application this round may have broken the
+            // evidence that matched at probe time — re-verify, exactly as
+            // cRepair's rescan would find the rule non-matching.
+            if assured.contains(rule.b()) || !matches(rule, row) {
+                continue;
+            }
+            debug_assert!(properly_applicable(rule, row, assured));
+            let b = rule.b();
+            let old = row[b.index()];
+            row[b.index()] = rule.fact();
+            assured.union_with(rule.assured_delta());
+            scratch.used[rid.index()] = tuple_token;
+            applied = true;
+            observer.rule_applied(rid.index(), b.index());
+            updates.push(CellUpdate {
+                row: 0,
+                attr: b,
+                old,
+                new: rule.fact(),
+                rule: rid,
+                round: rounds as u32,
+            });
+            // Rules enabled by this update whose id is *higher* than the
+            // current one are still ahead of cRepair's in-order sweep this
+            // round: splice them into the sorted unscanned suffix. Lower
+            // ids are picked up by the next round's probes, as in Fig 6.
+            for &gi in &program.groups_by_attr[b.index()] {
+                let g = &program.groups[gi as usize];
+                let hits = g.probe(row, &mut scratch.proj);
+                observer.plan_probe(hits.len());
+                for &nrid in hits {
+                    if nrid > rid
+                        && scratch.used[nrid.index()] != tuple_token
+                        && scratch.queued[nrid.index()] != round_token
+                    {
+                        scratch.queued[nrid.index()] = round_token;
+                        let at = pos + scratch.worklist[pos..].partition_point(|&x| x < nrid);
+                        scratch.worklist.insert(at, nrid);
+                    }
+                }
+            }
+        }
+        if !applied {
+            break;
+        }
+    }
+    (updates, rounds)
+}
+
+/// The linear flavor: replicates `lRepair`'s application order exactly.
+/// Returns the updates (`row` field 0) and the number of queue pops.
+fn linear_compiled<O: RepairObserver>(
+    rules: &RuleSet,
+    program: &RuleProgram,
+    scratch: &mut CompiledScratch,
+    row: &mut [Symbol],
+    observer: &O,
+) -> (Vec<CellUpdate>, usize) {
+    scratch.begin_tuple(program.num_rules);
+    let tuple_token = scratch.tuple_token;
+    // Seed: one probe per group. lRepair's cell scan saturates a matched
+    // rule's counter at its largest evidence attribute and walks each
+    // inverted list in rule-id order, so sorting candidates by
+    // (max evidence attr, rule id) reproduces its enqueue order.
+    scratch.seed.clear();
+    for g in &program.groups {
+        let hits = g.probe(row, &mut scratch.proj);
+        observer.plan_probe(hits.len());
+        for &rid in hits {
+            scratch.seed.push((g.max_attr, rid));
+        }
+    }
+    scratch.seed.sort_unstable();
+    scratch.worklist.clear();
+    for &(_, rid) in &scratch.seed {
+        scratch.queued[rid.index()] = tuple_token;
+        scratch.worklist.push(rid);
+    }
+    let mut assured = AttrSet::EMPTY;
+    let mut updates = Vec::new();
+    let mut pops = 0usize;
+    while let Some(rid) = scratch.worklist.pop() {
+        pops += 1;
+        let rule = rules.rule(rid);
+        // Pop-time verification, as in Fig 7 line 10: enqueue order is a
+        // filter, not a proof.
+        if !properly_applicable(rule, row, assured) {
+            continue;
+        }
+        let b = rule.b();
+        let old = row[b.index()];
+        row[b.index()] = rule.fact();
+        assured.union_with(rule.assured_delta());
+        observer.rule_applied(rid.index(), b.index());
+        updates.push(CellUpdate {
+            row: 0,
+            attr: b,
+            old,
+            new: rule.fact(),
+            rule: rid,
+            round: pops as u32,
+        });
+        // Re-probe only the groups reading the updated attribute. A rule
+        // that fully matches now and didn't before saturated on this very
+        // cell in lRepair, which enqueues fresh-list hits in id order.
+        scratch.fresh.clear();
+        for &gi in &program.groups_by_attr[b.index()] {
+            let g = &program.groups[gi as usize];
+            let hits = g.probe(row, &mut scratch.proj);
+            observer.plan_probe(hits.len());
+            for &nrid in hits {
+                if scratch.queued[nrid.index()] != tuple_token {
+                    scratch.queued[nrid.index()] = tuple_token;
+                    scratch.fresh.push(nrid);
+                }
+            }
+        }
+        scratch.fresh.sort_unstable();
+        scratch.worklist.extend_from_slice(&scratch.fresh);
+    }
+    (updates, pops)
+}
+
+#[inline]
+fn run_engine<O: RepairObserver>(
+    rules: &RuleSet,
+    program: &RuleProgram,
+    engine: CompiledEngine,
+    scratch: &mut CompiledScratch,
+    row: &mut [Symbol],
+    observer: &O,
+) -> (Vec<CellUpdate>, usize) {
+    match engine {
+        CompiledEngine::Chase => chase_compiled(rules, program, scratch, row, observer),
+        CompiledEngine::Linear => linear_compiled(rules, program, scratch, row, observer),
+    }
+}
+
+/// Repair one row with the compiled engine, consulting `cache` when
+/// present: a hit replays the memoized plan, a miss runs the engine and
+/// memoizes the result. Returns the updates (`row` field 0; drivers
+/// re-index). Used by every compiled driver — sequential, parallel and
+/// streaming.
+pub fn repair_row_compiled<O: RepairObserver>(
+    rules: &RuleSet,
+    program: &RuleProgram,
+    engine: CompiledEngine,
+    cache: Option<&PlanCache>,
+    scratch: &mut CompiledScratch,
+    row: &mut [Symbol],
+    observer: &O,
+) -> Vec<CellUpdate> {
+    let Some(cache) = cache else {
+        let (updates, rounds) = run_engine(rules, program, engine, scratch, row, observer);
+        observer.tuple_done(rounds, updates.len());
+        return updates;
+    };
+    let sig = program.signature(row);
+    if let Some(plan) = cache.get(&sig) {
+        observer.plan_cache_lookup(true);
+        return plan.replay(row, observer);
+    }
+    observer.plan_cache_lookup(false);
+    let (updates, rounds) = run_engine(rules, program, engine, scratch, row, observer);
+    observer.tuple_done(rounds, updates.len());
+    let assured = updates.iter().fold(AttrSet::EMPTY, |acc, u| {
+        acc.union(rules.rule(u.rule).assured_delta())
+    });
+    for _ in 0..cache.insert(sig, RepairPlan::new(updates.clone(), rounds, assured)) {
+        observer.plan_cache_evicted();
+    }
+    updates
+}
+
+/// Repair one tuple with the compiled chase engine (no cache). Byte-
+/// compatible with [`crate::repair::crepair_tuple`].
+pub fn crepair_compiled_tuple(
+    rules: &RuleSet,
+    program: &RuleProgram,
+    scratch: &mut CompiledScratch,
+    row: &mut [Symbol],
+) -> Vec<CellUpdate> {
+    repair_row_compiled(
+        rules,
+        program,
+        CompiledEngine::Chase,
+        None,
+        scratch,
+        row,
+        &NoopObserver,
+    )
+}
+
+/// Repair one tuple with the compiled linear engine (no cache). Byte-
+/// compatible with [`crate::repair::lrepair_tuple`].
+pub fn lrepair_compiled_tuple(
+    rules: &RuleSet,
+    program: &RuleProgram,
+    scratch: &mut CompiledScratch,
+    row: &mut [Symbol],
+) -> Vec<CellUpdate> {
+    repair_row_compiled(
+        rules,
+        program,
+        CompiledEngine::Linear,
+        None,
+        scratch,
+        row,
+        &NoopObserver,
+    )
+}
+
+/// Table driver over [`repair_row_compiled`]: pass
+/// [`CompiledEngine::Chase`] for `cRepair`-identical output and
+/// [`CompiledEngine::Linear`] for `lRepair`-identical output, with
+/// optional plan memoization.
+pub fn compiled_table(
+    rules: &RuleSet,
+    program: &RuleProgram,
+    engine: CompiledEngine,
+    cache: Option<&PlanCache>,
+    table: &mut Table,
+) -> RepairOutcome {
+    compiled_table_observed(rules, program, engine, cache, table, &NoopObserver)
+}
+
+/// [`compiled_table`] with observer hooks: the per-tuple hooks of the
+/// emulated engine plus `plan_probe`, `plan_cache_lookup`,
+/// `plan_cache_evicted`, and one `cell_repaired` per applied update.
+pub fn compiled_table_observed<O: RepairObserver>(
+    rules: &RuleSet,
+    program: &RuleProgram,
+    engine: CompiledEngine,
+    cache: Option<&PlanCache>,
+    table: &mut Table,
+    observer: &O,
+) -> RepairOutcome {
+    assert!(
+        rules.schema().same_as(table.schema()),
+        "rule set and table must share a schema"
+    );
+    let mut scratch = CompiledScratch::new(rules.len());
+    let mut outcome = RepairOutcome::default();
+    for i in 0..table.len() {
+        let mut ups = repair_row_compiled(
+            rules,
+            program,
+            engine,
+            cache,
+            &mut scratch,
+            table.row_mut(i),
+            observer,
+        );
+        for (k, u) in ups.iter_mut().enumerate() {
+            u.row = i;
+            observer.cell_repaired(u.as_fix(k));
+        }
+        outcome.updates.extend(ups);
+    }
+    outcome
+}
+
+/// Compiled `cRepair` over a table: identical table state, update log and
+/// provenance ledger to [`crate::repair::crepair_table`].
+pub fn crepair_compiled(
+    rules: &RuleSet,
+    program: &RuleProgram,
+    cache: Option<&PlanCache>,
+    table: &mut Table,
+) -> RepairOutcome {
+    compiled_table(rules, program, CompiledEngine::Chase, cache, table)
+}
+
+/// [`crepair_compiled`] with observer hooks.
+pub fn crepair_compiled_observed<O: RepairObserver>(
+    rules: &RuleSet,
+    program: &RuleProgram,
+    cache: Option<&PlanCache>,
+    table: &mut Table,
+    observer: &O,
+) -> RepairOutcome {
+    compiled_table_observed(
+        rules,
+        program,
+        CompiledEngine::Chase,
+        cache,
+        table,
+        observer,
+    )
+}
+
+/// Compiled `lRepair` over a table: identical table state, update log and
+/// provenance ledger to [`crate::repair::lrepair_table`].
+pub fn lrepair_compiled(
+    rules: &RuleSet,
+    program: &RuleProgram,
+    cache: Option<&PlanCache>,
+    table: &mut Table,
+) -> RepairOutcome {
+    compiled_table(rules, program, CompiledEngine::Linear, cache, table)
+}
+
+/// [`lrepair_compiled`] with observer hooks.
+pub fn lrepair_compiled_observed<O: RepairObserver>(
+    rules: &RuleSet,
+    program: &RuleProgram,
+    cache: Option<&PlanCache>,
+    table: &mut Table,
+    observer: &O,
+) -> RepairOutcome {
+    compiled_table_observed(
+        rules,
+        program,
+        CompiledEngine::Linear,
+        cache,
+        table,
+        observer,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::repair::chase::crepair_tuple;
+    use crate::repair::linear::{lrepair_tuple, LRepairIndex, LRepairScratch};
+    use relation::{Schema, SymbolTable};
+
+    fn schema() -> Schema {
+        Schema::new("Travel", ["name", "country", "capital", "city", "conf"]).unwrap()
+    }
+
+    fn fig8_rules(sy: &mut SymbolTable) -> RuleSet {
+        let mut rs = RuleSet::new(schema());
+        rs.push_named(
+            sy,
+            &[("country", "China")],
+            "capital",
+            &["Shanghai", "Hongkong"],
+            "Beijing",
+        )
+        .unwrap();
+        rs.push_named(
+            sy,
+            &[("country", "Canada")],
+            "capital",
+            &["Toronto"],
+            "Ottawa",
+        )
+        .unwrap();
+        rs.push_named(
+            sy,
+            &[("capital", "Tokyo"), ("city", "Tokyo"), ("conf", "ICDE")],
+            "country",
+            &["China"],
+            "Japan",
+        )
+        .unwrap();
+        rs.push_named(
+            sy,
+            &[("capital", "Beijing"), ("conf", "ICDE")],
+            "city",
+            &["Hongkong"],
+            "Shanghai",
+        )
+        .unwrap();
+        rs
+    }
+
+    fn fig1_rows(sy: &mut SymbolTable) -> Vec<Vec<Symbol>> {
+        [
+            ["George", "China", "Beijing", "Beijing", "SIGMOD"],
+            ["Ian", "China", "Shanghai", "Hongkong", "ICDE"],
+            ["Peter", "China", "Tokyo", "Tokyo", "ICDE"],
+            ["Mike", "Canada", "Toronto", "Toronto", "VLDB"],
+        ]
+        .iter()
+        .map(|r| r.iter().map(|v| sy.intern(v)).collect())
+        .collect()
+    }
+
+    #[test]
+    fn program_groups_and_closure() {
+        let mut sy = SymbolTable::new();
+        let rules = fig8_rules(&mut sy);
+        let program = RuleProgram::compile(&rules);
+        // X-sets: {country} (φ1, φ2), {capital, city, conf} (φ3),
+        // {capital, conf} (φ4).
+        assert_eq!(program.num_groups(), 3);
+        assert_eq!(program.num_rules(), 4);
+        // Relevant closure: everything but `name`.
+        let s = schema();
+        let expected: Vec<AttrId> = ["country", "capital", "city", "conf"]
+            .iter()
+            .map(|a| s.attr(a).unwrap())
+            .collect();
+        let mut expected_sorted = expected.clone();
+        expected_sorted.sort();
+        assert_eq!(program.relevant_attrs, expected_sorted);
+        assert!(!program.relevant().contains(s.attr("name").unwrap()));
+    }
+
+    #[test]
+    fn signatures_ignore_irrelevant_attributes() {
+        let mut sy = SymbolTable::new();
+        let rules = fig8_rules(&mut sy);
+        let program = RuleProgram::compile(&rules);
+        let a: Vec<Symbol> = ["Ian", "China", "Shanghai", "Hongkong", "ICDE"]
+            .iter()
+            .map(|v| sy.intern(v))
+            .collect();
+        let b: Vec<Symbol> = ["Zoe", "China", "Shanghai", "Hongkong", "ICDE"]
+            .iter()
+            .map(|v| sy.intern(v))
+            .collect();
+        let c: Vec<Symbol> = ["Ian", "China", "Hongkong", "Hongkong", "ICDE"]
+            .iter()
+            .map(|v| sy.intern(v))
+            .collect();
+        assert_eq!(program.signature(&a), program.signature(&b));
+        assert_ne!(program.signature(&a), program.signature(&c));
+    }
+
+    #[test]
+    fn both_flavors_match_their_uncached_engine_on_fig1() {
+        let mut sy = SymbolTable::new();
+        let rules = fig8_rules(&mut sy);
+        let program = RuleProgram::compile(&rules);
+        let index = LRepairIndex::build(&rules);
+        let mut cscratch = CompiledScratch::new(rules.len());
+        let mut lscratch = LRepairScratch::new(rules.len());
+        for row in fig1_rows(&mut sy) {
+            let mut chase_row = row.clone();
+            let mut compiled_row = row.clone();
+            let chase_ups = crepair_tuple(&rules, &mut chase_row);
+            let compiled_ups =
+                crepair_compiled_tuple(&rules, &program, &mut cscratch, &mut compiled_row);
+            assert_eq!(chase_ups, compiled_ups, "chase flavor diverged");
+            assert_eq!(chase_row, compiled_row);
+
+            let mut linear_row = row.clone();
+            let mut compiled_row = row.clone();
+            let linear_ups = lrepair_tuple(&rules, &index, &mut lscratch, &mut linear_row);
+            let compiled_ups =
+                lrepair_compiled_tuple(&rules, &program, &mut cscratch, &mut compiled_row);
+            assert_eq!(linear_ups, compiled_ups, "linear flavor diverged");
+            assert_eq!(linear_row, compiled_row);
+        }
+    }
+
+    #[test]
+    fn cache_hits_replay_identical_updates() {
+        let mut sy = SymbolTable::new();
+        let rules = fig8_rules(&mut sy);
+        let program = RuleProgram::compile(&rules);
+        let cache = PlanCache::unbounded();
+        let mut scratch = CompiledScratch::new(rules.len());
+        let dirty: Vec<Symbol> = ["Ian", "China", "Shanghai", "Hongkong", "ICDE"]
+            .iter()
+            .map(|v| sy.intern(v))
+            .collect();
+        let mut first = dirty.clone();
+        let miss_ups = repair_row_compiled(
+            &rules,
+            &program,
+            CompiledEngine::Linear,
+            Some(&cache),
+            &mut scratch,
+            &mut first,
+            &NoopObserver,
+        );
+        // Same signature, different irrelevant attr: must hit and replay.
+        let mut second: Vec<Symbol> = ["Zoe", "China", "Shanghai", "Hongkong", "ICDE"]
+            .iter()
+            .map(|v| sy.intern(v))
+            .collect();
+        let hit_ups = repair_row_compiled(
+            &rules,
+            &program,
+            CompiledEngine::Linear,
+            Some(&cache),
+            &mut scratch,
+            &mut second,
+            &NoopObserver,
+        );
+        assert_eq!(miss_ups, hit_ups);
+        assert_eq!(first[1..], second[1..]);
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses), (1, 1));
+        assert_eq!(stats.entries, 1);
+        // The cached plan carries the assured delta of the applied rules.
+        let plan = cache.get(&program.signature(&dirty)).unwrap();
+        assert_eq!(plan.updates().len(), 2);
+        assert!(!plan.is_clean());
+        let s = schema();
+        assert!(plan.assured().contains(s.attr("capital").unwrap()));
+        assert!(plan.assured().contains(s.attr("city").unwrap()));
+        assert!(!plan.assured().contains(s.attr("name").unwrap()));
+    }
+
+    #[test]
+    fn bounded_cache_evicts_least_recently_used() {
+        let cache = PlanCache::bounded_lru(2);
+        let sig = |v: u32| TupleSignature(vec![Symbol(v)].into_boxed_slice());
+        assert_eq!(cache.insert(sig(1), RepairPlan::default()), 0);
+        assert_eq!(cache.insert(sig(2), RepairPlan::default()), 0);
+        // Touch 1 so 2 becomes the LRU victim.
+        assert!(cache.get(&sig(1)).is_some());
+        assert_eq!(cache.insert(sig(3), RepairPlan::default()), 1);
+        assert!(cache.get(&sig(2)).is_none(), "LRU entry evicted");
+        assert!(cache.get(&sig(1)).is_some());
+        assert!(cache.get(&sig(3)).is_some());
+        let stats = cache.stats();
+        assert_eq!(stats.evictions, 1);
+        assert_eq!(stats.entries, 2);
+    }
+
+    #[test]
+    fn sharded_cache_shares_plans_across_threads() {
+        let mut sy = SymbolTable::new();
+        let rules = fig8_rules(&mut sy);
+        let program = RuleProgram::compile(&rules);
+        let cache = PlanCache::sharded(8);
+        let dirty: Vec<Symbol> = ["Ian", "China", "Shanghai", "Hongkong", "ICDE"]
+            .iter()
+            .map(|v| sy.intern(v))
+            .collect();
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let (rules, program, cache, dirty) = (&rules, &program, &cache, &dirty);
+                scope.spawn(move || {
+                    let mut scratch = CompiledScratch::new(rules.len());
+                    for _ in 0..50 {
+                        let mut row = dirty.clone();
+                        repair_row_compiled(
+                            rules,
+                            program,
+                            CompiledEngine::Linear,
+                            Some(cache),
+                            &mut scratch,
+                            &mut row,
+                            &NoopObserver,
+                        );
+                    }
+                });
+            }
+        });
+        let stats = cache.stats();
+        assert_eq!(stats.hits + stats.misses, 200);
+        assert_eq!(stats.entries, 1, "one distinct signature");
+        assert!(stats.hits >= 196, "at most one miss per thread");
+    }
+
+    #[test]
+    fn empty_ruleset_compiles_to_clean_plans() {
+        let mut sy = SymbolTable::new();
+        let rules = RuleSet::new(schema());
+        let program = RuleProgram::compile(&rules);
+        assert_eq!(program.num_groups(), 0);
+        let cache = PlanCache::unbounded();
+        let mut scratch = CompiledScratch::new(0);
+        let mut row: Vec<Symbol> = ["a", "b", "c", "d", "e"]
+            .iter()
+            .map(|v| sy.intern(v))
+            .collect();
+        for _ in 0..3 {
+            let ups = repair_row_compiled(
+                &rules,
+                &program,
+                CompiledEngine::Chase,
+                Some(&cache),
+                &mut scratch,
+                &mut row,
+                &NoopObserver,
+            );
+            assert!(ups.is_empty());
+        }
+        // All rows share the empty signature: one miss, then hits.
+        let stats = cache.stats();
+        assert_eq!((stats.misses, stats.hits), (1, 2));
+    }
+}

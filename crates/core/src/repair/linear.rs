@@ -21,8 +21,7 @@
 //! Counters are epoch-stamped so repairing the next tuple costs `O(1)` to
 //! "clear" them instead of `O(|Σ|)`.
 
-use std::collections::HashMap;
-
+use fxhash::FxHashMap;
 use obs::{NoopObserver, RepairObserver};
 use relation::{AttrId, AttrSet, Symbol, Table};
 
@@ -35,7 +34,9 @@ use crate::semantics::properly_applicable;
 /// Built once per rule set; immutable and shareable across threads.
 #[derive(Debug, Clone)]
 pub struct LRepairIndex {
-    lists: HashMap<(AttrId, Symbol), Vec<RuleId>>,
+    // FxHash instead of std SipHash: the keys are 8 bytes and probed once
+    // per cell, so hashing cost dominates the lookup.
+    lists: FxHashMap<(AttrId, Symbol), Vec<RuleId>>,
     /// `|X_φ|` per rule — the counter target.
     evidence_len: Vec<u16>,
 }
@@ -43,7 +44,7 @@ pub struct LRepairIndex {
 impl LRepairIndex {
     /// Build the inverted lists for `rules` (Fig 8(a)).
     pub fn build(rules: &RuleSet) -> Self {
-        let mut lists: HashMap<(AttrId, Symbol), Vec<RuleId>> = HashMap::new();
+        let mut lists: FxHashMap<(AttrId, Symbol), Vec<RuleId>> = FxHashMap::default();
         let mut evidence_len = Vec::with_capacity(rules.len());
         for (id, rule) in rules.iter() {
             evidence_len.push(rule.x().len() as u16);

@@ -12,24 +12,44 @@
 //! sound because fixing rules are strictly per-tuple (unlike FD repair,
 //! which must reason across tuples).
 //!
+//! [`compile`] adds a third execution strategy on top of either algorithm:
+//! the rule set is compiled once into a [`RuleProgram`] (evidence-group
+//! hash dispatch + relevant attribute closure), and repair plans are
+//! memoized per [`TupleSignature`] in a [`PlanCache`], so duplicate dirty
+//! tuples are repaired by replaying a cached plan instead of re-running
+//! the engine. The compiled drivers reproduce the uncached drivers'
+//! output — including the provenance ledger — byte for byte.
+//!
 //! Both algorithms require a **consistent** rule set; by the Church–Rosser
 //! property (§6.1) they then produce the same unique fix per tuple, which is
 //! asserted by the cross-algorithm tests and property tests.
 
 pub mod chase;
+pub mod compile;
 pub mod detect;
 pub mod linear;
 pub mod parallel;
 pub mod stream;
 
 pub use chase::{crepair_table, crepair_table_observed, crepair_tuple, crepair_tuple_observed};
+pub use compile::{
+    compiled_table, compiled_table_observed, crepair_compiled, crepair_compiled_observed,
+    crepair_compiled_tuple, lrepair_compiled, lrepair_compiled_observed, lrepair_compiled_tuple,
+    repair_row_compiled, CompiledEngine, CompiledScratch, PlanCache, PlanCacheStats, RepairPlan,
+    RuleProgram, TupleSignature,
+};
 pub use detect::{detect_table, explain};
 pub use linear::{
     lrepair_table, lrepair_table_observed, lrepair_tuple, lrepair_tuple_observed, LRepairIndex,
     LRepairScratch,
 };
-pub use parallel::{par_lrepair_table, par_lrepair_table_observed};
-pub use stream::{stream_repair_csv, stream_repair_csv_observed, StreamStats};
+pub use parallel::{
+    par_compiled_table, par_compiled_table_observed, par_lrepair_table, par_lrepair_table_observed,
+};
+pub use stream::{
+    stream_repair_csv, stream_repair_csv_compiled, stream_repair_csv_compiled_observed,
+    stream_repair_csv_observed, StreamStats,
+};
 
 use relation::{AttrId, Symbol};
 

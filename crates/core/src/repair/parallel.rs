@@ -10,6 +10,9 @@
 use obs::{NoopObserver, RepairObserver};
 use relation::Table;
 
+use crate::repair::compile::{
+    repair_row_compiled, CompiledEngine, CompiledScratch, PlanCache, RuleProgram,
+};
 use crate::repair::linear::{lrepair_tuple_observed, LRepairIndex, LRepairScratch};
 use crate::repair::{CellUpdate, RepairOutcome};
 use crate::ruleset::RuleSet;
@@ -91,10 +94,101 @@ pub fn par_lrepair_table_observed<O: RepairObserver>(
     }
 }
 
+/// Repair a table with the compiled engine across `num_threads` workers,
+/// sharing one [`PlanCache`] (use [`PlanCache::sharded`] to keep shard
+/// contention low). Produces exactly the same table state and update log
+/// as the sequential [`crate::repair::compiled_table`] with the same
+/// `engine` — and therefore as the uncached driver it emulates.
+pub fn par_compiled_table(
+    rules: &RuleSet,
+    program: &RuleProgram,
+    engine: CompiledEngine,
+    cache: Option<&PlanCache>,
+    table: &mut Table,
+    num_threads: usize,
+) -> RepairOutcome {
+    par_compiled_table_observed(
+        rules,
+        program,
+        engine,
+        cache,
+        table,
+        num_threads,
+        &NoopObserver,
+    )
+}
+
+/// [`par_compiled_table`] with observer hooks; same hook contract as
+/// [`par_lrepair_table_observed`] plus the plan-cache hooks.
+#[allow(clippy::too_many_arguments)]
+pub fn par_compiled_table_observed<O: RepairObserver>(
+    rules: &RuleSet,
+    program: &RuleProgram,
+    engine: CompiledEngine,
+    cache: Option<&PlanCache>,
+    table: &mut Table,
+    num_threads: usize,
+    observer: &O,
+) -> RepairOutcome {
+    assert!(
+        rules.schema().same_as(table.schema()),
+        "rule set and table must share a schema"
+    );
+    let num_threads = num_threads.max(1);
+    let rows = table.len();
+    if rows == 0 {
+        return RepairOutcome::default();
+    }
+    let arity = table.schema().arity();
+    let chunk_rows = rows.div_ceil(num_threads);
+    let mut all_updates: Vec<CellUpdate> = Vec::new();
+    std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for (chunk_idx, chunk) in table.rows_mut_chunks(chunk_rows).enumerate() {
+            let base_row = chunk_idx * chunk_rows;
+            handles.push(scope.spawn(move || {
+                let start = std::time::Instant::now();
+                let mut scratch = CompiledScratch::new(rules.len());
+                let mut local = Vec::new();
+                let mut worker_rows = 0usize;
+                for (r, row) in chunk.chunks_exact_mut(arity).enumerate() {
+                    let mut ups = repair_row_compiled(
+                        rules,
+                        program,
+                        engine,
+                        cache,
+                        &mut scratch,
+                        row,
+                        observer,
+                    );
+                    for (k, u) in ups.iter_mut().enumerate() {
+                        u.row = base_row + r;
+                        observer.cell_repaired(u.as_fix(k));
+                    }
+                    local.extend(ups);
+                    worker_rows += 1;
+                }
+                let busy_ns = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+                observer.worker_done(chunk_idx, worker_rows, local.len(), busy_ns);
+                local
+            }));
+        }
+        for h in handles {
+            all_updates.extend(h.join().expect("repair worker panicked"));
+        }
+    });
+    // Same stable-sort argument as above: per-row application order
+    // survives, so the log is byte-identical to the sequential driver's.
+    all_updates.sort_by_key(|u| u.row);
+    RepairOutcome {
+        updates: all_updates,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::repair::lrepair_table;
+    use crate::repair::{lrepair_compiled, lrepair_table};
     use relation::{Schema, SymbolTable};
 
     fn setup(rows: usize) -> (RuleSet, Table, SymbolTable) {
@@ -171,6 +265,38 @@ mod tests {
         let index = LRepairIndex::build(&rules);
         let outcome = par_lrepair_table(&rules, &index, &mut table, 4);
         assert_eq!(outcome.total_updates(), 0);
+    }
+
+    #[test]
+    fn compiled_parallel_matches_sequential_compiled_and_uncached() {
+        let (rules, table, _sy) = setup(1000);
+        let program = RuleProgram::compile(&rules);
+        let index = LRepairIndex::build(&rules);
+        let cache = PlanCache::sharded(16);
+        let mut seq = table.clone();
+        let mut par = table.clone();
+        let so = lrepair_table(&rules, &index, &mut seq);
+        let po = par_compiled_table(
+            &rules,
+            &program,
+            CompiledEngine::Linear,
+            Some(&cache),
+            &mut par,
+            4,
+        );
+        assert_eq!(seq.diff_cells(&par).unwrap(), 0);
+        assert_eq!(so.updates, po.updates, "full update logs must agree");
+        let stats = cache.stats();
+        assert_eq!(stats.hits + stats.misses, 1000);
+        assert!(stats.hits >= 1000 - 4 * 2, "two signatures, four workers");
+
+        // Cache off, chase flavor, degenerate single worker.
+        let mut par1 = table.clone();
+        let p1 = par_compiled_table(&rules, &program, CompiledEngine::Chase, None, &mut par1, 1);
+        let mut seq1 = table.clone();
+        let s1 = lrepair_compiled(&rules, &program, None, &mut seq1);
+        assert_eq!(seq1.diff_cells(&par1).unwrap(), 0);
+        assert_eq!(p1.total_updates(), s1.total_updates());
     }
 
     #[test]

@@ -15,6 +15,9 @@ use std::io::{Read, Write};
 use obs::{NoopObserver, RepairObserver};
 use relation::{RelationError, Symbol, SymbolTable};
 
+use crate::repair::compile::{
+    repair_row_compiled, CompiledEngine, CompiledScratch, PlanCache, RuleProgram,
+};
 use crate::repair::linear::{lrepair_tuple_observed, LRepairIndex, LRepairScratch};
 use crate::repair::RepairStats;
 use crate::ruleset::RuleSet;
@@ -78,6 +81,98 @@ pub fn stream_repair_csv_observed<R: Read, W: Write, O: RepairObserver>(
         row.clear();
         row.extend(record.iter().map(|cell| symbols.intern(cell)));
         let mut updates = lrepair_tuple_observed(rules, index, &mut scratch, &mut row, observer);
+        if !updates.is_empty() {
+            stats.rows_touched += 1;
+            stats.updates += updates.len();
+        }
+        for (k, u) in updates.iter_mut().enumerate() {
+            u.row = stats.rows;
+            observer.cell_repaired(u.as_fix(k));
+        }
+        stats.rows += 1;
+        observer.stream_record(symbols.len());
+        wtr.write_record(row.iter().map(|&s| symbols.resolve(s)))?;
+    }
+    wtr.flush()?;
+    Ok(stats)
+}
+
+/// Repair CSV records from `reader` to `writer` in one pass with the
+/// compiled engine, memoizing repair plans in `cache`.
+///
+/// A stream has no end in sight, so the cache should be bounded — pass a
+/// [`PlanCache::bounded_lru`] to cap memory at `capacity` plans with exact
+/// least-recently-used eviction (an evicted signature that recurs simply
+/// misses once and is re-planned). `cache = None` disables memoization;
+/// output is byte-identical either way.
+pub fn stream_repair_csv_compiled<R: Read, W: Write>(
+    rules: &RuleSet,
+    program: &RuleProgram,
+    engine: CompiledEngine,
+    cache: Option<&PlanCache>,
+    symbols: &mut SymbolTable,
+    reader: R,
+    writer: W,
+) -> Result<StreamStats, RelationError> {
+    stream_repair_csv_compiled_observed(
+        rules,
+        program,
+        engine,
+        cache,
+        symbols,
+        reader,
+        writer,
+        &NoopObserver,
+    )
+}
+
+/// [`stream_repair_csv_compiled`] with observer hooks; same hook contract
+/// as [`stream_repair_csv_observed`] plus the plan-cache hooks.
+#[allow(clippy::too_many_arguments)]
+pub fn stream_repair_csv_compiled_observed<R: Read, W: Write, O: RepairObserver>(
+    rules: &RuleSet,
+    program: &RuleProgram,
+    engine: CompiledEngine,
+    cache: Option<&PlanCache>,
+    symbols: &mut SymbolTable,
+    reader: R,
+    writer: W,
+    observer: &O,
+) -> Result<StreamStats, RelationError> {
+    let mut rdr = csv::ReaderBuilder::new()
+        .has_headers(true)
+        .flexible(false)
+        .from_reader(reader);
+    let headers = rdr.headers()?.clone();
+    let schema = rules.schema();
+    if headers.len() != schema.arity()
+        || !headers.iter().zip(schema.attr_names()).all(|(h, a)| h == a)
+    {
+        return Err(RelationError::UnknownAttribute(format!(
+            "CSV header [{}] does not match rule schema {}",
+            headers.iter().collect::<Vec<_>>().join(", "),
+            schema
+        )));
+    }
+    let mut wtr = csv::Writer::from_writer(writer);
+    wtr.write_record(&headers)?;
+
+    let mut scratch = CompiledScratch::new(rules.len());
+    let mut row: Vec<Symbol> = Vec::with_capacity(schema.arity());
+    let mut stats = StreamStats::default();
+    for record in rdr.records() {
+        let record = record?;
+        row.clear();
+        row.extend(record.iter().map(|cell| symbols.intern(cell)));
+        let mut updates = repair_row_compiled(
+            rules,
+            program,
+            engine,
+            cache,
+            &mut scratch,
+            &mut row,
+            observer,
+        );
         if !updates.is_empty() {
             stats.rows_touched += 1;
             stats.updates += updates.len();
@@ -168,6 +263,70 @@ Mike,Canada,Toronto,Toronto,VLDB
         for i in 0..table.len() {
             assert_eq!(table.row_strs(&sy, i), streamed.row_strs(&sy2, i));
         }
+    }
+
+    #[test]
+    fn compiled_stream_matches_uncached_stream() {
+        let (rules, mut sy) = setup();
+        let index = LRepairIndex::build(&rules);
+        let program = RuleProgram::compile(&rules);
+        let mut plain = Vec::new();
+        let plain_stats =
+            stream_repair_csv(&rules, &index, &mut sy, DIRTY.as_bytes(), &mut plain).unwrap();
+        for cache in [None, Some(PlanCache::bounded_lru(64))] {
+            let mut out = Vec::new();
+            let stats = stream_repair_csv_compiled(
+                &rules,
+                &program,
+                CompiledEngine::Linear,
+                cache.as_ref(),
+                &mut sy,
+                DIRTY.as_bytes(),
+                &mut out,
+            )
+            .unwrap();
+            assert_eq!(stats, plain_stats);
+            assert_eq!(out, plain, "CSV output must be byte-identical");
+        }
+    }
+
+    #[test]
+    fn lru_eviction_and_re_miss_yield_correct_plans() {
+        let (rules, mut sy) = setup();
+        let program = RuleProgram::compile(&rules);
+        // Two dirty signatures alternating: a capacity-1 cache thrashes —
+        // every lookup after the first evicts the other signature's plan —
+        // yet each re-miss must re-plan correctly.
+        let mut input = String::from("name,country,capital,city,conf\n");
+        for i in 0..6 {
+            if i % 2 == 0 {
+                input.push_str("p,China,Shanghai,x,ICDE\n");
+            } else {
+                input.push_str("q,Canada,Toronto,y,VLDB\n");
+            }
+        }
+        let cache = PlanCache::bounded_lru(1);
+        let mut out = Vec::new();
+        let stats = stream_repair_csv_compiled(
+            &rules,
+            &program,
+            CompiledEngine::Linear,
+            Some(&cache),
+            &mut sy,
+            input.as_bytes(),
+            &mut out,
+        )
+        .unwrap();
+        assert_eq!(stats.rows, 6);
+        assert_eq!(stats.updates, 6, "every row repaired despite thrashing");
+        let text = String::from_utf8(out).unwrap();
+        assert_eq!(text.matches("p,China,Beijing,x,ICDE").count(), 3);
+        assert_eq!(text.matches("q,Canada,Ottawa,y,VLDB").count(), 3);
+        let cs = cache.stats();
+        assert_eq!(cs.hits, 0, "capacity 1 with alternating signatures");
+        assert_eq!(cs.misses, 6);
+        assert_eq!(cs.evictions, 5);
+        assert_eq!(cs.entries, 1);
     }
 
     #[test]

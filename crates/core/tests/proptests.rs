@@ -13,10 +13,13 @@
 
 use proptest::prelude::*;
 
-use fixrules::consistency::is_consistent_characterize;
 use fixrules::consistency::resolve::{ensure_consistent, Strategy as ResolveStrategy};
+use fixrules::consistency::{is_consistent_characterize, is_consistent_parallel};
+use fixrules::provenance::{ProvenanceLedger, ProvenanceObserver};
 use fixrules::repair::{
-    crepair_tuple, lrepair_tuple, par_lrepair_table, LRepairIndex, LRepairScratch,
+    compiled_table_observed, crepair_table_observed, crepair_tuple, lrepair_table_observed,
+    lrepair_tuple, par_compiled_table_observed, par_lrepair_table, CompiledEngine, LRepairIndex,
+    LRepairScratch, PlanCache, RuleProgram,
 };
 use fixrules::semantics::{all_fixes, is_fixpoint};
 use fixrules::{FixingRule, RuleSet};
@@ -215,6 +218,82 @@ proptest! {
             assured.union_with(rs.rule(u.rule).assured_delta());
         }
         prop_assert!(is_fixpoint(rs.rules().iter(), &fixed, assured));
+    }
+
+    /// The compiled engines are drop-in replacements: on random consistent
+    /// rule sets, `compiled(Chase)` reproduces `cRepair`'s provenance
+    /// ledger byte for byte and `compiled(Linear)` reproduces `lRepair`'s —
+    /// including the engine-specific `round` stamps — for every combination
+    /// of plan cache (off / on) and worker count (1 / 4), along with the
+    /// final table.
+    #[test]
+    fn compiled_engines_reproduce_ledgers(rs in rulesets(),
+                                          rows in proptest::collection::vec(tuples(), 1..24)) {
+        let mut rs = rs;
+        ensure_consistent(&mut rs, ResolveStrategy::ShrinkNegatives);
+        let program = RuleProgram::compile(&rs);
+        let index = LRepairIndex::build(&rs);
+        let mut table0 = Table::new(rs.schema().clone());
+        for r in &rows {
+            table0.push_row(r).unwrap();
+        }
+        // References: the uncached sequential drivers.
+        let mut chase_table = table0.clone();
+        let chase_ledger = ProvenanceLedger::new();
+        crepair_table_observed(
+            &rs, &mut chase_table, &ProvenanceObserver::new(&rs, &chase_ledger));
+        let chase_records = chase_ledger.records();
+        let mut linear_table = table0.clone();
+        let linear_ledger = ProvenanceLedger::new();
+        lrepair_table_observed(
+            &rs, &index, &mut linear_table, &ProvenanceObserver::new(&rs, &linear_ledger));
+        let linear_records = linear_ledger.records();
+
+        for (engine, ref_table, ref_records) in [
+            (CompiledEngine::Chase, &chase_table, &chase_records),
+            (CompiledEngine::Linear, &linear_table, &linear_records),
+        ] {
+            for threads in [1usize, 4] {
+                for cached in [false, true] {
+                    let cache = cached.then(|| if threads > 1 {
+                        PlanCache::sharded(4)
+                    } else {
+                        PlanCache::unbounded()
+                    });
+                    let mut t = table0.clone();
+                    let ledger = ProvenanceLedger::new();
+                    let obs = ProvenanceObserver::new(&rs, &ledger);
+                    if threads > 1 {
+                        par_compiled_table_observed(
+                            &rs, &program, engine, cache.as_ref(), &mut t, threads, &obs);
+                    } else {
+                        compiled_table_observed(
+                            &rs, &program, engine, cache.as_ref(), &mut t, &obs);
+                    }
+                    prop_assert_eq!(ref_table.diff_cells(&t).unwrap(), 0,
+                        "{:?} cached={} threads={}: tables diverged", engine, cached, threads);
+                    prop_assert_eq!(&ledger.records(), ref_records,
+                        "{:?} cached={} threads={}: ledgers diverged", engine, cached, threads);
+                }
+            }
+        }
+    }
+
+    /// The parallel pairwise consistency checker agrees with the sequential
+    /// one on the verdict, and on inconsistent sets reports exactly the
+    /// lowest-indexed conflicting pair, at any worker count.
+    #[test]
+    fn parallel_consistency_agrees(rs in rulesets()) {
+        let seq = is_consistent_characterize(&rs, 1);
+        for threads in [1usize, 3, 8] {
+            let par = is_consistent_parallel(&rs, threads);
+            prop_assert_eq!(seq.is_consistent(), par.is_consistent());
+            if let (Some(s), Some(p)) = (seq.conflicts.first(), par.conflicts.first()) {
+                prop_assert_eq!(s.first, p.first);
+                prop_assert_eq!(s.second, p.second);
+                prop_assert_eq!(s.case, p.case);
+            }
+        }
     }
 
     /// Both resolution strategies terminate in a consistent set, and

@@ -82,6 +82,23 @@ pub trait RepairObserver: Sync {
         let _ = vocab;
     }
 
+    /// A compiled driver probed one evidence-group dispatch table and found
+    /// `rules_hit` matching rules.
+    #[inline]
+    fn plan_probe(&self, rules_hit: usize) {
+        let _ = rules_hit;
+    }
+
+    /// A compiled driver looked a tuple signature up in the plan cache.
+    #[inline]
+    fn plan_cache_lookup(&self, hit: bool) {
+        let _ = hit;
+    }
+
+    /// The plan cache evicted an entry to stay within its capacity.
+    #[inline]
+    fn plan_cache_evicted(&self) {}
+
     /// A consistency checker examined `pairs` rule pairs.
     #[inline]
     fn pairs_checked(&self, pairs: usize) {
@@ -167,6 +184,24 @@ impl<A: RepairObserver + ?Sized, B: RepairObserver + ?Sized> RepairObserver for 
     }
 
     #[inline]
+    fn plan_probe(&self, rules_hit: usize) {
+        self.0.plan_probe(rules_hit);
+        self.1.plan_probe(rules_hit);
+    }
+
+    #[inline]
+    fn plan_cache_lookup(&self, hit: bool) {
+        self.0.plan_cache_lookup(hit);
+        self.1.plan_cache_lookup(hit);
+    }
+
+    #[inline]
+    fn plan_cache_evicted(&self) {
+        self.0.plan_cache_evicted();
+        self.1.plan_cache_evicted();
+    }
+
+    #[inline]
     fn pairs_checked(&self, pairs: usize) {
         self.0.pairs_checked(pairs);
         self.1.pairs_checked(pairs);
@@ -201,6 +236,11 @@ pub const METRIC_NAMES: &[&str] = &[
     "repair.chase.rounds",
     "repair.index.probe_hits",
     "repair.index.probes",
+    "repair.plan.probe_hits",
+    "repair.plan.probes",
+    "repair.plan_cache.evictions",
+    "repair.plan_cache.hits",
+    "repair.plan_cache.misses",
     "repair.queue.enqueued",
     "repair.rules_applied",
     "repair.tuples",
@@ -227,6 +267,11 @@ pub struct MetricsObserver {
     tuple_updates: Histogram,
     probes: Counter,
     probe_hits: Counter,
+    plan_probes: Counter,
+    plan_probe_hits: Counter,
+    plan_hits: Counter,
+    plan_misses: Counter,
+    plan_evictions: Counter,
     enqueued: Counter,
     stream_records: Counter,
     stream_vocab: Gauge,
@@ -247,6 +292,11 @@ impl MetricsObserver {
             tuple_updates: registry.histogram("repair.tuple_updates"),
             probes: registry.counter("repair.index.probes"),
             probe_hits: registry.counter("repair.index.probe_hits"),
+            plan_probes: registry.counter("repair.plan.probes"),
+            plan_probe_hits: registry.counter("repair.plan.probe_hits"),
+            plan_hits: registry.counter("repair.plan_cache.hits"),
+            plan_misses: registry.counter("repair.plan_cache.misses"),
+            plan_evictions: registry.counter("repair.plan_cache.evictions"),
             enqueued: registry.counter("repair.queue.enqueued"),
             stream_records: registry.counter("stream.records"),
             stream_vocab: registry.gauge("stream.vocab"),
@@ -294,6 +344,26 @@ impl RepairObserver for MetricsObserver {
     #[inline]
     fn counter_saturated(&self) {
         self.enqueued.inc();
+    }
+
+    #[inline]
+    fn plan_probe(&self, rules_hit: usize) {
+        self.plan_probes.inc();
+        self.plan_probe_hits.add(rules_hit as u64);
+    }
+
+    #[inline]
+    fn plan_cache_lookup(&self, hit: bool) {
+        if hit {
+            self.plan_hits.inc();
+        } else {
+            self.plan_misses.inc();
+        }
+    }
+
+    #[inline]
+    fn plan_cache_evicted(&self) {
+        self.plan_evictions.inc();
     }
 
     fn worker_done(&self, worker: usize, rows: usize, updates: usize, busy_ns: u64) {
@@ -361,6 +431,12 @@ mod tests {
         obs.index_probe(3);
         obs.index_probe(0);
         obs.counter_saturated();
+        obs.plan_probe(2);
+        obs.plan_probe(0);
+        obs.plan_cache_lookup(true);
+        obs.plan_cache_lookup(true);
+        obs.plan_cache_lookup(false);
+        obs.plan_cache_evicted();
         obs.worker_done(1, 500, 20, 1_000);
         obs.stream_record(128);
         obs.stream_record(256);
@@ -380,6 +456,11 @@ mod tests {
         assert_eq!(get("repair.index.probes"), 2);
         assert_eq!(get("repair.index.probe_hits"), 3);
         assert_eq!(get("repair.queue.enqueued"), 1);
+        assert_eq!(get("repair.plan.probes"), 2);
+        assert_eq!(get("repair.plan.probe_hits"), 2);
+        assert_eq!(get("repair.plan_cache.hits"), 2);
+        assert_eq!(get("repair.plan_cache.misses"), 1);
+        assert_eq!(get("repair.plan_cache.evictions"), 1);
         assert_eq!(get("repair.worker.1.rows"), 500);
         assert_eq!(get("stream.records"), 2);
         assert_eq!(get("consistency.pairs_checked"), 6);
@@ -417,6 +498,10 @@ mod tests {
         obs.tuple_done(1, 1);
         obs.index_probe(1);
         obs.counter_saturated();
+        obs.plan_probe(1);
+        obs.plan_cache_lookup(true);
+        obs.plan_cache_lookup(false);
+        obs.plan_cache_evicted();
         obs.stream_record(1);
         obs.pairs_checked(1);
         obs.conflict_found("BiInXj");

@@ -57,4 +57,35 @@ grep -q traceEvents "$TRACE_DIR/chrome.json" \
     || { echo "chrome export has no traceEvents" >&2; exit 1; }
 echo "-- chrome export valid"
 
+echo "== plan-cache equivalence smoke =="
+# The compiled engine must be byte-identical with the plan cache on and
+# off: same repaired CSV, same repair counters in --metrics (DESIGN.md
+# §12 "metrics parity"). Only repair.plan_cache.*/repair.plan.* counters
+# may differ — they count cache traffic and actual engine work. Tile the
+# example rows so repeated signatures actually hit the cache.
+{
+    cat examples/data/hosp_dirty.csv
+    tail -n +2 examples/data/hosp_dirty.csv
+    tail -n +2 examples/data/hosp_dirty.csv
+} > "$TRACE_DIR/hosp_dup.csv"
+for cache in on off; do
+    "$FIXCTL" repair \
+        --rules examples/rulesets/hosp_zip.frl \
+        --data "$TRACE_DIR/hosp_dup.csv" \
+        --engine compiled --plan-cache "$cache" \
+        --out "$TRACE_DIR/compiled_$cache.csv" \
+        --metrics "$TRACE_DIR/metrics_$cache.json" >/dev/null
+    grep -o '"repair\.[a-z_.]*": [0-9][0-9]*' "$TRACE_DIR/metrics_$cache.json" \
+        | grep -v 'repair\.plan' > "$TRACE_DIR/counters_$cache.txt"
+    sed -n '/"repair\.tuple_/,/}/p' "$TRACE_DIR/metrics_$cache.json" \
+        >> "$TRACE_DIR/counters_$cache.txt"
+done
+cmp "$TRACE_DIR/compiled_on.csv" "$TRACE_DIR/compiled_off.csv" \
+    || { echo "compiled output differs with plan cache on vs off" >&2; exit 1; }
+diff "$TRACE_DIR/counters_on.txt" "$TRACE_DIR/counters_off.txt" \
+    || { echo "repair metrics differ with plan cache on vs off" >&2; exit 1; }
+grep -q '"repair\.plan_cache\.hits": [1-9]' "$TRACE_DIR/metrics_on.json" \
+    || { echo "cached run recorded no plan-cache hits" >&2; exit 1; }
+echo "-- compiled output and repair counters byte-identical, cache on/off"
+
 echo "CI green."

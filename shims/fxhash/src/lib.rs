@@ -1,0 +1,151 @@
+//! Offline stand-in for the `fxhash` crate (the Firefox / rustc hasher).
+//!
+//! [`FxHasher`] folds each 8-byte word of the input into the state with one
+//! rotate, one xor and one multiply by a 64-bit odd constant. It is not
+//! collision-resistant against adversarial keys, but for the short
+//! fixed-width keys on the repair hot path — `(AttrId, Symbol)` pairs,
+//! small `Box<[Symbol]>` projections — it beats std's SipHash-1-3 by a wide
+//! margin while spreading the low bits well enough for `HashMap`.
+//!
+//! API surface matches the slice of the real crate this workspace uses:
+//! [`FxHashMap`], [`FxHashSet`], [`FxBuildHasher`], [`hash64`].
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hash, Hasher};
+
+/// The multiplier from FxHash: `(sqrt(5) - 1) / 2 * 2^64`, rounded to odd.
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// A fast, non-cryptographic, word-at-a-time hasher.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            self.add_to_hash(u64::from_le_bytes(chunk.try_into().unwrap()));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut buf = [0u8; 8];
+            buf[..rest.len()].copy_from_slice(rest);
+            self.add_to_hash(u64::from_le_bytes(buf));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, i: u8) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u16(&mut self, i: u16) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, i: u32) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.add_to_hash(i);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+}
+
+/// `BuildHasher` producing [`FxHasher`]s; plug into any std collection.
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// A `HashMap` using [`FxHasher`].
+pub type FxHashMap<K, V> = HashMap<K, V, FxBuildHasher>;
+
+/// A `HashSet` using [`FxHasher`].
+pub type FxHashSet<T> = HashSet<T, FxBuildHasher>;
+
+/// Hash one value with [`FxHasher`] (fresh state per call).
+#[inline]
+pub fn hash64<T: Hash + ?Sized>(value: &T) -> u64 {
+    let mut hasher = FxHasher::default();
+    value.hash(&mut hasher);
+    hasher.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_across_calls() {
+        assert_eq!(hash64(&(3u16, 17u32)), hash64(&(3u16, 17u32)));
+        assert_eq!(hash64("projection"), hash64("projection"));
+    }
+
+    #[test]
+    fn distinguishes_nearby_keys() {
+        assert_ne!(hash64(&(3u16, 17u32)), hash64(&(3u16, 18u32)));
+        assert_ne!(hash64(&(3u16, 17u32)), hash64(&(4u16, 17u32)));
+        assert_ne!(hash64(&[1u32, 2u32][..]), hash64(&[2u32, 1u32][..]));
+    }
+
+    #[test]
+    fn byte_stream_chunking_covers_remainders() {
+        // 0..=10 byte inputs exercise the exact-chunk and remainder paths.
+        // Non-zero bytes: a zero tail is indistinguishable from padding (as
+        // in the real crate, where the slice length prefix disambiguates).
+        let bytes: Vec<u8> = (1u8..=10).collect();
+        let mut seen = std::collections::HashSet::new();
+        for len in 0..=bytes.len() {
+            let mut h = FxHasher::default();
+            h.write(&bytes[..len]);
+            assert!(seen.insert(h.finish()), "collision at prefix length {len}");
+        }
+    }
+
+    #[test]
+    fn map_and_set_aliases_work() {
+        let mut map: FxHashMap<(u16, u32), Vec<u32>> = FxHashMap::default();
+        map.entry((1, 2)).or_default().push(7);
+        map.entry((1, 2)).or_default().push(8);
+        assert_eq!(map[&(1, 2)], vec![7, 8]);
+        let mut set: FxHashSet<u64> = FxHashSet::default();
+        assert!(set.insert(42));
+        assert!(!set.insert(42));
+    }
+
+    #[test]
+    fn low_bits_spread_for_sequential_keys() {
+        // HashMap uses the low bits for bucketing; sequential symbol ids
+        // must not collapse into a few buckets.
+        let mut buckets = std::collections::HashSet::new();
+        for i in 0u32..256 {
+            buckets.insert(hash64(&i) & 0x3f);
+        }
+        assert!(
+            buckets.len() > 48,
+            "only {} of 64 buckets hit",
+            buckets.len()
+        );
+    }
+}
