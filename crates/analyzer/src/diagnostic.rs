@@ -50,6 +50,12 @@ pub enum Code {
     RuleCycle,
     /// FR006: the redundancy check ran out of budget — undecided.
     ImplicationUnknown,
+    /// FR007: a statically live rule never fired on the profiled run —
+    /// possible rule-set drift from the data.
+    UnfiredRule,
+    /// FR008: a rule flagged statically dead (FR002) *did* fire at
+    /// runtime — the shadowing analysis and the data disagree.
+    DeadRuleFired,
 }
 
 impl Code {
@@ -62,6 +68,8 @@ impl Code {
         Code::UnreachableNegative,
         Code::RuleCycle,
         Code::ImplicationUnknown,
+        Code::UnfiredRule,
+        Code::DeadRuleFired,
     ];
 
     /// The stable code string (`FR000`...).
@@ -74,6 +82,8 @@ impl Code {
             Code::UnreachableNegative => "FR004",
             Code::RuleCycle => "FR005",
             Code::ImplicationUnknown => "FR006",
+            Code::UnfiredRule => "FR007",
+            Code::DeadRuleFired => "FR008",
         }
     }
 
@@ -89,7 +99,8 @@ impl Code {
             Code::DeadRule | Code::RedundantRule | Code::UnreachableNegative | Code::RuleCycle => {
                 Severity::Warning
             }
-            Code::ImplicationUnknown => Severity::Note,
+            Code::ImplicationUnknown | Code::UnfiredRule => Severity::Note,
+            Code::DeadRuleFired => Severity::Warning,
         }
     }
 
@@ -105,6 +116,8 @@ impl Code {
             }
             Code::RuleCycle => "rules form a fact-to-evidence dependency cycle",
             Code::ImplicationUnknown => "redundancy check exhausted its budget (undecided)",
+            Code::UnfiredRule => "statically live rule never fired on the profiled run",
+            Code::DeadRuleFired => "rule flagged dead by the shadowing analysis fired at runtime",
         }
     }
 }

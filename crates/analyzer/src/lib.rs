@@ -17,6 +17,11 @@
 //! | FR004 | warning  | negative patterns duplicated across rules |
 //! | FR005 | warning  | fact→evidence dependency cycle |
 //! | FR006 | note     | redundancy check exhausted its budget |
+//! | FR007 | note     | statically live rule never fired on a profiled run |
+//! | FR008 | warning  | statically dead rule (FR002) fired on a profiled run |
+//!
+//! FR007/FR008 come from the [`coverage`] join of a static report against
+//! a runtime attribution profile, not from the static passes.
 //!
 //! # Example
 //!
@@ -37,10 +42,12 @@
 
 #![warn(missing_docs)]
 
+pub mod coverage;
 pub mod diagnostic;
 pub mod passes;
 pub mod render;
 
+pub use coverage::{coverage_join, RuleActivity};
 pub use diagnostic::{Code, Diagnostic, Related, Severity};
 pub use fixrules::io::Span;
 pub use render::{render, render_block, render_report, Excerpt};

@@ -2,7 +2,7 @@
 //! duplicated-tuple table — the memoization target workload, where most
 //! rows share their relevant-attribute signature with an earlier row.
 //!
-//! Four engine configurations over the same table:
+//! Engine configurations over the same table:
 //!
 //! * `cRepair` / `lRepair` — the uncached drivers (every row pays full rule
 //!   evaluation);
@@ -12,6 +12,9 @@
 //! * `compiled_warm` — compiled linear engine with a cache pre-warmed on
 //!   the same table (every row replays a memoized plan; this is the
 //!   steady-state of repeated repair runs and must beat `lRepair` by ≥2×).
+//! * `lRepair_attributed` / `compiled_warm_attributed` — the same drivers
+//!   with an [`obs::AttributionObserver`] teed in (timing off), pinning the
+//!   per-rule attribution overhead next to its unattributed baseline.
 //!
 //! Each benchmark embeds its metrics snapshot, so the report also records
 //! cache hit/miss counts alongside wall-clock.
@@ -22,7 +25,8 @@ use fixrules::repair::{
     compiled_table_observed, crepair_table_observed, lrepair_table_observed, CompiledEngine,
     LRepairIndex, PlanCache, RuleProgram,
 };
-use obs::MetricsObserver;
+use fixrules::RuleSet;
+use obs::{AttributionObserver, MetricsObserver, RuleLabel, Tee};
 use relation::Table;
 
 /// Distinct source rows cycled into the benched table.
@@ -39,6 +43,18 @@ fn duplicated_table(src: &Table) -> Table {
         dup.push_row(src.row(i % DISTINCT_ROWS)).unwrap();
     }
     dup
+}
+
+/// Per-rule series labels for the attribution rows, mirroring `fixctl`:
+/// stable rule id plus the attribute the rule fixes.
+fn rule_labels(rules: &RuleSet) -> Vec<RuleLabel> {
+    rules
+        .iter()
+        .map(|(id, rule)| RuleLabel {
+            rule: format!("r{}", id.0),
+            attr: rules.schema().attr_name(rule.b()).to_string(),
+        })
+        .collect()
 }
 
 fn bench_compiled_repair(c: &mut Criterion) {
@@ -68,6 +84,21 @@ fn bench_compiled_repair(c: &mut Criterion) {
             criterion::BatchSize::LargeInput,
         )
     });
+
+    group.bench_with_input(
+        BenchmarkId::new("lRepair_attributed", "dup"),
+        &(),
+        |b, _| {
+            let observer = MetricsObserver::new(b.metrics());
+            let attribution = AttributionObserver::new(b.metrics(), rule_labels(rules));
+            let teed = Tee(&observer, &attribution);
+            b.iter_batched(
+                || table.clone(),
+                |mut t| lrepair_table_observed(rules, &index, &mut t, &teed),
+                criterion::BatchSize::LargeInput,
+            )
+        },
+    );
 
     group.bench_with_input(BenchmarkId::new("compiled_cold", "dup"), &(), |b, _| {
         let observer = MetricsObserver::new(b.metrics());
@@ -115,6 +146,40 @@ fn bench_compiled_repair(c: &mut Criterion) {
             criterion::BatchSize::LargeInput,
         )
     });
+
+    group.bench_with_input(
+        BenchmarkId::new("compiled_warm_attributed", "dup"),
+        &(),
+        |b, _| {
+            let observer = MetricsObserver::new(b.metrics());
+            let attribution = AttributionObserver::new(b.metrics(), rule_labels(rules));
+            let teed = Tee(&observer, &attribution);
+            let cache = PlanCache::unbounded();
+            let mut warmup = table.clone();
+            compiled_table_observed(
+                rules,
+                &program,
+                CompiledEngine::Linear,
+                Some(&cache),
+                &mut warmup,
+                &obs::NoopObserver,
+            );
+            b.iter_batched(
+                || table.clone(),
+                |mut t| {
+                    compiled_table_observed(
+                        rules,
+                        &program,
+                        CompiledEngine::Linear,
+                        Some(&cache),
+                        &mut t,
+                        &teed,
+                    )
+                },
+                criterion::BatchSize::LargeInput,
+            )
+        },
+    );
 
     group.finish();
 }

@@ -14,7 +14,22 @@
 //! fixctl stats   --rules rules.frl --data data.csv        # rule-set statistics
 //! fixctl explain trace.jsonl --row R --attr A             # why did this cell change?
 //! fixctl trace export trace.jsonl --chrome out.json       # Perfetto-viewable timeline
+//! fixctl coverage --rules rules.frl --data data.csv [--lint]
+//!                                                         # per-rule attribution profile,
+//!                                                         # joined against the linter
+//! fixctl serve-metrics [--addr 127.0.0.1:0] [--scrapes N] # standalone scrape endpoint
+//! fixctl scrape http://HOST:PORT/metrics [--require NAME] # fetch + validate exposition
 //! ```
+//!
+//! `repair` additionally takes the profiling/exposition flags:
+//!
+//! * `--profile` — print a ranked per-rule attribution table after the run;
+//! * `--profile-json FILE` — write the profile as deterministic JSON (counts
+//!   only, no wall-clock: two identical runs are byte-identical);
+//! * `--expose ADDR` — serve `GET /metrics` (Prometheus text format),
+//!   `/metrics.json`, and `/healthz` from the live registry during the run;
+//! * `--expose-hold N` — keep the process (and endpoint) alive after the
+//!   repair until `N` scrapes have been served, then shut down.
 //!
 //! Every command also takes the observability flags:
 //!
@@ -38,13 +53,15 @@
 //! ```
 
 use std::collections::HashMap;
+use std::io::Write as _;
 use std::process::ExitCode;
 
 use fixrules::consistency::resolve::{ensure_consistent, Strategy};
 use fixrules::consistency::{
-    is_consistent_characterize_observed, is_consistent_parallel_observed, ConsistencyReport,
+    conflict_witness, enumerate::WILDCARD, is_consistent_characterize_observed,
+    is_consistent_parallel_observed, ConsistencyReport,
 };
-use fixrules::io::{format_rule, format_rules, parse_rules, Span};
+use fixrules::io::{format_rule, format_rules, parse_rules, parse_rules_spanned, Span};
 use fixrules::provenance::{ProvenanceLedger, ProvenanceObserver, ProvenanceRecord};
 use fixrules::repair::{
     compiled_table_observed, crepair_table_observed, lrepair_table_observed,
@@ -53,8 +70,11 @@ use fixrules::repair::{
 };
 use fixrules::RuleSet;
 use obs::trace::{chrome_trace, parse_jsonl, TracePhase, TraceSpan};
-use obs::{Json, MetricsObserver, MetricsRegistry, Tee, TraceClock, TraceJournal};
-use relation::{Schema, SymbolTable, Table};
+use obs::{
+    http_get, parse_prometheus, AttributionObserver, Json, MetricsObserver, MetricsRegistry,
+    MetricsServer, RepairObserver, RuleLabel, Tee, TraceClock, TraceJournal,
+};
+use relation::{Schema, Symbol, SymbolTable, Table};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -143,6 +163,9 @@ struct Flags {
     values: HashMap<String, String>,
 }
 
+/// Flags that are plain switches: present or absent, consuming no value.
+const SWITCH_FLAGS: &[&str] = &["profile", "lint"];
+
 impl Flags {
     fn parse(args: &[String]) -> Result<Flags, String> {
         let mut values = HashMap::new();
@@ -151,6 +174,11 @@ impl Flags {
             let flag = args[i]
                 .strip_prefix("--")
                 .ok_or_else(|| format!("expected --flag, found `{}`", args[i]))?;
+            if SWITCH_FLAGS.contains(&flag) {
+                values.insert(flag.to_string(), String::new());
+                i += 1;
+                continue;
+            }
             let value = args
                 .get(i + 1)
                 .ok_or_else(|| format!("--{flag} needs a value"))?;
@@ -170,6 +198,11 @@ impl Flags {
     fn optional(&self, name: &str) -> Option<&str> {
         self.values.get(name).map(|s| s.as_str())
     }
+
+    /// Whether a switch flag (see [`SWITCH_FLAGS`]) was given.
+    fn switch(&self, name: &str) -> bool {
+        self.values.contains_key(name)
+    }
 }
 
 fn run(args: &[String]) -> Result<ExitCode, String> {
@@ -180,7 +213,7 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
     // rustc), `trace` has an `export` subcommand; every other command is
     // pure `--flag value` pairs.
     let (positional, flag_args) = match command.as_str() {
-        "lint" | "explain" => match args.get(1) {
+        "lint" | "explain" | "scrape" => match args.get(1) {
             Some(arg) if !arg.starts_with("--") => (Some(arg.as_str()), &args[2..]),
             _ => (None, &args[1..]),
         },
@@ -204,12 +237,15 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
     let result = match command.as_str() {
         "check" => cmd_check(&flags, &obs_ctx).map(|()| ExitCode::SUCCESS),
         "convert" => cmd_convert(&flags, &obs_ctx).map(|()| ExitCode::SUCCESS),
+        "coverage" => cmd_coverage(&flags, &obs_ctx).map(|()| ExitCode::SUCCESS),
         "detect" => cmd_detect(&flags, &obs_ctx).map(|()| ExitCode::SUCCESS),
         "discover" => cmd_discover(&flags).map(|()| ExitCode::SUCCESS),
         "explain" => cmd_explain(positional, &flags),
         "lint" => cmd_lint(positional, &flags, &obs_ctx),
         "resolve" => cmd_resolve(&flags, &obs_ctx).map(|()| ExitCode::SUCCESS),
         "repair" => cmd_repair(&flags, &obs_ctx).map(|()| ExitCode::SUCCESS),
+        "scrape" => cmd_scrape(positional, &flags),
+        "serve-metrics" => cmd_serve_metrics(&flags, &obs_ctx).map(|()| ExitCode::SUCCESS),
         "stats" => cmd_stats(&flags, &obs_ctx).map(|()| ExitCode::SUCCESS),
         "trace" => cmd_trace_export(positional, &flags).map(|()| ExitCode::SUCCESS),
         "help" | "--help" | "-h" => {
@@ -227,8 +263,12 @@ fn usage() -> String {
      [--out FILE] [--engine lrepair|chase|compiled|compiled-chase|stream] \
      [--plan-cache on|off|CAPACITY] [--threads N] [--strategy shrink|drop] [--updates-log FILE] \
      [--metrics FILE.json] [--log off|info|debug] [--trace FILE.jsonl] [--trace-clock logical|wall] \
+     [--profile] [--profile-json FILE] [--expose ADDR] [--expose-hold N] \
      | lint RULES.frl [--schema a,b,c | --data FILE.csv] [--format human|json] \
      [--deny warnings|FR001,...] \
+     | coverage --rules FILE --data FILE.csv [--engine lrepair|chase|compiled] [--lint] \
+     | serve-metrics [--addr HOST:PORT] [--scrapes N] \
+     | scrape URL|FILE [--require METRIC] \
      | explain TRACE.jsonl --row N --attr NAME \
      | trace export TRACE.jsonl --chrome OUT.json \
      | discover --data FILE.csv --fds FILE --out rules.frl [--min-support N] [--min-confidence F]"
@@ -469,6 +509,93 @@ fn report_plan_cache(cache: &PlanCache) {
     );
 }
 
+/// Labels for the attribution profiler: rule `i` becomes `r{i}`, tagged
+/// with the name of the attribute its fix writes (the rule's B attribute).
+fn rule_labels(rules: &RuleSet) -> Vec<RuleLabel> {
+    rules
+        .iter()
+        .map(|(id, rule)| RuleLabel {
+            rule: format!("r{}", id.0),
+            attr: rules.schema().attr_name(rule.b()).to_string(),
+        })
+        .collect()
+}
+
+/// Build the attribution observer when `--profile` or `--profile-json`
+/// asks for one. Latency collection rides on `--profile` (the table shows
+/// quantiles); the JSON rendering never includes measured nanoseconds, so
+/// `--profile-json` stays byte-deterministic either way.
+fn attribution_for(
+    flags: &Flags,
+    obs_ctx: &ObsCtx,
+    rules: &RuleSet,
+) -> Option<AttributionObserver> {
+    (flags.switch("profile") || flags.optional("profile-json").is_some()).then(|| {
+        AttributionObserver::new(&obs_ctx.registry, rule_labels(rules))
+            .with_timing(flags.switch("profile"))
+    })
+}
+
+/// Print/write the per-rule profile after a run, per `--profile` and
+/// `--profile-json`.
+fn emit_profile(flags: &Flags, attribution: Option<&AttributionObserver>) -> Result<(), String> {
+    let Some(attribution) = attribution else {
+        return Ok(());
+    };
+    let profile = attribution.profile();
+    if flags.switch("profile") {
+        print!("{}", profile.render_table());
+    }
+    if let Some(path) = flags.optional("profile-json") {
+        std::fs::write(path, profile.to_json().to_string_pretty() + "\n")
+            .map_err(|e| format!("writing {path}: {e}"))?;
+        println!("wrote {path}");
+    }
+    Ok(())
+}
+
+/// `--expose-hold N`: how many scrapes to wait for before shutting the
+/// endpoint down after the run.
+fn expose_hold_flag(flags: &Flags) -> Result<Option<u64>, String> {
+    match flags.optional("expose-hold") {
+        None => Ok(None),
+        Some(n) => n
+            .parse::<u64>()
+            .ok()
+            .filter(|&n| n >= 1)
+            .map(Some)
+            .ok_or_else(|| "--expose-hold takes a scrape count >= 1".to_string()),
+    }
+}
+
+/// `--expose ADDR`: start the scrape endpoint over the shared registry
+/// before the repair runs, printing the resolved URL (`:0` binds an
+/// ephemeral port) on a flushed line so a harness can scrape mid-run.
+fn start_expose(flags: &Flags, obs_ctx: &ObsCtx) -> Result<Option<MetricsServer>, String> {
+    let Some(addr) = flags.optional("expose") else {
+        if flags.optional("expose-hold").is_some() {
+            return Err("--expose-hold needs --expose ADDR".to_string());
+        }
+        return Ok(None);
+    };
+    let server = MetricsServer::bind(addr, obs_ctx.registry.clone())
+        .map_err(|e| format!("binding {addr}: {e}"))?;
+    println!("serving metrics on http://{}/metrics", server.addr());
+    std::io::stdout().flush().ok();
+    obs::info!("expose.bound", addr = format!("{}", server.addr()));
+    Ok(Some(server))
+}
+
+/// Honor `--expose-hold`, then stop the endpoint.
+fn finish_expose(hold: Option<u64>, server: Option<MetricsServer>) {
+    let Some(server) = server else { return };
+    if let Some(n) = hold {
+        server.wait_for_scrapes(n);
+        println!("served {} scrape(s)", server.scrapes());
+    }
+    server.shutdown();
+}
+
 /// The pairwise `isConsist_r` check, timed and fed into the observer;
 /// `threads > 1` partitions the pairs across workers (stopping at the
 /// lowest-indexed conflict).
@@ -518,12 +645,192 @@ fn cmd_check(flags: &Flags, obs_ctx: &ObsCtx) -> Result<(), String> {
                 "    {}",
                 rules.rule(c.second).display(rules.schema(), &symbols)
             );
+            // Materialize a concrete two-fixpoint witness when the pair's
+            // candidate space is small enough; each one is counted in the
+            // `consistency.witness_found` metric.
+            if let Some(w) = conflict_witness(&rules, c, 4096) {
+                obs_ctx.observer.witness_found();
+                println!(
+                    "    witness: ({}) can end as ({}) or ({})",
+                    render_tuple(&w.tuple, &symbols),
+                    render_tuple(&w.fixes[0], &symbols),
+                    render_tuple(&w.fixes[1], &symbols)
+                );
+            }
         }
         if report.conflicts.len() > 20 {
             println!("  ... and {} more", report.conflicts.len() - 20);
         }
         Err("rule set is inconsistent (run `fixctl resolve`)".into())
     }
+}
+
+/// Render a witness tuple; attributes unconstrained by either rule hold
+/// the enumeration wildcard and print as `_`.
+fn render_tuple(tuple: &[Symbol], symbols: &SymbolTable) -> String {
+    tuple
+        .iter()
+        .map(|&s| {
+            if s == WILDCARD {
+                "_".to_string()
+            } else {
+                format!("\"{}\"", symbols.resolve(s))
+            }
+        })
+        .collect::<Vec<_>>()
+        .join(", ")
+}
+
+/// Run a repair with the attribution profiler attached and print the
+/// ranked per-rule table; with `--lint`, join the runtime profile against
+/// the static analysis (FR007: live rule that never fired; FR008: rule
+/// flagged dead that did fire) and render the findings rustc-style.
+fn cmd_coverage(flags: &Flags, obs_ctx: &ObsCtx) -> Result<(), String> {
+    let data_path = flags.required("data")?;
+    let rules_path = flags.required("rules")?;
+    let mut symbols = SymbolTable::new();
+    let mut table = {
+        let _span = obs_ctx.span("load");
+        relation::csv_io::read_csv_file(data_path, "data", &mut symbols)
+            .map_err(|e| format!("reading {data_path}: {e}"))?
+    };
+    let text =
+        std::fs::read_to_string(rules_path).map_err(|e| format!("reading {rules_path}: {e}"))?;
+    let parsed = parse_rules_spanned(&text, table.schema(), &mut symbols)
+        .map_err(|e| format!("parsing {rules_path}: {e}"))?;
+    let rules = parsed.rules;
+    let report = check_consistency_observed(&rules, obs_ctx, 1);
+    if !report.is_consistent() {
+        return Err(format!(
+            "rule set has {} conflict(s); run `fixctl resolve` first",
+            report.conflicts.len()
+        ));
+    }
+    let attribution =
+        AttributionObserver::new(&obs_ctx.registry, rule_labels(&rules)).with_timing(true);
+    let observer = Tee(&obs_ctx.observer, &attribution);
+    let engine = flags.optional("engine").unwrap_or("lrepair");
+    {
+        let _span = obs_ctx.span("repair");
+        match engine {
+            "lrepair" => {
+                let index = LRepairIndex::build(&rules);
+                lrepair_table_observed(&rules, &index, &mut table, &observer);
+            }
+            "crepair" | "chase" => {
+                crepair_table_observed(&rules, &mut table, &observer);
+            }
+            "compiled" | "compiled-chase" => {
+                let kind = if engine == "compiled" {
+                    CompiledEngine::Linear
+                } else {
+                    CompiledEngine::Chase
+                };
+                let program = RuleProgram::compile(&rules);
+                compiled_table_observed(&rules, &program, kind, None, &mut table, &observer);
+            }
+            other => {
+                return Err(format!(
+                    "unknown engine `{other}` (lrepair|chase|crepair|compiled|compiled-chase)"
+                ))
+            }
+        }
+    }
+    let profile = attribution.profile();
+    print!("{}", profile.render_table());
+    if let Some(path) = flags.optional("profile-json") {
+        std::fs::write(path, profile.to_json().to_string_pretty() + "\n")
+            .map_err(|e| format!("writing {path}: {e}"))?;
+        println!("wrote {path}");
+    }
+    if flags.switch("lint") {
+        let lint_report = fixlint::lint(
+            &rules,
+            &parsed.spans,
+            &symbols,
+            &fixlint::LintOptions::default(),
+        );
+        // Rows carry the `r{i}` labels built above; fold them back into
+        // rule-id order for the join (the catch-all row has no id).
+        let mut activity = vec![fixlint::RuleActivity::default(); rules.len()];
+        for row in &profile.rows {
+            if let Some(i) = row
+                .rule
+                .strip_prefix('r')
+                .and_then(|s| s.parse::<usize>().ok())
+            {
+                if let Some(slot) = activity.get_mut(i) {
+                    slot.applied = row.applied;
+                    slot.rejected = row.rejected;
+                }
+            }
+        }
+        let coverage = fixlint::coverage_join(&lint_report, &parsed.spans, &activity);
+        print!("{}", fixlint::render_report(&coverage, rules_path, &text));
+    }
+    Ok(())
+}
+
+/// Standalone scrape endpoint over this process's registry — the mount
+/// point external harnesses poll. `--scrapes N` exits after `N` scrapes
+/// have been served; without it the server runs until killed.
+fn cmd_serve_metrics(flags: &Flags, obs_ctx: &ObsCtx) -> Result<(), String> {
+    let addr = flags.optional("addr").unwrap_or("127.0.0.1:0");
+    let server = MetricsServer::bind(addr, obs_ctx.registry.clone())
+        .map_err(|e| format!("binding {addr}: {e}"))?;
+    println!("serving metrics on http://{}/metrics", server.addr());
+    std::io::stdout().flush().ok();
+    match flags.optional("scrapes") {
+        Some(n) => {
+            let n: u64 = n
+                .parse()
+                .ok()
+                .filter(|&n| n >= 1)
+                .ok_or_else(|| "--scrapes takes a count >= 1".to_string())?;
+            server.wait_for_scrapes(n);
+            println!("served {} scrape(s)", server.scrapes());
+            server.shutdown();
+            Ok(())
+        }
+        None => loop {
+            std::thread::sleep(std::time::Duration::from_secs(3600));
+        },
+    }
+}
+
+/// Fetch a Prometheus exposition (over HTTP, or from a file written by a
+/// previous scrape) and validate it with the in-repo text-format parser.
+/// Exit 1 when `--require NAME` names a metric the exposition lacks.
+fn cmd_scrape(positional: Option<&str>, flags: &Flags) -> Result<ExitCode, String> {
+    let target =
+        positional.ok_or("scrape needs a target: fixctl scrape http://HOST:PORT/metrics")?;
+    let text = if target.starts_with("http://") {
+        let (status, body) = http_get(target).map_err(|e| format!("fetching {target}: {e}"))?;
+        if status != 200 {
+            return Err(format!("{target} answered HTTP {status}"));
+        }
+        body
+    } else {
+        std::fs::read_to_string(target).map_err(|e| format!("reading {target}: {e}"))?
+    };
+    let samples =
+        parse_prometheus(&text).map_err(|e| format!("invalid exposition from {target}: {e}"))?;
+    let mut names: Vec<&str> = samples.iter().map(|s| s.name.as_str()).collect();
+    names.sort_unstable();
+    names.dedup();
+    println!(
+        "{target}: exposition OK, {} sample(s) across {} metric(s)",
+        samples.len(),
+        names.len()
+    );
+    if let Some(required) = flags.optional("require") {
+        if !names.contains(&required) {
+            println!("required metric `{required}` is missing");
+            return Ok(ExitCode::from(1));
+        }
+        println!("required metric `{required}` present");
+    }
+    Ok(ExitCode::SUCCESS)
 }
 
 fn cmd_resolve(flags: &Flags, obs_ctx: &ObsCtx) -> Result<(), String> {
@@ -557,6 +864,10 @@ fn cmd_repair(flags: &Flags, obs_ctx: &ObsCtx) -> Result<(), String> {
     let (mut table, rules, symbols) = load(flags, obs_ctx)?;
     let threads = threads_flag(flags)?;
     let cache_spec = plan_cache_flag(flags)?;
+    let hold = expose_hold_flag(flags)?;
+    // The endpoint goes up before any repair work so a scraper can watch
+    // the counters move while the run is in flight.
+    let server = start_expose(flags, obs_ctx)?;
     let report = check_consistency_observed(&rules, obs_ctx, threads);
     if !report.is_consistent() {
         return Err(format!(
@@ -612,6 +923,25 @@ fn cmd_repair(flags: &Flags, obs_ctx: &ObsCtx) -> Result<(), String> {
             CacheSpec::On => Some(PlanCache::bounded_lru(4096)),
             CacheSpec::Bounded(c) => Some(PlanCache::bounded_lru(c)),
         };
+        // Optional observers tee onto the metrics observer as trait
+        // objects; the blanket `&T` impl lets the generic drivers take the
+        // assembled `&dyn` chain without monomorphizing every combination.
+        let attribution = attribution_for(flags, obs_ctx, &rules2);
+        let prov = obs_ctx
+            .journal
+            .is_some()
+            .then(|| ProvenanceObserver::new(&rules2, &ledger));
+        let tee_prov;
+        let tee_attr;
+        let mut observer: &dyn RepairObserver = &obs_ctx.observer;
+        if let Some(p) = &prov {
+            tee_prov = Tee(observer, p as &dyn RepairObserver);
+            observer = &tee_prov;
+        }
+        if let Some(a) = &attribution {
+            tee_attr = Tee(observer, a as &dyn RepairObserver);
+            observer = &tee_attr;
+        }
         let stats = {
             let _span = obs_ctx.span("repair");
             let result = if let Some(cache) = &stream_cache {
@@ -619,55 +949,29 @@ fn cmd_repair(flags: &Flags, obs_ctx: &ObsCtx) -> Result<(), String> {
                     let _span = obs_ctx.span("compile");
                     RuleProgram::compile(&rules2)
                 };
-                if obs_ctx.journal.is_some() {
-                    let prov = ProvenanceObserver::new(&rules2, &ledger);
-                    stream_repair_csv_compiled_observed(
-                        &rules2,
-                        &program,
-                        CompiledEngine::Linear,
-                        Some(cache),
-                        &mut symbols2,
-                        reader,
-                        writer,
-                        &Tee(&obs_ctx.observer, &prov),
-                    )
-                } else {
-                    stream_repair_csv_compiled_observed(
-                        &rules2,
-                        &program,
-                        CompiledEngine::Linear,
-                        Some(cache),
-                        &mut symbols2,
-                        reader,
-                        writer,
-                        &obs_ctx.observer,
-                    )
-                }
+                stream_repair_csv_compiled_observed(
+                    &rules2,
+                    &program,
+                    CompiledEngine::Linear,
+                    Some(cache),
+                    &mut symbols2,
+                    reader,
+                    writer,
+                    &observer,
+                )
             } else {
                 let index = {
                     let _span = obs_ctx.span("index_build");
                     LRepairIndex::build(&rules2)
                 };
-                if obs_ctx.journal.is_some() {
-                    let prov = ProvenanceObserver::new(&rules2, &ledger);
-                    fixrules::repair::stream_repair_csv_observed(
-                        &rules2,
-                        &index,
-                        &mut symbols2,
-                        reader,
-                        writer,
-                        &Tee(&obs_ctx.observer, &prov),
-                    )
-                } else {
-                    fixrules::repair::stream_repair_csv_observed(
-                        &rules2,
-                        &index,
-                        &mut symbols2,
-                        reader,
-                        writer,
-                        &obs_ctx.observer,
-                    )
-                }
+                fixrules::repair::stream_repair_csv_observed(
+                    &rules2,
+                    &index,
+                    &mut symbols2,
+                    reader,
+                    writer,
+                    &observer,
+                )
             };
             result.map_err(|e| format!("streaming: {e}"))?
         };
@@ -689,9 +993,32 @@ fn cmd_repair(flags: &Flags, obs_ctx: &ObsCtx) -> Result<(), String> {
             report_plan_cache(cache);
         }
         println!("wrote {out}");
+        emit_profile(flags, attribution.as_ref())?;
+        finish_expose(hold, server);
         return Ok(());
     }
     let ledger = ProvenanceLedger::new();
+    // Optional observers (provenance for `--trace`, attribution for
+    // `--profile*`) tee onto the metrics observer as trait objects. The
+    // blanket `impl RepairObserver for &T` lets every generic driver take
+    // the assembled `&dyn` chain, instead of monomorphizing each Tee/no-Tee
+    // combination per engine.
+    let attribution = attribution_for(flags, obs_ctx, &rules);
+    let prov = obs_ctx
+        .journal
+        .is_some()
+        .then(|| ProvenanceObserver::new(&rules, &ledger));
+    let tee_prov;
+    let tee_attr;
+    let mut observer: &dyn RepairObserver = &obs_ctx.observer;
+    if let Some(p) = &prov {
+        tee_prov = Tee(observer, p as &dyn RepairObserver);
+        observer = &tee_prov;
+    }
+    if let Some(a) = &attribution {
+        tee_attr = Tee(observer, a as &dyn RepairObserver);
+        observer = &tee_attr;
+    }
     let outcome: RepairOutcome = match algo {
         "lrepair" => {
             let index = {
@@ -699,18 +1026,10 @@ fn cmd_repair(flags: &Flags, obs_ctx: &ObsCtx) -> Result<(), String> {
                 LRepairIndex::build(&rules)
             };
             let _span = obs_ctx.span("repair");
-            if obs_ctx.journal.is_some() {
-                let prov = ProvenanceObserver::new(&rules, &ledger);
-                let tee = Tee(&obs_ctx.observer, &prov);
-                if threads > 1 {
-                    par_lrepair_table_observed(&rules, &index, &mut table, threads, &tee)
-                } else {
-                    lrepair_table_observed(&rules, &index, &mut table, &tee)
-                }
-            } else if threads > 1 {
-                par_lrepair_table_observed(&rules, &index, &mut table, threads, &obs_ctx.observer)
+            if threads > 1 {
+                par_lrepair_table_observed(&rules, &index, &mut table, threads, &observer)
             } else {
-                lrepair_table_observed(&rules, &index, &mut table, &obs_ctx.observer)
+                lrepair_table_observed(&rules, &index, &mut table, &observer)
             }
         }
         "crepair" | "chase" => {
@@ -721,12 +1040,7 @@ fn cmd_repair(flags: &Flags, obs_ctx: &ObsCtx) -> Result<(), String> {
                 );
             }
             let _span = obs_ctx.span("repair");
-            if obs_ctx.journal.is_some() {
-                let prov = ProvenanceObserver::new(&rules, &ledger);
-                crepair_table_observed(&rules, &mut table, &Tee(&obs_ctx.observer, &prov))
-            } else {
-                crepair_table_observed(&rules, &mut table, &obs_ctx.observer)
-            }
+            crepair_table_observed(&rules, &mut table, &observer)
         }
         "compiled" | "compiled-chase" => {
             let engine = if algo == "compiled" {
@@ -744,30 +1058,7 @@ fn cmd_repair(flags: &Flags, obs_ctx: &ObsCtx) -> Result<(), String> {
             };
             let outcome = {
                 let _span = obs_ctx.span("repair");
-                if obs_ctx.journal.is_some() {
-                    let prov = ProvenanceObserver::new(&rules, &ledger);
-                    let tee = Tee(&obs_ctx.observer, &prov);
-                    if threads > 1 {
-                        par_compiled_table_observed(
-                            &rules,
-                            &program,
-                            engine,
-                            cache.as_ref(),
-                            &mut table,
-                            threads,
-                            &tee,
-                        )
-                    } else {
-                        compiled_table_observed(
-                            &rules,
-                            &program,
-                            engine,
-                            cache.as_ref(),
-                            &mut table,
-                            &tee,
-                        )
-                    }
-                } else if threads > 1 {
+                if threads > 1 {
                     par_compiled_table_observed(
                         &rules,
                         &program,
@@ -775,7 +1066,7 @@ fn cmd_repair(flags: &Flags, obs_ctx: &ObsCtx) -> Result<(), String> {
                         cache.as_ref(),
                         &mut table,
                         threads,
-                        &obs_ctx.observer,
+                        &observer,
                     )
                 } else {
                     compiled_table_observed(
@@ -784,7 +1075,7 @@ fn cmd_repair(flags: &Flags, obs_ctx: &ObsCtx) -> Result<(), String> {
                         engine,
                         cache.as_ref(),
                         &mut table,
-                        &obs_ctx.observer,
+                        &observer,
                     )
                 }
             };
@@ -838,6 +1129,8 @@ fn cmd_repair(flags: &Flags, obs_ctx: &ObsCtx) -> Result<(), String> {
         std::fs::write(log_path, w).map_err(|e| format!("writing {log_path}: {e}"))?;
         println!("wrote {log_path}");
     }
+    emit_profile(flags, attribution.as_ref())?;
+    finish_expose(hold, server);
     Ok(())
 }
 

@@ -1017,6 +1017,270 @@ fn engine_flag_validation() {
     assert!(String::from_utf8_lossy(&out.stderr).contains("--threads takes"));
 }
 
+/// GOOD_RULES plus one rule whose evidence never occurs in TRAVEL_CSV —
+/// the attribution profiler must rank it last and flag it as unfired.
+const RULES_WITH_UNFIRED: &str = r#"
+IF country = "China" AND capital IN {"Shanghai", "Hongkong"} THEN capital := "Beijing"
+IF country = "Canada" AND capital IN {"Toronto"} THEN capital := "Ottawa"
+IF capital = "Tokyo" AND city = "Tokyo" AND conf = "ICDE" AND country IN {"China"} THEN country := "Japan"
+IF country = "Atlantis" AND capital IN {"Poseidonia"} THEN capital := "Atlantis City"
+"#;
+
+/// `repair --profile` prints a ranked per-rule table and calls out rules
+/// that never fired.
+#[test]
+fn repair_profile_ranks_rules_and_flags_unfired() {
+    let dir = tmpdir("profile_table");
+    std::fs::write(dir.join("t.csv"), TRAVEL_CSV).unwrap();
+    std::fs::write(dir.join("r.frl"), RULES_WITH_UNFIRED).unwrap();
+    let out = fixctl(&[
+        "repair",
+        "--rules",
+        dir.join("r.frl").to_str().unwrap(),
+        "--data",
+        dir.join("t.csv").to_str().unwrap(),
+        "--out",
+        dir.join("o.csv").to_str().unwrap(),
+        "--profile",
+    ]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("rule"), "{stdout}");
+    assert!(stdout.contains("applied"), "{stdout}");
+    assert!(stdout.contains("never fired: r3"), "{stdout}");
+    // Every live rule fires exactly once on the Fig 1 data.
+    for rule in ["r0", "r1", "r2"] {
+        assert!(stdout.contains(rule), "{stdout}");
+    }
+}
+
+/// Two identical `--profile-json` runs write byte-identical files, and the
+/// JSON never carries wall-clock nanoseconds.
+#[test]
+fn profile_json_is_byte_deterministic() {
+    let dir = tmpdir("profile_json");
+    std::fs::write(dir.join("t.csv"), TRAVEL_CSV).unwrap();
+    std::fs::write(dir.join("r.frl"), RULES_WITH_UNFIRED).unwrap();
+    let run = |tag: &str| {
+        let json_path = dir.join(format!("{tag}.json"));
+        let out = fixctl(&[
+            "repair",
+            "--rules",
+            dir.join("r.frl").to_str().unwrap(),
+            "--data",
+            dir.join("t.csv").to_str().unwrap(),
+            "--out",
+            dir.join(format!("{tag}.csv")).to_str().unwrap(),
+            "--engine",
+            "compiled",
+            "--profile",
+            "--profile-json",
+            json_path.to_str().unwrap(),
+        ]);
+        assert!(
+            out.status.success(),
+            "{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        std::fs::read_to_string(&json_path).unwrap()
+    };
+    let first = run("a");
+    let second = run("b");
+    assert_eq!(first, second, "profile JSON must be byte-deterministic");
+    assert!(!first.contains("_ns"), "wall-clock leaked: {first}");
+    let doc = obs::json::parse(&first).expect("valid JSON");
+    let rules = doc.get("rules").and_then(|r| r.as_arr()).expect("rules");
+    assert_eq!(rules.len(), 4);
+    // Ranked: the unfired rule sorts last.
+    assert_eq!(
+        rules[3].get("rule").and_then(|r| r.as_str()),
+        Some("r3"),
+        "{first}"
+    );
+    assert_eq!(rules[3].get("applied").and_then(|a| a.as_i64()), Some(0));
+    let totals = doc.get("totals").expect("totals");
+    assert_eq!(totals.get("applied").and_then(|a| a.as_i64()), Some(3));
+}
+
+/// `--expose` serves Prometheus text and the JSON snapshot from a live
+/// process; `--expose-hold 1` keeps it up until we have scraped, and
+/// `fixctl scrape` validates the exposition end to end.
+#[test]
+fn expose_serves_prometheus_during_repair() {
+    use std::io::BufRead;
+    let dir = tmpdir("expose");
+    std::fs::write(dir.join("t.csv"), TRAVEL_CSV).unwrap();
+    std::fs::write(dir.join("r.frl"), GOOD_RULES).unwrap();
+    let mut child = Command::new(env!("CARGO_BIN_EXE_fixctl"))
+        .args([
+            "repair",
+            "--rules",
+            dir.join("r.frl").to_str().unwrap(),
+            "--data",
+            dir.join("t.csv").to_str().unwrap(),
+            "--out",
+            dir.join("o.csv").to_str().unwrap(),
+            "--expose",
+            "127.0.0.1:0",
+            "--expose-hold",
+            "1",
+        ])
+        .stdout(std::process::Stdio::piped())
+        .spawn()
+        .expect("spawn fixctl");
+    // First stdout line announces the resolved ephemeral URL.
+    let stdout = child.stdout.take().unwrap();
+    let mut lines = std::io::BufReader::new(stdout).lines();
+    let announce = lines.next().unwrap().unwrap();
+    let url = announce
+        .strip_prefix("serving metrics on ")
+        .unwrap_or_else(|| panic!("unexpected announce line: {announce}"));
+
+    // /healthz first: it does not count as a scrape, so the hold keeps
+    // the endpoint alive until the /metrics fetch below satisfies it.
+    let base = url.strip_suffix("/metrics").unwrap();
+    let (status, body) = obs::http_get(&format!("{base}/healthz")).unwrap();
+    assert_eq!((status, body.as_str()), (200, "ok\n"));
+
+    let (status, text) = obs::http_get(url).expect("scrape the live endpoint");
+    assert_eq!(status, 200);
+    let samples = obs::parse_prometheus(&text).expect("valid exposition");
+    assert!(
+        samples.iter().any(|s| s.name == "repair_rules_applied"),
+        "{text}"
+    );
+
+    let exit = child.wait().unwrap();
+    assert!(exit.success());
+    let rest: Vec<String> = lines.map(|l| l.unwrap()).collect();
+    let tail = rest.join("\n");
+    assert!(tail.contains("served 1 scrape(s)"), "{tail}");
+
+    // The CLI's own validator agrees with the library parser.
+    let exposition = dir.join("metrics.prom");
+    std::fs::write(&exposition, &text).unwrap();
+    let out = fixctl(&[
+        "scrape",
+        exposition.to_str().unwrap(),
+        "--require",
+        "repair_rules_applied",
+    ]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+    let out = fixctl(&[
+        "scrape",
+        exposition.to_str().unwrap(),
+        "--require",
+        "no_such_metric",
+    ]);
+    assert_eq!(out.status.code(), Some(1));
+}
+
+/// `--expose-hold` without `--expose` is an operational error.
+#[test]
+fn expose_hold_requires_expose() {
+    let dir = tmpdir("expose_hold");
+    std::fs::write(dir.join("t.csv"), TRAVEL_CSV).unwrap();
+    std::fs::write(dir.join("r.frl"), GOOD_RULES).unwrap();
+    let out = fixctl(&[
+        "repair",
+        "--rules",
+        dir.join("r.frl").to_str().unwrap(),
+        "--data",
+        dir.join("t.csv").to_str().unwrap(),
+        "--out",
+        dir.join("o.csv").to_str().unwrap(),
+        "--expose-hold",
+        "1",
+    ]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--expose-hold needs --expose"));
+}
+
+/// `coverage --lint` joins the runtime profile against the static passes:
+/// live rules that never fired are FR007 notes anchored at their spans,
+/// while the statically dead rule staying silent produces no finding.
+#[test]
+fn coverage_lint_reports_unfired_rules() {
+    let out = fixctl(&[
+        "coverage",
+        "--rules",
+        &example("lint/dead_redundant.frl"),
+        "--data",
+        &example("lint/profile_dirty.csv"),
+        "--lint",
+    ]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    // The profile table came first, then the rustc-style join.
+    assert!(stdout.contains("applied"), "{stdout}");
+    assert!(stdout.contains("note[FR007]"), "{stdout}");
+    assert!(stdout.contains("dead_redundant.frl:2:1"), "{stdout}");
+    // The FR002-dead rule stayed silent, so no FR008 mismatch.
+    assert!(!stdout.contains("FR008"), "{stdout}");
+
+    // Without --lint only the profile table is printed.
+    let out = fixctl(&[
+        "coverage",
+        "--rules",
+        &example("lint/dead_redundant.frl"),
+        "--data",
+        &example("lint/profile_dirty.csv"),
+    ]);
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("never fired"), "{stdout}");
+    assert!(!stdout.contains("FR007"), "{stdout}");
+}
+
+/// `check` materializes a two-fixpoint witness for reported conflicts and
+/// counts it under `consistency.witness_found`.
+#[test]
+fn check_materializes_conflict_witness() {
+    let dir = tmpdir("check_witness");
+    let metrics = dir.join("m.json");
+    std::fs::write(dir.join("t.csv"), TRAVEL_CSV).unwrap();
+    std::fs::write(dir.join("r.frl"), BAD_RULES).unwrap();
+    let out = fixctl(&[
+        "check",
+        "--rules",
+        dir.join("r.frl").to_str().unwrap(),
+        "--data",
+        dir.join("t.csv").to_str().unwrap(),
+        "--metrics",
+        metrics.to_str().unwrap(),
+    ]);
+    assert!(!out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("witness:"), "{stdout}");
+    assert!(stdout.contains("can end as"), "{stdout}");
+    let snap = obs::json::parse(&std::fs::read_to_string(&metrics).unwrap()).unwrap();
+    let counters = snap.get("counters").expect("counters");
+    assert_eq!(
+        counters
+            .get("consistency.witness_found")
+            .and_then(|v| v.as_i64()),
+        Some(1)
+    );
+    assert_eq!(
+        counters
+            .get("consistency.pairs_checked")
+            .and_then(|v| v.as_i64()),
+        Some(1)
+    );
+}
+
 /// `check --threads N` runs the parallel pairwise checker and still finds
 /// the (lowest-indexed) conflict.
 #[test]

@@ -33,12 +33,23 @@ pub fn crepair_tuple_observed<O: RepairObserver>(
     let mut updates = Vec::new();
     let mut rounds = 0usize;
     let mut updated = true;
+    // Per-rule latency is opt-in: under NoopObserver the Instant pair and
+    // the rejection hook fold away with the rest of the instrumentation.
+    let timing = observer.wants_rule_timing();
     while updated {
         updated = false;
         rounds += 1;
         observer.chase_round();
         for (i, rule) in rules.rules().iter().enumerate() {
-            if !unused[i] || assured.contains(rule.b()) || !matches(rule, row) {
+            if !unused[i] {
+                continue; // already fired — not an evaluation
+            }
+            let t0 = timing.then(std::time::Instant::now);
+            if assured.contains(rule.b()) || !matches(rule, row) {
+                observer.rule_rejected(i);
+                if let Some(t0) = t0 {
+                    observer.rule_latency(i, t0.elapsed().as_nanos() as u64);
+                }
                 continue;
             }
             debug_assert!(properly_applicable(rule, row, assured));
@@ -49,6 +60,9 @@ pub fn crepair_tuple_observed<O: RepairObserver>(
             unused[i] = false;
             updated = true;
             observer.rule_applied(i, b.index());
+            if let Some(t0) = t0 {
+                observer.rule_latency(i, t0.elapsed().as_nanos() as u64);
+            }
             updates.push(CellUpdate {
                 row: 0,
                 attr: b,

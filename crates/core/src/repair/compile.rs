@@ -226,8 +226,10 @@ impl RepairPlan {
     }
 
     /// Apply the plan to `row`, emitting the same `rule_applied` /
-    /// `tuple_done` hook sequence the original engine run did. Returns the
-    /// updates (`row` field 0) for the driver to re-index.
+    /// `tuple_done` hook sequence the original engine run did, plus one
+    /// `plan_replayed` per fix so attribution can tell memoized
+    /// applications from live evaluations. Returns the updates (`row`
+    /// field 0) for the driver to re-index.
     fn replay<O: RepairObserver>(&self, row: &mut [Symbol], observer: &O) -> Vec<CellUpdate> {
         for u in &self.updates {
             debug_assert_eq!(
@@ -237,6 +239,7 @@ impl RepairPlan {
             );
             row[u.attr.index()] = u.new;
             observer.rule_applied(u.rule.index(), u.attr.index());
+            observer.plan_replayed(u.rule.index(), u.attr.index());
         }
         observer.tuple_done(self.rounds, self.updates.len());
         self.updates.clone()
@@ -467,6 +470,7 @@ fn chase_compiled<O: RepairObserver>(
     let mut assured = AttrSet::EMPTY;
     let mut updates = Vec::new();
     let mut rounds = 0usize;
+    let timing = observer.wants_rule_timing();
     loop {
         rounds += 1;
         observer.chase_round();
@@ -492,10 +496,15 @@ fn chase_compiled<O: RepairObserver>(
                 continue;
             }
             let rule = rules.rule(rid);
+            let t0 = timing.then(std::time::Instant::now);
             // An earlier application this round may have broken the
             // evidence that matched at probe time — re-verify, exactly as
             // cRepair's rescan would find the rule non-matching.
             if assured.contains(rule.b()) || !matches(rule, row) {
+                observer.rule_rejected(rid.index());
+                if let Some(t0) = t0 {
+                    observer.rule_latency(rid.index(), t0.elapsed().as_nanos() as u64);
+                }
                 continue;
             }
             debug_assert!(properly_applicable(rule, row, assured));
@@ -506,6 +515,9 @@ fn chase_compiled<O: RepairObserver>(
             scratch.used[rid.index()] = tuple_token;
             applied = true;
             observer.rule_applied(rid.index(), b.index());
+            if let Some(t0) = t0 {
+                observer.rule_latency(rid.index(), t0.elapsed().as_nanos() as u64);
+            }
             updates.push(CellUpdate {
                 row: 0,
                 attr: b,
@@ -573,12 +585,18 @@ fn linear_compiled<O: RepairObserver>(
     let mut assured = AttrSet::EMPTY;
     let mut updates = Vec::new();
     let mut pops = 0usize;
+    let timing = observer.wants_rule_timing();
     while let Some(rid) = scratch.worklist.pop() {
         pops += 1;
         let rule = rules.rule(rid);
+        let t0 = timing.then(std::time::Instant::now);
         // Pop-time verification, as in Fig 7 line 10: enqueue order is a
         // filter, not a proof.
         if !properly_applicable(rule, row, assured) {
+            observer.rule_rejected(rid.index());
+            if let Some(t0) = t0 {
+                observer.rule_latency(rid.index(), t0.elapsed().as_nanos() as u64);
+            }
             continue;
         }
         let b = rule.b();
@@ -586,6 +604,9 @@ fn linear_compiled<O: RepairObserver>(
         row[b.index()] = rule.fact();
         assured.union_with(rule.assured_delta());
         observer.rule_applied(rid.index(), b.index());
+        if let Some(t0) = t0 {
+            observer.rule_latency(rid.index(), t0.elapsed().as_nanos() as u64);
+        }
         updates.push(CellUpdate {
             row: 0,
             attr: b,

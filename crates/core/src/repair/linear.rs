@@ -178,15 +178,23 @@ pub fn lrepair_tuple_observed<O: RepairObserver>(
     let mut assured = AttrSet::EMPTY;
     let mut updates = Vec::new();
     let mut pops = 0usize;
+    // Per-rule latency is opt-in: under NoopObserver (and any observer not
+    // asking for timing) the Instant pair folds away.
+    let timing = observer.wants_rule_timing();
     // Lines 8–16: chase over the candidate queue.
     while let Some(rid) = scratch.queue.pop() {
         pops += 1;
         let rule = rules.rule(rid);
+        let t0 = timing.then(std::time::Instant::now);
         // Line 10: verify — counters guarantee the evidence matched at
         // enqueue time; the negative pattern and assured set are checked
         // here. Evidence is re-verified too: an update may have overwritten
         // an evidence cell after this rule was enqueued.
         if !properly_applicable(rule, row, assured) {
+            observer.rule_rejected(rid.index());
+            if let Some(t0) = t0 {
+                observer.rule_latency(rid.index(), t0.elapsed().as_nanos() as u64);
+            }
             continue; // line 16: removed once and for all
         }
         let b = rule.b();
@@ -195,6 +203,9 @@ pub fn lrepair_tuple_observed<O: RepairObserver>(
         row[b.index()] = new;
         assured.union_with(rule.assured_delta());
         observer.rule_applied(rid.index(), b.index());
+        if let Some(t0) = t0 {
+            observer.rule_latency(rid.index(), t0.elapsed().as_nanos() as u64);
+        }
         updates.push(CellUpdate {
             row: 0,
             attr: b,

@@ -7,8 +7,18 @@ use std::time::{Duration, Instant};
 
 use fixrules::repair::{lrepair_table, lrepair_table_observed, LRepairIndex};
 use fixrules::RuleSet;
-use obs::{MetricsObserver, MetricsRegistry, NoopObserver};
+use obs::{AttributionObserver, MetricsObserver, MetricsRegistry, NoopObserver, RuleLabel};
 use relation::{Schema, SymbolTable, Table};
+
+fn labels() -> Vec<RuleLabel> {
+    ["r0", "r1"]
+        .iter()
+        .map(|r| RuleLabel {
+            rule: r.to_string(),
+            attr: "capital".to_string(),
+        })
+        .collect()
+}
 
 fn setup(rows: usize) -> (RuleSet, Table) {
     let schema = Schema::new("Travel", ["name", "country", "capital", "city", "conf"]).unwrap();
@@ -91,6 +101,56 @@ fn observed_repair_matches_plain_repair() {
     );
 }
 
+/// The attribution observer neither changes results nor loses a single
+/// application: the per-rule split sums back to the driver's own totals,
+/// and on this synthetic workload each rule's count is exactly known
+/// (every fourth row matches r0, every fourth matches r1).
+#[test]
+fn attribution_observer_matches_plain_and_attributes_per_rule() {
+    let (rules, table) = setup(2_000);
+    let index = LRepairIndex::build(&rules);
+
+    let mut plain = table.clone();
+    let out_plain = lrepair_table(&rules, &index, &mut plain);
+
+    let registry = MetricsRegistry::new();
+    let attribution = AttributionObserver::new(&registry, labels()).with_timing(true);
+    let mut attributed = table.clone();
+    let out_attr = lrepair_table_observed(&rules, &index, &mut attributed, &attribution);
+
+    assert_eq!(out_plain.updates, out_attr.updates);
+    for i in 0..plain.len() {
+        assert_eq!(plain.row(i), attributed.row(i));
+    }
+
+    let profile = attribution.profile();
+    let total: u64 = profile.rows.iter().map(|r| r.applied).sum();
+    assert_eq!(total as usize, out_plain.total_updates());
+    let applied_of = |rule: &str| {
+        profile
+            .rows
+            .iter()
+            .find(|r| r.rule == rule)
+            .map(|r| r.applied)
+            .unwrap()
+    };
+    // setup(): China rows are even, Hongkong sits at i % 4 == 2 (r0 fires);
+    // Canada rows are odd, Toronto at i % 4 == 3 (r1 fires).
+    assert_eq!(applied_of("r0"), 500);
+    assert_eq!(applied_of("r1"), 500);
+    // Timing was opted in, so latency histograms actually sampled.
+    assert!(profile.rows.iter().any(|r| r.latency_samples > 0));
+    // The same split is scrapeable as labeled registry series.
+    let snap = registry.snapshot();
+    assert_eq!(
+        snap.get("counters")
+            .unwrap()
+            .get("repair.rule.applied{attr=\"capital\",rule=\"r0\"}")
+            .and_then(|v| v.as_i64()),
+        Some(500)
+    );
+}
+
 /// Smoke check, not a benchmark: the no-op observed driver must finish in
 /// the same ballpark as the plain driver. The bound is deliberately loose
 /// (3× + 10 ms on best-of-5) so scheduler noise can't flake it; a real
@@ -122,5 +182,17 @@ fn noop_observer_overhead_is_negligible() {
     assert!(
         noop <= plain * 3 + Duration::from_millis(10),
         "no-op observed repair took {noop:?} vs plain {plain:?}"
+    );
+
+    // The attribution observer (timing off) is relaxed atomics per hook —
+    // slower than no-op, but it must stay in the same ballpark too.
+    let registry = MetricsRegistry::new();
+    let attribution = AttributionObserver::new(&registry, labels());
+    let attributed = best_of(&|t| {
+        lrepair_table_observed(&rules, &index, t, &attribution);
+    });
+    assert!(
+        attributed <= plain * 4 + Duration::from_millis(25),
+        "attributed repair took {attributed:?} vs plain {plain:?}"
     );
 }

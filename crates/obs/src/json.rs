@@ -241,11 +241,17 @@ fn write_escaped(out: &mut String, s: &str) {
     out.push('"');
 }
 
-/// A parse failure with byte offset.
+/// A parse failure located by byte offset *and* line/column, so malformed
+/// metrics or trace files point straight at the offending spot in an
+/// editor.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ParseError {
     /// Byte offset in the input.
     pub offset: usize,
+    /// 1-based line of the offset (newlines counted as `\n`).
+    pub line: usize,
+    /// 1-based column of the offset, in bytes from the line start.
+    pub col: usize,
     /// What was expected.
     pub message: String,
 }
@@ -254,8 +260,8 @@ impl fmt::Display for ParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "JSON parse error at byte {}: {}",
-            self.offset, self.message
+            "JSON parse error at line {}, column {} (byte {}): {}",
+            self.line, self.col, self.offset, self.message
         )
     }
 }
@@ -284,8 +290,18 @@ struct Parser<'a> {
 
 impl<'a> Parser<'a> {
     fn err(&self, message: impl Into<String>) -> ParseError {
+        // Errors are the cold path; scanning the prefix for the line and
+        // column only happens when parsing already failed.
+        let upto = self.pos.min(self.bytes.len());
+        let line = 1 + self.bytes[..upto].iter().filter(|&&b| b == b'\n').count();
+        let line_start = self.bytes[..upto]
+            .iter()
+            .rposition(|&b| b == b'\n')
+            .map_or(0, |p| p + 1);
         ParseError {
             offset: self.pos,
+            line,
+            col: upto - line_start + 1,
             message: message.into(),
         }
     }
@@ -545,6 +561,22 @@ mod tests {
         for bad in ["{", "[1,", "\"oops", "{\"a\" 1}", "tru", "1 2", ""] {
             assert!(parse(bad).is_err(), "{bad}");
         }
+    }
+
+    #[test]
+    fn parse_errors_carry_line_and_column() {
+        // The `!` sits on line 3, column 10 of this document.
+        let text = "{\n  \"a\": 1,\n  \"b\": [2!]\n}";
+        let err = parse(text).unwrap_err();
+        assert_eq!(err.line, 3);
+        assert_eq!(err.col, 10);
+        assert_eq!(err.offset, text.find('!').unwrap());
+        let shown = err.to_string();
+        assert!(shown.contains("line 3, column 10"), "{shown}");
+
+        // Single-line input: line 1, column = offset + 1.
+        let err = parse("[1,]").unwrap_err();
+        assert_eq!((err.line, err.col), (1, err.offset + 1));
     }
 
     #[test]

@@ -16,7 +16,14 @@
 //!   (`span_begin`/`span_end`/`event` records) with byte-deterministic
 //!   JSONL output and a Chrome trace-event converter ([`trace`]);
 //! * structured `key=value` stderr logging behind a global level
-//!   ([`log`], [`info!`], [`debug!`]).
+//!   ([`log`], [`info!`], [`debug!`]);
+//! * [`AttributionObserver`] — per-rule attribution over labeled series
+//!   (`repair.rule.applied{attr="city",rule="r3"}`), with a ranked
+//!   [`AttributionProfile`] report ([`attribution`]);
+//! * Prometheus text-format v0.0.4 exposition over any snapshot plus a
+//!   matching validator parser ([`expose`]), and a std-only HTTP/1.1
+//!   scrape endpoint serving `GET /metrics`, `/metrics.json`, and
+//!   `/healthz` from a live registry ([`serve`]).
 //!
 //! The paper's evaluation (§7) is entirely about measured behavior —
 //! repair counts and wall-clock scaling of `cRepair` vs `lRepair` — and
@@ -46,14 +53,20 @@
 //! assert!(snapshot.get("histograms").unwrap().get("stage.index_build_ns").is_some());
 //! ```
 
+pub mod attribution;
+pub mod expose;
 pub mod json;
 pub mod log;
 pub mod metrics;
 pub mod observer;
+pub mod serve;
 pub mod trace;
 
+pub use attribution::{AttributionObserver, AttributionProfile, ProfileRow, RuleLabel};
+pub use expose::{parse_prometheus, prometheus_text, PromSample};
 pub use json::Json;
 pub use log::Level;
-pub use metrics::{Counter, Gauge, Histogram, MetricsRegistry, SpanTimer};
+pub use metrics::{series_key, Counter, Gauge, Histogram, MetricsRegistry, SpanTimer};
 pub use observer::{CellFix, MetricsObserver, NoopObserver, RepairObserver, Tee, METRIC_NAMES};
+pub use serve::{http_get, MetricsServer};
 pub use trace::{TraceClock, TraceJournal, TracePhase, TraceRecord};

@@ -211,6 +211,43 @@ struct Store {
     histograms: BTreeMap<String, Histogram>,
 }
 
+/// Encode a metric name plus a label set as one canonical series key:
+/// `name{k1="v1",k2="v2"}`, labels sorted by key (ties by value), values
+/// escaped (`\` and `"`). An empty label set encodes as the bare name, so
+/// unlabeled and labeled metrics live in one deterministic namespace.
+///
+/// The encoding is what [`MetricsRegistry::snapshot`] emits as object keys
+/// and what [`crate::expose::split_series`] parses back for Prometheus
+/// exposition.
+pub fn series_key(name: &str, labels: &[(&str, &str)]) -> String {
+    if labels.is_empty() {
+        return name.to_string();
+    }
+    let mut sorted: Vec<(&str, &str)> = labels.to_vec();
+    sorted.sort_unstable();
+    let mut key = String::with_capacity(name.len() + 16 * sorted.len());
+    key.push_str(name);
+    key.push('{');
+    for (i, (k, v)) in sorted.iter().enumerate() {
+        if i > 0 {
+            key.push(',');
+        }
+        key.push_str(k);
+        key.push_str("=\"");
+        for c in v.chars() {
+            match c {
+                '\\' => key.push_str("\\\\"),
+                '"' => key.push_str("\\\""),
+                '\n' => key.push_str("\\n"),
+                c => key.push(c),
+            }
+        }
+        key.push('"');
+    }
+    key.push('}');
+    key
+}
+
 impl MetricsRegistry {
     pub fn new() -> Self {
         Self::default()
@@ -222,10 +259,26 @@ impl MetricsRegistry {
         store.counters.entry(name.to_string()).or_default().clone()
     }
 
+    /// Get-or-create the counter `name` with a label set — one independent
+    /// series per distinct label set, e.g.
+    /// `counter_with("repair.rule.applied", &[("rule", "r3"), ("attr", "city")])`.
+    /// Registration takes the registry lock once; the returned handle is
+    /// the same lock-free atomic as an unlabeled counter, so hot paths
+    /// should resolve their handles up front.
+    pub fn counter_with(&self, name: &str, labels: &[(&str, &str)]) -> Counter {
+        self.counter(&series_key(name, labels))
+    }
+
     /// Get-or-create the gauge `name`.
     pub fn gauge(&self, name: &str) -> Gauge {
         let mut store = self.inner.lock().unwrap();
         store.gauges.entry(name.to_string()).or_default().clone()
+    }
+
+    /// Get-or-create the gauge `name` with a label set (see
+    /// [`MetricsRegistry::counter_with`]).
+    pub fn gauge_with(&self, name: &str, labels: &[(&str, &str)]) -> Gauge {
+        self.gauge(&series_key(name, labels))
     }
 
     /// Get-or-create the histogram `name`.
@@ -236,6 +289,12 @@ impl MetricsRegistry {
             .entry(name.to_string())
             .or_default()
             .clone()
+    }
+
+    /// Get-or-create the histogram `name` with a label set (see
+    /// [`MetricsRegistry::counter_with`]).
+    pub fn histogram_with(&self, name: &str, labels: &[(&str, &str)]) -> Histogram {
+        self.histogram(&series_key(name, labels))
     }
 
     /// Start a [`SpanTimer`] that records its elapsed nanoseconds into the
@@ -442,6 +501,108 @@ mod tests {
         reg.time("stage.test", || std::hint::black_box(1 + 1));
         let h = reg.histogram("stage.test_ns");
         assert_eq!(h.count(), 2);
+    }
+
+    #[test]
+    fn labeled_series_are_independent_and_canonical() {
+        let reg = MetricsRegistry::new();
+        let a = reg.counter_with("repair.rule.applied", &[("rule", "r0"), ("attr", "city")]);
+        let b = reg.counter_with("repair.rule.applied", &[("rule", "r1"), ("attr", "city")]);
+        a.inc();
+        b.add(3);
+        // Label order never matters: the same set resolves to the same cell.
+        let a_again = reg.counter_with("repair.rule.applied", &[("attr", "city"), ("rule", "r0")]);
+        a_again.inc();
+        assert_eq!(a.get(), 2);
+        assert_eq!(b.get(), 3);
+        let counters = reg.snapshot();
+        let counters = counters.get("counters").unwrap();
+        assert_eq!(
+            counters
+                .get("repair.rule.applied{attr=\"city\",rule=\"r0\"}")
+                .unwrap()
+                .as_i64(),
+            Some(2)
+        );
+        assert_eq!(
+            counters
+                .get("repair.rule.applied{attr=\"city\",rule=\"r1\"}")
+                .unwrap()
+                .as_i64(),
+            Some(3)
+        );
+        // Unlabeled and labeled metrics of the same name are distinct series.
+        reg.counter("repair.rule.applied").add(7);
+        assert_eq!(reg.counter("repair.rule.applied").get(), 7);
+    }
+
+    #[test]
+    fn series_key_escapes_label_values() {
+        assert_eq!(series_key("m", &[]), "m");
+        assert_eq!(
+            series_key("m", &[("k", "a\"b\\c\nd")]),
+            "m{k=\"a\\\"b\\\\c\\nd\"}"
+        );
+    }
+
+    #[test]
+    fn concurrent_labeled_updates_with_live_snapshots() {
+        // N writer threads hammer labeled counters and histograms while a
+        // reader thread snapshots concurrently. Every observed snapshot
+        // must be internally consistent (schema intact, values within the
+        // range written so far) and the final totals must be exact.
+        const THREADS: u64 = 4;
+        const ITERS: u64 = 5_000;
+        let reg = MetricsRegistry::new();
+        std::thread::scope(|s| {
+            for t in 0..THREADS {
+                let reg = reg.clone();
+                s.spawn(move || {
+                    let rule = format!("r{t}");
+                    let c = reg.counter_with("stress.hits", &[("rule", &rule)]);
+                    let h = reg.histogram_with("stress.latency", &[("rule", &rule)]);
+                    for i in 0..ITERS {
+                        c.inc();
+                        h.record(i);
+                    }
+                });
+            }
+            let reader = reg.clone();
+            s.spawn(move || {
+                for _ in 0..50 {
+                    let snap = reader.snapshot();
+                    let counters = snap.get("counters").unwrap();
+                    if let Json::Obj(map) = counters {
+                        for (key, v) in map {
+                            let v = v.as_i64().unwrap();
+                            assert!(
+                                (0..=ITERS as i64).contains(&v),
+                                "mid-run snapshot of {key} out of range: {v}"
+                            );
+                        }
+                    } else {
+                        panic!("counters is not an object");
+                    }
+                    std::thread::yield_now();
+                }
+            });
+        });
+        let snap = reg.snapshot();
+        for t in 0..THREADS {
+            let rule = format!("r{t}");
+            let key = series_key("stress.hits", &[("rule", &rule)]);
+            assert_eq!(
+                snap.get("counters").unwrap().get(&key).unwrap().as_i64(),
+                Some(ITERS as i64)
+            );
+            let hkey = series_key("stress.latency", &[("rule", &rule)]);
+            let h = snap.get("histograms").unwrap().get(&hkey).unwrap();
+            assert_eq!(h.get("count").unwrap().as_i64(), Some(ITERS as i64));
+            assert_eq!(
+                h.get("sum").unwrap().as_i64(),
+                Some((ITERS * (ITERS - 1) / 2) as i64)
+            );
+        }
     }
 
     #[test]

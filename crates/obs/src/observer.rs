@@ -127,6 +127,145 @@ pub trait RepairObserver: Sync {
     fn cell_repaired(&self, fix: CellFix) {
         let _ = fix;
     }
+
+    /// A rule was evaluated against a tuple's evidence but did not fire —
+    /// an evidence-pattern mismatch, an already-assured B cell, or a
+    /// failed post-probe re-verification. The per-rule miss companion to
+    /// [`RepairObserver::rule_applied`].
+    #[inline]
+    fn rule_rejected(&self, rule: usize) {
+        let _ = rule;
+    }
+
+    /// Wall-clock nanoseconds one evaluation of `rule` took (whether it
+    /// fired or not). Drivers only call this when
+    /// [`RepairObserver::wants_rule_timing`] returns true, so the
+    /// `Instant::now` pair is skipped entirely otherwise.
+    #[inline]
+    fn rule_latency(&self, rule: usize, ns: u64) {
+        let _ = (rule, ns);
+    }
+
+    /// A plan-cache replay re-applied `rule` to attribute `attr`. Fires
+    /// alongside [`RepairObserver::rule_applied`] during replays,
+    /// attributing the application to a memoized plan rather than a live
+    /// evaluation.
+    #[inline]
+    fn plan_replayed(&self, rule: usize, attr: usize) {
+        let _ = (rule, attr);
+    }
+
+    /// A consistency checker materialized a witness tuple for a conflict.
+    #[inline]
+    fn witness_found(&self) {}
+
+    /// Whether this observer consumes [`RepairObserver::rule_latency`].
+    /// Defaults to false; under [`NoopObserver`] the drivers' timing
+    /// branches monomorphize away, keeping the uninstrumented hot path.
+    #[inline]
+    fn wants_rule_timing(&self) -> bool {
+        false
+    }
+}
+
+/// Observers forward through references, so generic drivers can take a
+/// `&dyn RepairObserver` (or a `&&impl RepairObserver`) without the caller
+/// monomorphizing a new driver per observer stack.
+impl<T: RepairObserver + ?Sized> RepairObserver for &T {
+    #[inline]
+    fn chase_round(&self) {
+        (**self).chase_round();
+    }
+
+    #[inline]
+    fn rule_applied(&self, rule: usize, attr: usize) {
+        (**self).rule_applied(rule, attr);
+    }
+
+    #[inline]
+    fn tuple_done(&self, rounds: usize, updates: usize) {
+        (**self).tuple_done(rounds, updates);
+    }
+
+    #[inline]
+    fn index_probe(&self, rules_hit: usize) {
+        (**self).index_probe(rules_hit);
+    }
+
+    #[inline]
+    fn counter_saturated(&self) {
+        (**self).counter_saturated();
+    }
+
+    #[inline]
+    fn worker_done(&self, worker: usize, rows: usize, updates: usize, busy_ns: u64) {
+        (**self).worker_done(worker, rows, updates, busy_ns);
+    }
+
+    #[inline]
+    fn stream_record(&self, vocab: usize) {
+        (**self).stream_record(vocab);
+    }
+
+    #[inline]
+    fn plan_probe(&self, rules_hit: usize) {
+        (**self).plan_probe(rules_hit);
+    }
+
+    #[inline]
+    fn plan_cache_lookup(&self, hit: bool) {
+        (**self).plan_cache_lookup(hit);
+    }
+
+    #[inline]
+    fn plan_cache_evicted(&self) {
+        (**self).plan_cache_evicted();
+    }
+
+    #[inline]
+    fn pairs_checked(&self, pairs: usize) {
+        (**self).pairs_checked(pairs);
+    }
+
+    #[inline]
+    fn conflict_found(&self, case: &'static str) {
+        (**self).conflict_found(case);
+    }
+
+    #[inline]
+    fn lint_finding(&self, code: &'static str, severity: &'static str) {
+        (**self).lint_finding(code, severity);
+    }
+
+    #[inline]
+    fn cell_repaired(&self, fix: CellFix) {
+        (**self).cell_repaired(fix);
+    }
+
+    #[inline]
+    fn rule_rejected(&self, rule: usize) {
+        (**self).rule_rejected(rule);
+    }
+
+    #[inline]
+    fn rule_latency(&self, rule: usize, ns: u64) {
+        (**self).rule_latency(rule, ns);
+    }
+
+    #[inline]
+    fn plan_replayed(&self, rule: usize, attr: usize) {
+        (**self).plan_replayed(rule, attr);
+    }
+
+    #[inline]
+    fn witness_found(&self) {
+        (**self).witness_found();
+    }
+
+    #[inline]
+    fn wants_rule_timing(&self) -> bool {
+        (**self).wants_rule_timing()
+    }
 }
 
 /// The do-nothing observer; the default for every repair entry point.
@@ -224,6 +363,35 @@ impl<A: RepairObserver + ?Sized, B: RepairObserver + ?Sized> RepairObserver for 
         self.0.cell_repaired(fix);
         self.1.cell_repaired(fix);
     }
+
+    #[inline]
+    fn rule_rejected(&self, rule: usize) {
+        self.0.rule_rejected(rule);
+        self.1.rule_rejected(rule);
+    }
+
+    #[inline]
+    fn rule_latency(&self, rule: usize, ns: u64) {
+        self.0.rule_latency(rule, ns);
+        self.1.rule_latency(rule, ns);
+    }
+
+    #[inline]
+    fn plan_replayed(&self, rule: usize, attr: usize) {
+        self.0.plan_replayed(rule, attr);
+        self.1.plan_replayed(rule, attr);
+    }
+
+    #[inline]
+    fn witness_found(&self) {
+        self.0.witness_found();
+        self.1.witness_found();
+    }
+
+    #[inline]
+    fn wants_rule_timing(&self) -> bool {
+        self.0.wants_rule_timing() || self.1.wants_rule_timing()
+    }
 }
 
 /// Counter/histogram names written by [`MetricsObserver`], in snapshot
@@ -232,6 +400,7 @@ impl<A: RepairObserver + ?Sized, B: RepairObserver + ?Sized> RepairObserver for 
 pub const METRIC_NAMES: &[&str] = &[
     "consistency.conflicts",
     "consistency.pairs_checked",
+    "consistency.witness_found",
     "lint.findings",
     "repair.chase.rounds",
     "repair.index.probe_hits",
@@ -277,6 +446,7 @@ pub struct MetricsObserver {
     stream_vocab: Gauge,
     pairs_checked: Counter,
     conflicts: Counter,
+    witnesses: Counter,
     lint_findings: Counter,
 }
 
@@ -302,6 +472,7 @@ impl MetricsObserver {
             stream_vocab: registry.gauge("stream.vocab"),
             pairs_checked: registry.counter("consistency.pairs_checked"),
             conflicts: registry.counter("consistency.conflicts"),
+            witnesses: registry.counter("consistency.witness_found"),
             lint_findings: registry.counter("lint.findings"),
             registry: registry.clone(),
         }
@@ -397,6 +568,11 @@ impl RepairObserver for MetricsObserver {
         self.registry
             .counter(&format!("consistency.conflicts.{case}"))
             .inc();
+    }
+
+    #[inline]
+    fn witness_found(&self) {
+        self.witnesses.inc();
     }
 
     fn lint_finding(&self, code: &'static str, severity: &'static str) {
@@ -505,6 +681,7 @@ mod tests {
         obs.stream_record(1);
         obs.pairs_checked(1);
         obs.conflict_found("BiInXj");
+        obs.witness_found();
         obs.lint_finding("FR001", "error");
         let snap = reg.snapshot();
         let counters = snap.get("counters").unwrap().as_obj().unwrap();

@@ -1,0 +1,285 @@
+//! A minimal, std-only HTTP/1.1 scrape endpoint over a shared
+//! [`MetricsRegistry`] — the live half of the exposition layer, and the
+//! surface the future `fixd` daemon will mount (ROADMAP item 1).
+//!
+//! [`MetricsServer::bind`] spawns one background thread with a
+//! non-blocking accept loop; each request is answered from a fresh
+//! registry snapshot, so scraping a long repair mid-flight sees live
+//! counters. Routes:
+//!
+//! * `GET /metrics` — Prometheus text format v0.0.4 ([`crate::expose`]);
+//! * `GET /metrics.json` — the registry's JSON snapshot;
+//! * `GET /healthz` — `ok`.
+//!
+//! The server keeps an exact scrape count so drivers (and CI) can hold a
+//! process alive until a scraper has actually come by, then shut down
+//! deterministically. No keep-alive, no TLS, no routing table — the same
+//! dep-free discipline as the workspace shims.
+
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use crate::expose::prometheus_text;
+use crate::metrics::MetricsRegistry;
+
+/// A running scrape endpoint. Dropping it (or calling
+/// [`MetricsServer::shutdown`]) stops the accept loop and joins the
+/// thread.
+#[derive(Debug)]
+pub struct MetricsServer {
+    addr: SocketAddr,
+    scrapes: Arc<AtomicU64>,
+    stop: Arc<AtomicBool>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl MetricsServer {
+    /// Bind `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port) and start
+    /// serving snapshots of `registry` on a background thread.
+    pub fn bind(addr: impl ToSocketAddrs, registry: MetricsRegistry) -> io::Result<MetricsServer> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        let scrapes = Arc::new(AtomicU64::new(0));
+        let stop = Arc::new(AtomicBool::new(false));
+        let handle = {
+            let scrapes = scrapes.clone();
+            let stop = stop.clone();
+            std::thread::Builder::new()
+                .name("obs-metrics-server".to_string())
+                .spawn(move || accept_loop(listener, registry, scrapes, stop))?
+        };
+        Ok(MetricsServer {
+            addr,
+            scrapes,
+            stop,
+            handle: Some(handle),
+        })
+    }
+
+    /// The bound address (resolves port 0 to the actual ephemeral port).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Scrapes served so far (`/metrics` + `/metrics.json` requests).
+    pub fn scrapes(&self) -> u64 {
+        self.scrapes.load(Ordering::Relaxed)
+    }
+
+    /// Block until at least `n` scrapes have been served. Checks every
+    /// few milliseconds; intended for `--expose-hold` style lifecycles
+    /// where CI keeps the process alive until the scraper has come by.
+    pub fn wait_for_scrapes(&self, n: u64) {
+        while self.scrapes() < n {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+    }
+
+    /// Stop accepting and join the server thread.
+    pub fn shutdown(mut self) {
+        self.stop_and_join();
+    }
+
+    fn stop_and_join(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for MetricsServer {
+    fn drop(&mut self) {
+        self.stop_and_join();
+    }
+}
+
+fn accept_loop(
+    listener: TcpListener,
+    registry: MetricsRegistry,
+    scrapes: Arc<AtomicU64>,
+    stop: Arc<AtomicBool>,
+) {
+    while !stop.load(Ordering::Relaxed) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                // Serve inline: scrape traffic is tiny and serialized
+                // handling keeps the scrape counter exact.
+                let _ = serve_one(stream, &registry, &scrapes);
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(2)),
+        }
+    }
+}
+
+fn serve_one(
+    mut stream: TcpStream,
+    registry: &MetricsRegistry,
+    scrapes: &AtomicU64,
+) -> io::Result<()> {
+    stream.set_nonblocking(false)?;
+    stream.set_read_timeout(Some(Duration::from_secs(2)))?;
+    stream.set_write_timeout(Some(Duration::from_secs(2)))?;
+
+    let request = read_head(&mut stream)?;
+    let mut parts = request
+        .lines()
+        .next()
+        .unwrap_or_default()
+        .split_whitespace();
+    let method = parts.next().unwrap_or_default();
+    let path = parts.next().unwrap_or_default();
+    let path = path.split('?').next().unwrap_or_default();
+
+    let (status, content_type, body) = if method != "GET" {
+        (
+            "405 Method Not Allowed",
+            "text/plain",
+            "method not allowed\n".to_string(),
+        )
+    } else {
+        match path {
+            "/metrics" => {
+                scrapes.fetch_add(1, Ordering::Relaxed);
+                (
+                    "200 OK",
+                    "text/plain; version=0.0.4; charset=utf-8",
+                    prometheus_text(&registry.snapshot()),
+                )
+            }
+            "/metrics.json" => {
+                scrapes.fetch_add(1, Ordering::Relaxed);
+                (
+                    "200 OK",
+                    "application/json",
+                    format!("{}\n", registry.snapshot()),
+                )
+            }
+            "/healthz" => ("200 OK", "text/plain", "ok\n".to_string()),
+            _ => ("404 Not Found", "text/plain", "not found\n".to_string()),
+        }
+    };
+
+    let head = format!(
+        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()
+}
+
+/// Read until the end of the request head (`\r\n\r\n`). GET requests have
+/// no body, so this is the whole request; heads above 8 KiB are rejected.
+fn read_head(stream: &mut TcpStream) -> io::Result<String> {
+    let mut buf = Vec::with_capacity(512);
+    let mut chunk = [0u8; 512];
+    loop {
+        let n = stream.read(&mut chunk)?;
+        if n == 0 {
+            break;
+        }
+        buf.extend_from_slice(&chunk[..n]);
+        if buf.windows(4).any(|w| w == b"\r\n\r\n") {
+            break;
+        }
+        if buf.len() > 8 * 1024 {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "request head too large",
+            ));
+        }
+    }
+    Ok(String::from_utf8_lossy(&buf).into_owned())
+}
+
+/// A matching minimal HTTP GET client (used by `fixctl scrape` and the
+/// tests): fetch `http://host:port/path`, returning `(status, body)`.
+pub fn http_get(url: &str) -> io::Result<(u16, String)> {
+    let rest = url.strip_prefix("http://").ok_or_else(|| {
+        io::Error::new(io::ErrorKind::InvalidInput, "only http:// URLs supported")
+    })?;
+    let (host, path) = match rest.find('/') {
+        Some(i) => (&rest[..i], &rest[i..]),
+        None => (rest, "/"),
+    };
+    let mut stream = TcpStream::connect(host)?;
+    stream.set_read_timeout(Some(Duration::from_secs(5)))?;
+    write!(
+        stream,
+        "GET {path} HTTP/1.1\r\nHost: {host}\r\nConnection: close\r\n\r\n"
+    )?;
+    let mut response = String::new();
+    stream.read_to_string(&mut response)?;
+    let status: u16 = response
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "malformed response"))?;
+    let body = response
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b.to_string())
+        .unwrap_or_default();
+    Ok((status, body))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expose::parse_prometheus;
+
+    #[test]
+    fn serves_metrics_json_and_health() {
+        let registry = MetricsRegistry::new();
+        registry.counter("repair.rules_applied").add(5);
+        registry
+            .counter_with("repair.rule.applied", &[("rule", "r0"), ("attr", "city")])
+            .add(2);
+        let server = MetricsServer::bind("127.0.0.1:0", registry.clone()).unwrap();
+        let base = format!("http://{}", server.addr());
+
+        let (status, body) = http_get(&format!("{base}/healthz")).unwrap();
+        assert_eq!(status, 200);
+        assert_eq!(body, "ok\n");
+
+        let (status, text) = http_get(&format!("{base}/metrics")).unwrap();
+        assert_eq!(status, 200);
+        let samples = parse_prometheus(&text).expect("exposition must parse");
+        assert!(samples
+            .iter()
+            .any(|s| s.name == "repair_rules_applied" && s.value == 5.0));
+
+        // Live view: bump a counter, scrape again, see the new value.
+        registry.counter("repair.rules_applied").add(1);
+        let (_, text) = http_get(&format!("{base}/metrics")).unwrap();
+        assert!(text.contains("repair_rules_applied 6"), "{text}");
+
+        let (status, json) = http_get(&format!("{base}/metrics.json")).unwrap();
+        assert_eq!(status, 200);
+        let parsed = crate::json::parse(&json).expect("snapshot must parse");
+        assert_eq!(
+            parsed
+                .get("counters")
+                .unwrap()
+                .get("repair.rules_applied")
+                .unwrap()
+                .as_i64(),
+            Some(6)
+        );
+
+        let (status, _) = http_get(&format!("{base}/nope")).unwrap();
+        assert_eq!(status, 404);
+
+        assert_eq!(server.scrapes(), 3, "three metric scrapes served");
+        server.wait_for_scrapes(3);
+        server.shutdown();
+    }
+}

@@ -88,4 +88,58 @@ grep -q '"repair\.plan_cache\.hits": [1-9]' "$TRACE_DIR/metrics_on.json" \
     || { echo "cached run recorded no plan-cache hits" >&2; exit 1; }
 echo "-- compiled output and repair counters byte-identical, cache on/off"
 
+echo "== attribution profile determinism smoke =="
+# Two identical --profile-json runs must be byte-identical: the profile
+# deliberately excludes measured nanoseconds (DESIGN.md §13).
+for run in 1 2; do
+    "$FIXCTL" repair \
+        --rules examples/rulesets/hosp_zip.frl \
+        --data "$TRACE_DIR/hosp_dup.csv" \
+        --engine compiled \
+        --out "$TRACE_DIR/profiled_$run.csv" \
+        --profile-json "$TRACE_DIR/profile_$run.json" >/dev/null
+done
+cmp "$TRACE_DIR/profile_1.json" "$TRACE_DIR/profile_2.json" \
+    || { echo "attribution profiles differ between identical runs" >&2; exit 1; }
+grep -q '"rule": "r0"' "$TRACE_DIR/profile_1.json" \
+    || { echo "profile JSON has no per-rule rows" >&2; exit 1; }
+echo "-- profile JSON byte-identical across two runs"
+
+echo "== metrics exposition smoke =="
+# repair --expose binds an ephemeral scrape endpoint; --expose-hold 1
+# keeps it alive until one /metrics scrape lands. fixctl scrape fetches
+# it over HTTP and validates the exposition with the in-repo Prometheus
+# text parser.
+"$FIXCTL" repair \
+    --rules examples/rulesets/hosp_zip.frl \
+    --data "$TRACE_DIR/hosp_dup.csv" \
+    --out "$TRACE_DIR/exposed.csv" \
+    --expose 127.0.0.1:0 --expose-hold 1 > "$TRACE_DIR/expose.log" &
+EXPOSE_PID=$!
+URL=""
+for _ in $(seq 1 100); do
+    URL=$(grep -o 'http://[0-9.:]*/metrics' "$TRACE_DIR/expose.log" || true)
+    [ -n "$URL" ] && break
+    sleep 0.05
+done
+[ -n "$URL" ] || { echo "repair --expose never announced its endpoint" >&2; exit 1; }
+"$FIXCTL" scrape "$URL" --require repair_rules_applied \
+    || { echo "scrape endpoint did not serve valid Prometheus text" >&2; exit 1; }
+wait "$EXPOSE_PID" \
+    || { echo "repair --expose exited nonzero after scrape" >&2; exit 1; }
+grep -q 'served 1 scrape(s)' "$TRACE_DIR/expose.log" \
+    || { echo "repair --expose did not count the scrape" >&2; exit 1; }
+echo "-- live endpoint served valid exposition and shut down cleanly"
+
+echo "== coverage lint smoke =="
+# Attribution joined against fixlint: rules that never fired on the data
+# must surface as FR007 notes.
+"$FIXCTL" coverage \
+    --rules examples/lint/dead_redundant.frl \
+    --data examples/lint/profile_dirty.csv --lint \
+    > "$TRACE_DIR/coverage.txt"
+grep -q 'note\[FR007\]' "$TRACE_DIR/coverage.txt" \
+    || { echo "coverage --lint reported no FR007 unfired-rule note" >&2; exit 1; }
+echo "-- coverage --lint reports never-fired rules"
+
 echo "CI green."
