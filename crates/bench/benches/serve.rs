@@ -1,0 +1,130 @@
+//! `bench serve` — load-drive a live `fixd` daemon over loopback HTTP:
+//! N concurrent clients hammer `POST /repair` with duplicate-heavy CSV
+//! batches, pinning multi-client throughput (rows/sec) and the daemon's
+//! own per-endpoint latency telemetry into `BENCH_serve_repair.json`.
+//!
+//! Configurations:
+//!
+//! * `shared_cache/1|4|8` — the production shape: every request repairs
+//!   against one shared warm [`PlanCache`], so after the first batch
+//!   almost every row replays a memoized plan;
+//! * `no_cache/8` — the ablation: plan memoization off, every row pays
+//!   full compiled-engine evaluation.
+//!
+//! Each benchmark passes its metrics registry into the daemon
+//! ([`Daemon::start_with_registry`]), so the pinned JSON embeds the
+//! served-side `http.requests{endpoint="repair",status="200"}` counters
+//! and latency histograms next to the client-side wall clock. The
+//! headline comparison is `serve.repair_stage_ns{cache="on"|"off"}`:
+//! end-to-end wall clock is dominated by transport and (de)serialization,
+//! but the repair stage itself replays memoized plans ~2× faster at the
+//! median than re-running the compiled engine per row.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use fixd::{Daemon, DaemonConfig, RulesSource, SchemaSource};
+use fixrules::io::format_rules;
+use obs::http_post;
+use relation::{csv_io, Table};
+
+/// Distinct dirty rows cycled into every batch.
+const DISTINCT_ROWS: usize = 100;
+/// Rows per `POST /repair` batch (each distinct row appears ~10×).
+const BATCH_ROWS: usize = 1_000;
+/// Concurrent client counts for the shared-cache sweep.
+const CLIENTS: [usize; 3] = [1, 4, 8];
+
+/// Render a duplicate-heavy CSV batch from the workload's dirty table.
+fn batch_csv(workload: &bench::Workload) -> Vec<u8> {
+    let mut tiled = Table::with_capacity(workload.dirty.schema().clone(), BATCH_ROWS);
+    for i in 0..BATCH_ROWS {
+        tiled
+            .push_row(workload.dirty.row(i % DISTINCT_ROWS))
+            .unwrap();
+    }
+    let mut out = Vec::new();
+    csv_io::write_csv(&mut out, &tiled, &workload.dataset.symbols).unwrap();
+    out
+}
+
+fn daemon_config(workload: &bench::Workload, plan_cache: bool) -> DaemonConfig {
+    DaemonConfig {
+        rules: RulesSource::Inline(format_rules(&workload.rules, &workload.dataset.symbols)),
+        // The full dataset schema, so the batch CSV header always maps.
+        schema: SchemaSource::Names(
+            workload
+                .dirty
+                .schema()
+                .attr_names()
+                .map(str::to_string)
+                .collect(),
+        ),
+        threads: 8,
+        plan_cache,
+        ..DaemonConfig::default()
+    }
+}
+
+/// One load round: `clients` threads each post the batch once and assert
+/// a `200` with the expected row count echoed back.
+fn drive(url: &str, body: &[u8], clients: usize) {
+    std::thread::scope(|scope| {
+        for _ in 0..clients {
+            scope.spawn(|| {
+                let reply = http_post(url, "text/csv", body).expect("POST /repair");
+                assert_eq!(reply.status, 200, "{}", reply.body);
+            });
+        }
+    });
+}
+
+fn bench_serve_repair(c: &mut Criterion) {
+    let workload = bench::hosp_workload(DISTINCT_ROWS, 100);
+    let body = batch_csv(&workload);
+
+    let mut group = c.benchmark_group("serve_repair");
+    for clients in CLIENTS {
+        group.throughput(Throughput::Elements((clients * BATCH_ROWS) as u64));
+        group.bench_with_input(
+            BenchmarkId::new("shared_cache", clients),
+            &clients,
+            |b, &clients| {
+                let daemon = Daemon::start_with_registry(
+                    daemon_config(&workload, true),
+                    b.metrics().clone(),
+                )
+                .expect("start fixd");
+                // CSV echo: the cheap response path, so the measurement
+                // tracks repair throughput, not JSON tree rendering.
+                let url = format!("http://{}/repair?format=csv", daemon.addr());
+                // Warm round: memoize every distinct signature once, so
+                // the timed rounds measure the shared-cache steady state.
+                drive(&url, &body, 1);
+                b.iter(|| drive(&url, &body, clients));
+                daemon.shutdown();
+            },
+        );
+    }
+
+    // Ablation: same traffic, memoization off — the daemon re-runs the
+    // compiled engine for every row of every request.
+    let clients = *CLIENTS.last().unwrap();
+    group.throughput(Throughput::Elements((clients * BATCH_ROWS) as u64));
+    group.bench_with_input(
+        BenchmarkId::new("no_cache", clients),
+        &clients,
+        |b, &clients| {
+            let daemon =
+                Daemon::start_with_registry(daemon_config(&workload, false), b.metrics().clone())
+                    .expect("start fixd");
+            let url = format!("http://{}/repair?format=csv", daemon.addr());
+            drive(&url, &body, 1);
+            b.iter(|| drive(&url, &body, clients));
+            daemon.shutdown();
+        },
+    );
+    group.finish();
+}
+
+criterion_group!(benches, bench_serve_repair);
+criterion_main!(benches);

@@ -19,6 +19,17 @@
 //!                                                         # joined against the linter
 //! fixctl serve-metrics [--addr 127.0.0.1:0] [--scrapes N] # standalone scrape endpoint
 //! fixctl scrape http://HOST:PORT/metrics [--require NAME] # fetch + validate exposition
+//!                                                         # NAME may be a labeled series:
+//!                                                         #   http.requests{endpoint="repair"}
+//! fixctl serve  --rules rules.frl [--addr 127.0.0.1:0]    # long-running repair daemon
+//!               [--threads N] [--engine chase|linear] [--schema a,b,c]
+//!               [--warm data.csv] [--journal trace.jsonl] [--cache-shards N]
+//!               [--slo-window N] [--slo-min-samples N]
+//!               [--slo-max-error-rate F] [--slo-max-p99-ms N]
+//! fixctl client repair rows.csv --addr HOST:PORT [--format csv]
+//! fixctl client check  rows.csv --addr HOST:PORT          # dry run, nothing recorded
+//! fixctl client get    /readyz  --addr HOST:PORT          # any GET endpoint
+//! fixctl client shutdown        --addr HOST:PORT          # graceful drain
 //! ```
 //!
 //! `repair` additionally takes the profiling/exposition flags:
@@ -217,6 +228,20 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
             Some(arg) if !arg.starts_with("--") => (Some(arg.as_str()), &args[2..]),
             _ => (None, &args[1..]),
         },
+        "client" => {
+            match args.get(1).map(String::as_str) {
+                Some("repair" | "check" | "get" | "shutdown") => {}
+                _ => {
+                    return Err("unknown client subcommand (expected `fixctl client \
+                         <repair|check|get|shutdown> ... --addr HOST:PORT`)"
+                        .to_string())
+                }
+            }
+            match args.get(2) {
+                Some(arg) if !arg.starts_with("--") => (Some(arg.as_str()), &args[3..]),
+                _ => (None, &args[2..]),
+            }
+        }
         "trace" => {
             if args.get(1).map(String::as_str) != Some("export") {
                 return Err(
@@ -245,6 +270,8 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
         "resolve" => cmd_resolve(&flags, &obs_ctx).map(|()| ExitCode::SUCCESS),
         "repair" => cmd_repair(&flags, &obs_ctx).map(|()| ExitCode::SUCCESS),
         "scrape" => cmd_scrape(positional, &flags),
+        "serve" => cmd_serve(&flags).map(|()| ExitCode::SUCCESS),
+        "client" => cmd_client(args[1].as_str(), positional, &flags),
         "serve-metrics" => cmd_serve_metrics(&flags, &obs_ctx).map(|()| ExitCode::SUCCESS),
         "stats" => cmd_stats(&flags, &obs_ctx).map(|()| ExitCode::SUCCESS),
         "trace" => cmd_trace_export(positional, &flags).map(|()| ExitCode::SUCCESS),
@@ -268,7 +295,12 @@ fn usage() -> String {
      [--deny warnings|FR001,...] \
      | coverage --rules FILE --data FILE.csv [--engine lrepair|chase|compiled] [--lint] \
      | serve-metrics [--addr HOST:PORT] [--scrapes N] \
-     | scrape URL|FILE [--require METRIC] \
+     | serve --rules FILE [--addr HOST:PORT] [--threads N] [--engine chase|linear] \
+     [--schema a,b,c] [--warm FILE.csv] [--journal FILE.jsonl] [--cache-shards N] \
+     [--slo-window N] [--slo-min-samples N] [--slo-max-error-rate F] [--slo-max-p99-ms N] \
+     | client repair|check FILE --addr HOST:PORT [--format csv|json] \
+     | client get PATH --addr HOST:PORT | client shutdown --addr HOST:PORT \
+     | scrape URL|FILE [--require METRIC[{k=\"v\",...}]] \
      | explain TRACE.jsonl --row N --attr NAME \
      | trace export TRACE.jsonl --chrome OUT.json \
      | discover --data FILE.csv --fds FILE --out rules.frl [--min-support N] [--min-confidence F]"
@@ -824,13 +856,176 @@ fn cmd_scrape(positional: Option<&str>, flags: &Flags) -> Result<ExitCode, Strin
         names.len()
     );
     if let Some(required) = flags.optional("require") {
-        if !names.contains(&required) {
+        if !require_present(&samples, required)? {
             println!("required metric `{required}` is missing");
             return Ok(ExitCode::from(1));
         }
         println!("required metric `{required}` present");
     }
     Ok(ExitCode::SUCCESS)
+}
+
+/// Does any scraped sample satisfy `required`? A bare name (`up`) matches
+/// on the sanitized metric name alone; a labeled series
+/// (`http.requests{endpoint="repair"}`) additionally needs every required
+/// label pair on the same sample, in any order, extra labels allowed.
+fn require_present(samples: &[obs::PromSample], required: &str) -> Result<bool, String> {
+    let (raw_name, raw_block) = obs::expose::split_series(required);
+    let name = obs::expose::sanitize_name(raw_name);
+    let required_pairs = obs::parse_label_pairs(raw_block)
+        .map_err(|e| format!("bad --require series {required:?}: {e}"))?;
+    Ok(samples.iter().any(|sample| {
+        if sample.name != name {
+            return false;
+        }
+        if required_pairs.is_empty() {
+            return true;
+        }
+        // The exposition already validated, so its blocks parse.
+        let pairs = obs::parse_label_pairs(&sample.labels).unwrap_or_default();
+        required_pairs.iter().all(|pair| pairs.contains(pair))
+    }))
+}
+
+/// Run the long-lived `fixd` repair daemon in the foreground: rules are
+/// loaded, linted, and compiled once, then every `POST /repair` batch
+/// shares one warm plan cache. Blocks until `POST /shutdown` drains it.
+fn cmd_serve(flags: &Flags) -> Result<(), String> {
+    let mut config = fixd::DaemonConfig {
+        rules: fixd::RulesSource::Path(flags.required("rules")?.to_string()),
+        ..fixd::DaemonConfig::default()
+    };
+    if let Some(addr) = flags.optional("addr") {
+        config.addr = addr.to_string();
+    }
+    if let Some(threads) = flags.optional("threads") {
+        config.threads = threads
+            .parse()
+            .map_err(|_| format!("--threads: bad value `{threads}`"))?;
+    }
+    if let Some(shards) = flags.optional("cache-shards") {
+        config.cache_shards = shards
+            .parse()
+            .map_err(|_| format!("--cache-shards: bad value `{shards}`"))?;
+    }
+    if let Some(names) = flags.optional("schema") {
+        config.schema =
+            fixd::SchemaSource::Names(names.split(',').map(|s| s.trim().to_string()).collect());
+    }
+    if let Some(engine) = flags.optional("engine") {
+        config.engine = match engine {
+            "chase" => CompiledEngine::Chase,
+            "linear" | "lrepair" => CompiledEngine::Linear,
+            other => return Err(format!("unknown serve engine `{other}` (chase|linear)")),
+        };
+    }
+    if let Some(cache) = flags.optional("plan-cache") {
+        config.plan_cache = match cache {
+            "on" => true,
+            "off" => false,
+            other => return Err(format!("unknown --plan-cache `{other}` (on|off)")),
+        };
+    }
+    if let Some(path) = flags.optional("journal") {
+        config.journal_path = Some(path.to_string());
+    }
+    if let Some(path) = flags.optional("warm") {
+        config.warm = Some(path.to_string());
+    }
+    if let Some(clock) = flags.optional("trace-clock") {
+        config.trace_clock = match clock {
+            "logical" => TraceClock::Logical,
+            "wall" => TraceClock::Wall,
+            other => return Err(format!("unknown --trace-clock `{other}` (logical|wall)")),
+        };
+    }
+    if let Some(window) = flags.optional("slo-window") {
+        config.slo.window = window
+            .parse()
+            .map_err(|_| format!("--slo-window: bad value `{window}`"))?;
+    }
+    if let Some(min) = flags.optional("slo-min-samples") {
+        config.slo.min_samples = min
+            .parse()
+            .map_err(|_| format!("--slo-min-samples: bad value `{min}`"))?;
+    }
+    if let Some(rate) = flags.optional("slo-max-error-rate") {
+        config.slo.max_error_rate = rate
+            .parse()
+            .map_err(|_| format!("--slo-max-error-rate: bad value `{rate}`"))?;
+    }
+    if let Some(ms) = flags.optional("slo-max-p99-ms") {
+        let ms: u64 = ms
+            .parse()
+            .map_err(|_| format!("--slo-max-p99-ms: bad value `{ms}`"))?;
+        config.slo.max_p99_ns = ms.saturating_mul(1_000_000);
+    }
+    let daemon = fixd::Daemon::start(config).map_err(|e| format!("starting fixd: {e}"))?;
+    println!("fixd listening on http://{}", daemon.addr());
+    daemon.wait();
+    println!("fixd drained and stopped");
+    Ok(())
+}
+
+/// Normalize `--addr` into a base URL (a bare `host:port` is accepted).
+fn client_base(flags: &Flags) -> Result<String, String> {
+    let addr = flags.required("addr")?;
+    Ok(if addr.starts_with("http://") {
+        addr.trim_end_matches('/').to_string()
+    } else {
+        format!("http://{addr}")
+    })
+}
+
+/// Thin HTTP client for a running `fixd` daemon: post a repair/check
+/// batch from a file, fetch any GET endpoint, or request a graceful
+/// shutdown. Prints the response body; exit status 1 on a non-2xx reply.
+fn cmd_client(sub: &str, positional: Option<&str>, flags: &Flags) -> Result<ExitCode, String> {
+    let base = client_base(flags)?;
+    let reply =
+        match sub {
+            "repair" | "check" => {
+                let data = positional.or_else(|| flags.optional("data")).ok_or_else(|| {
+                format!("client {sub} needs a batch file: fixctl client {sub} rows.csv --addr ...")
+            })?;
+                let body = std::fs::read(data).map_err(|e| format!("reading {data}: {e}"))?;
+                let content_type = if data.ends_with(".json") {
+                    "application/json"
+                } else {
+                    "text/csv"
+                };
+                let query = match flags.optional("format") {
+                    Some("csv") => "?format=csv",
+                    Some("json") | None => "",
+                    Some(other) => return Err(format!("unknown --format `{other}` (csv|json)")),
+                };
+                obs::http_post(&format!("{base}/{sub}{query}"), content_type, &body)
+            }
+            "get" => {
+                let path = positional
+                    .ok_or("client get needs a path, e.g. fixctl client get /readyz --addr ...")?;
+                obs::http_request("GET", &format!("{base}{path}"), "text/plain", b"")
+            }
+            "shutdown" => obs::http_post(&format!("{base}/shutdown"), "text/plain", b""),
+            other => return Err(format!("unknown client subcommand `{other}`")),
+        }
+        .map_err(|e| format!("talking to {base}: {e}"))?;
+    if let Some((_, trace_id)) = reply
+        .headers
+        .iter()
+        .find(|(name, _)| name.eq_ignore_ascii_case("x-trace-id"))
+    {
+        eprintln!("trace id: {trace_id}");
+    }
+    print!("{}", reply.body);
+    if !reply.body.ends_with('\n') {
+        println!();
+    }
+    Ok(if reply.status < 400 {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    })
 }
 
 fn cmd_resolve(flags: &Flags, obs_ctx: &ObsCtx) -> Result<(), String> {

@@ -1304,3 +1304,205 @@ fn parallel_check_finds_conflict() {
     assert!(stdout.contains("INCONSISTENT"), "{stdout}");
     assert!(stdout.contains("[0] vs [1]"), "{stdout}");
 }
+
+// ---- scrape --require with labeled series -------------------------------
+
+const LABELED_EXPOSITION: &str = "\
+# TYPE http_requests counter
+http_requests{endpoint=\"repair\",status=\"200\"} 3
+http_requests{endpoint=\"readyz\",status=\"503\"} 1
+# TYPE up gauge
+up 1
+";
+
+#[test]
+fn scrape_require_matches_labeled_series() {
+    let dir = tmpdir("scrape_labeled");
+    let file = dir.join("metrics.prom");
+    std::fs::write(&file, LABELED_EXPOSITION).unwrap();
+    let path = file.to_str().unwrap();
+    // Bare names still work.
+    let out = fixctl(&["scrape", path, "--require", "up"]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+    // A labeled series matches regardless of label order, with the
+    // registry's dotted name spelling.
+    for required in [
+        "http_requests{endpoint=\"repair\",status=\"200\"}",
+        "http_requests{status=\"200\",endpoint=\"repair\"}",
+        "http.requests{endpoint=\"repair\"}",
+    ] {
+        let out = fixctl(&["scrape", path, "--require", required]);
+        assert!(
+            out.status.success(),
+            "--require {required}: {}",
+            String::from_utf8_lossy(&out.stdout)
+        );
+        assert!(String::from_utf8_lossy(&out.stdout).contains("present"));
+    }
+}
+
+#[test]
+fn scrape_require_rejects_absent_or_malformed_series() {
+    let dir = tmpdir("scrape_labeled_miss");
+    let file = dir.join("metrics.prom");
+    std::fs::write(&file, LABELED_EXPOSITION).unwrap();
+    let path = file.to_str().unwrap();
+    // Right name, wrong label value: missing (exit 1).
+    let out = fixctl(&[
+        "scrape",
+        path,
+        "--require",
+        "http_requests{endpoint=\"nope\"}",
+    ]);
+    assert_eq!(out.status.code(), Some(1));
+    assert!(String::from_utf8_lossy(&out.stdout).contains("missing"));
+    // Label subset must sit on ONE sample: endpoint from one series plus
+    // status from another does not count.
+    let out = fixctl(&[
+        "scrape",
+        path,
+        "--require",
+        "http_requests{endpoint=\"repair\",status=\"503\"}",
+    ]);
+    assert_eq!(out.status.code(), Some(1));
+    // Malformed label block: operational error (exit 2).
+    let out = fixctl(&[
+        "scrape",
+        path,
+        "--require",
+        "http_requests{endpoint=repair}",
+    ]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("bad --require"));
+}
+
+// ---- fixctl serve / client ----------------------------------------------
+
+const HOSP_RULES: &str = r#"
+IF zip = "36545" AND city IN {"Jackson Heights", "Jaxon"} THEN city := "Jackson"
+IF zip = "36545" AND state IN {"AK"} THEN state := "AL"
+"#;
+
+/// Spawn `fixctl serve` in the background and parse the bound address off
+/// its first stdout line. Returns the child, `host:port`, and the live
+/// stdout reader (kept open so the daemon's final prints don't EPIPE).
+fn spawn_serve(
+    args: &[&str],
+) -> (
+    std::process::Child,
+    String,
+    std::io::BufReader<std::process::ChildStdout>,
+) {
+    use std::io::{BufRead, BufReader};
+    let mut child = Command::new(env!("CARGO_BIN_EXE_fixctl"))
+        .arg("serve")
+        .args(args)
+        .stdout(std::process::Stdio::piped())
+        .stderr(std::process::Stdio::null())
+        .spawn()
+        .expect("spawn fixctl serve");
+    let stdout = child.stdout.take().unwrap();
+    let mut reader = BufReader::new(stdout);
+    let mut line = String::new();
+    reader.read_line(&mut line).unwrap();
+    let addr = line
+        .trim()
+        .strip_prefix("fixd listening on http://")
+        .unwrap_or_else(|| panic!("unexpected serve banner {line:?}"))
+        .to_string();
+    (child, addr, reader)
+}
+
+#[test]
+fn serve_and_client_roundtrip_with_journal() {
+    let dir = tmpdir("serve_roundtrip");
+    let rules = dir.join("r.frl");
+    let batch = dir.join("rows.csv");
+    let journal = dir.join("journal.jsonl");
+    std::fs::write(&rules, HOSP_RULES).unwrap();
+    std::fs::write(&batch, "zip,city,state\n36545,Jaxon,AK\n").unwrap();
+    let (mut child, addr, _serve_stdout) = spawn_serve(&[
+        "--rules",
+        rules.to_str().unwrap(),
+        "--journal",
+        journal.to_str().unwrap(),
+        "--threads",
+        "2",
+    ]);
+
+    // Repair a batch through the client; the response carries the fixes.
+    let out = fixctl(&["client", "repair", batch.to_str().unwrap(), "--addr", &addr]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let body = String::from_utf8_lossy(&out.stdout);
+    assert!(body.contains("Jackson"), "{body}");
+    assert!(body.contains("\"trace_id\""), "{body}");
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("trace id: "),
+        "client should surface the X-Trace-Id header"
+    );
+
+    // After one repair the cache is warm and readiness is green.
+    let out = fixctl(&["client", "get", "/readyz", "--addr", &addr]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+    assert!(String::from_utf8_lossy(&out.stdout).contains("\"ready\":true"));
+
+    // The live exposition satisfies a labeled --require.
+    let out = fixctl(&[
+        "scrape",
+        &format!("http://{addr}/metrics"),
+        "--require",
+        "http.requests{endpoint=\"repair\",status=\"200\"}",
+    ]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+
+    // check is a dry run against the same daemon.
+    let out = fixctl(&["client", "check", batch.to_str().unwrap(), "--addr", &addr]);
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("\"dirty_rows\":1"));
+
+    // Graceful shutdown: 202, the process exits 0, the journal parses.
+    let out = fixctl(&["client", "shutdown", "--addr", &addr]);
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("draining"));
+    let status = child.wait().unwrap();
+    assert!(status.success());
+    let text = std::fs::read_to_string(&journal).unwrap();
+    let records = obs::trace::parse_jsonl(&text).unwrap();
+    assert!(records.iter().any(|r| r.name == "request"));
+}
+
+#[test]
+fn client_surfaces_daemon_errors_as_exit_one() {
+    let dir = tmpdir("serve_client_errors");
+    let rules = dir.join("r.frl");
+    let bad = dir.join("bad.csv");
+    std::fs::write(&rules, HOSP_RULES).unwrap();
+    std::fs::write(&bad, "zip,nope\n1,2\n").unwrap();
+    let (mut child, addr, _serve_stdout) = spawn_serve(&["--rules", rules.to_str().unwrap()]);
+    let out = fixctl(&["client", "repair", bad.to_str().unwrap(), "--addr", &addr]);
+    assert_eq!(out.status.code(), Some(1), "daemon 4xx maps to exit 1");
+    assert!(String::from_utf8_lossy(&out.stdout).contains("error"));
+    // Cold cache: readiness is red, and the client reports it.
+    let out = fixctl(&["client", "get", "/readyz", "--addr", &addr]);
+    assert_eq!(out.status.code(), Some(1));
+    assert!(String::from_utf8_lossy(&out.stdout).contains("\"cache_warm\":false"));
+    let out = fixctl(&["client", "shutdown", "--addr", &addr]);
+    assert!(out.status.success());
+    assert!(child.wait().unwrap().success());
+}

@@ -1,0 +1,986 @@
+//! # fixd — a long-running repair daemon over compiled fixing rules
+//!
+//! The paper's repair algorithms are batch procedures: load rules, load a
+//! table, chase. A *dependable* deployment looks different — rules are
+//! loaded once, requests arrive continuously, and the service must expose
+//! how healthy it is. `fixd` packages the compiled repair stack as a
+//! std-only HTTP/1.1 daemon (hand-rolled on [`std::net::TcpListener`] with
+//! a fixed thread pool, no external dependencies — the same plumbing as
+//! [`obs::http`]):
+//!
+//! * rules are parsed, linted, and compiled **once** into a
+//!   [`RuleProgram`]; every request repairs against the same program and
+//!   one shared warm [`PlanCache`], so duplicate dirty signatures across
+//!   requests replay memoized plans instead of re-running the chase;
+//! * every request gets a **trace id** (`X-Trace-Id` response header) and
+//!   a span scope in a global [`TraceJournal`]; `GET /trace/{id}` replays
+//!   the request's records as JSONL (or `?format=chrome` for
+//!   `chrome://tracing`);
+//! * per-endpoint labeled telemetry (`http.requests{endpoint=...,status=...}`
+//!   counters, `http.latency_ns{endpoint=...}` histograms) is scrapeable at
+//!   `GET /metrics` in Prometheus text format;
+//! * a rolling-window [`HealthEvaluator`] judges recent request outcomes
+//!   against error-rate and p99-latency SLOs; `GET /healthz` is pure
+//!   liveness while `GET /readyz` is readiness — lint-clean rules,
+//!   consistent rule set, warm plan cache, green SLOs;
+//! * repairs append to a [`ProvenanceLedger`] with daemon-global row ids
+//!   (`row_base` in each response), so `GET /explain/{row}/{attr}` can
+//!   justify any cell the daemon ever changed;
+//! * `POST /shutdown` (or [`Daemon::shutdown`]) drains in-flight requests
+//!   and flushes the trace journal to disk.
+//!
+//! # Endpoints
+//!
+//! | Route | Meaning |
+//! |---|---|
+//! | `POST /repair` | Repair a batch (CSV with header, or JSON rows); mutating |
+//! | `POST /check` | Dry-run repair: per-row violation counts, nothing recorded |
+//! | `GET /explain/{row}/{attr}` | Provenance chain for a repaired cell, JSONL |
+//! | `GET /trace/{id}` | One request's trace records (`?format=chrome` optional) |
+//! | `GET /metrics` | Prometheus text v0.0.4 (`/metrics.json` for the snapshot) |
+//! | `GET /healthz` | Liveness — always `200 ok` while the process serves |
+//! | `GET /readyz` | Readiness — `200`/`503` with a JSON explanation |
+//! | `POST /shutdown` | Graceful drain: `202`, then stop accepting |
+//!
+//! # Example
+//!
+//! ```
+//! use fixd::{Daemon, DaemonConfig, RulesSource};
+//! use obs::http::{http_get, http_post};
+//!
+//! let config = DaemonConfig {
+//!     rules: RulesSource::Inline(
+//!         r#"IF country = "China" AND capital IN {"Shanghai"} THEN capital := "Beijing""#.into(),
+//!     ),
+//!     ..DaemonConfig::default()
+//! };
+//! let daemon = Daemon::start(config).unwrap();
+//! let url = format!("http://{}/repair", daemon.addr());
+//! let body = "country,capital\nChina,Shanghai\n";
+//! let reply = http_post(&url, "text/csv", body.as_bytes()).unwrap();
+//! assert_eq!(reply.status, 200);
+//! assert!(reply.body.contains("Beijing"));
+//! daemon.shutdown();
+//! ```
+
+#![warn(missing_docs)]
+
+use std::collections::VecDeque;
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc, Mutex, RwLock};
+use std::thread::{self, JoinHandle};
+use std::time::{Duration, Instant};
+
+use fixrules::io::{infer_schema, parse_rules};
+use fixrules::provenance::{ProvenanceLedger, ProvenanceObserver};
+use fixrules::repair::{
+    repair_row_compiled, CompiledEngine, CompiledScratch, PlanCache, RuleProgram,
+};
+use fixrules::RuleSet;
+use obs::http::{Request, Response};
+use obs::{
+    prometheus_text, Json, MetricsObserver, MetricsRegistry, RepairObserver, SloConfig, TraceClock,
+    TraceJournal, TracePhase, TraceRecord,
+};
+use obs::{HealthEvaluator, Tee};
+use relation::{csv_io, Schema, Symbol, SymbolTable};
+
+/// How many recent trace ids stay resolvable via `GET /trace/{id}`.
+const TRACE_INDEX_CAP: usize = 1024;
+
+/// Per-request cap on `row.repaired` journal events. Aggregate totals
+/// always land in the request's `request.end` record.
+const ROW_EVENT_SAMPLE: usize = 16;
+
+/// Where the daemon's rule text comes from.
+#[derive(Debug, Clone)]
+pub enum RulesSource {
+    /// Read the rule file at this path at startup.
+    Path(String),
+    /// Use this text directly (tests, benches, embedding).
+    Inline(String),
+}
+
+/// Where the daemon's schema comes from.
+#[derive(Debug, Clone)]
+pub enum SchemaSource {
+    /// Infer attribute names from the rule text, in order of first
+    /// appearance ([`fixrules::io::infer_schema`]). Requests may then only
+    /// carry rule-mentioned attributes.
+    Infer,
+    /// Explicit attribute names, e.g. the full relation header. Requests
+    /// must cover every one of them.
+    Names(Vec<String>),
+}
+
+/// Everything [`Daemon::start`] needs; `Default` is a loopback daemon on
+/// an ephemeral port with the chase engine and default SLOs.
+#[derive(Debug, Clone)]
+pub struct DaemonConfig {
+    /// Rule text source. The default (empty inline text) is only useful
+    /// for liveness tests — real configs set a path or inline rules.
+    pub rules: RulesSource,
+    /// Schema source (default: infer from the rules).
+    pub schema: SchemaSource,
+    /// Which compiled engine serves repairs (default: chase).
+    pub engine: CompiledEngine,
+    /// Bind address (default `127.0.0.1:0` — ephemeral port).
+    pub addr: String,
+    /// Worker threads handling connections (default 4, clamped ≥ 1).
+    pub threads: usize,
+    /// Shards for the shared [`PlanCache`] (default 8).
+    pub cache_shards: usize,
+    /// SLO thresholds for `GET /readyz`.
+    pub slo: SloConfig,
+    /// Trace clock for the journal (default logical — byte-deterministic).
+    pub trace_clock: TraceClock,
+    /// If set, the journal is flushed here (JSONL) on graceful shutdown.
+    pub journal_path: Option<String>,
+    /// Optional CSV to repair at startup, pre-warming the plan cache
+    /// before the first request (not recorded in the provenance ledger).
+    pub warm: Option<String>,
+    /// Share one plan cache across all requests (default). Disabling it
+    /// exists for the `bench serve` ablation — every row then pays full
+    /// engine evaluation.
+    pub plan_cache: bool,
+}
+
+impl Default for DaemonConfig {
+    fn default() -> Self {
+        DaemonConfig {
+            rules: RulesSource::Inline(String::new()),
+            schema: SchemaSource::Infer,
+            engine: CompiledEngine::Chase,
+            addr: "127.0.0.1:0".to_string(),
+            threads: 4,
+            cache_shards: 8,
+            slo: SloConfig::default(),
+            trace_clock: TraceClock::Logical,
+            journal_path: None,
+            warm: None,
+            plan_cache: true,
+        }
+    }
+}
+
+/// Ring-buffered `trace_id → root span id` index: old requests age out of
+/// `GET /trace/{id}` once [`TRACE_INDEX_CAP`] newer ones have been served.
+#[derive(Debug, Default)]
+struct TraceIndex {
+    entries: VecDeque<(String, u64)>,
+}
+
+impl TraceIndex {
+    fn insert(&mut self, trace_id: String, span: u64) {
+        if self.entries.len() == TRACE_INDEX_CAP {
+            self.entries.pop_front();
+        }
+        self.entries.push_back((trace_id, span));
+    }
+
+    fn lookup(&self, trace_id: &str) -> Option<u64> {
+        self.entries
+            .iter()
+            .rev()
+            .find(|(id, _)| id == trace_id)
+            .map(|&(_, span)| span)
+    }
+}
+
+/// Shared immutable-after-startup daemon state plus the concurrent
+/// journals and caches every worker thread touches.
+#[derive(Debug)]
+struct DaemonState {
+    schema: Schema,
+    rules: RuleSet,
+    program: RuleProgram,
+    engine: CompiledEngine,
+    cache: PlanCache,
+    symbols: RwLock<SymbolTable>,
+    registry: MetricsRegistry,
+    health: HealthEvaluator,
+    journal: TraceJournal,
+    ledger: ProvenanceLedger,
+    trace_index: Mutex<TraceIndex>,
+    trace_seq: AtomicU64,
+    rows_served: AtomicUsize,
+    use_cache: bool,
+    lint_errors: usize,
+    consistent: bool,
+    stop: AtomicBool,
+    journal_path: Option<String>,
+}
+
+/// A handler-level failure: an HTTP status plus a message the client sees
+/// as `{"error": ...}`.
+struct SrvError {
+    status: u16,
+    message: String,
+}
+
+impl SrvError {
+    fn new(status: u16, message: impl Into<String>) -> SrvError {
+        SrvError {
+            status,
+            message: message.into(),
+        }
+    }
+}
+
+type SrvResult = Result<Response, SrvError>;
+
+fn bad_request(message: impl Into<String>) -> SrvError {
+    SrvError::new(400, message)
+}
+
+/// A running repair daemon. Dropping the handle does **not** stop the
+/// daemon — call [`Daemon::shutdown`] (drain + flush) or [`Daemon::wait`]
+/// (block until `POST /shutdown` arrives).
+#[derive(Debug)]
+pub struct Daemon {
+    addr: SocketAddr,
+    state: Arc<DaemonState>,
+    accept: JoinHandle<()>,
+}
+
+impl Daemon {
+    /// Load, lint, and compile the configured rules, bind the listener,
+    /// and start serving. Fails on unreadable/unparseable rules or an
+    /// unbindable address.
+    pub fn start(config: DaemonConfig) -> io::Result<Daemon> {
+        Daemon::start_with_registry(config, MetricsRegistry::new())
+    }
+
+    /// [`Daemon::start`] against a caller-owned [`MetricsRegistry`], so an
+    /// embedding harness (the `bench serve` driver) can snapshot daemon
+    /// telemetry itself.
+    pub fn start_with_registry(
+        config: DaemonConfig,
+        registry: MetricsRegistry,
+    ) -> io::Result<Daemon> {
+        let invalid = |e: String| io::Error::new(io::ErrorKind::InvalidData, e);
+        let text = match &config.rules {
+            RulesSource::Path(path) => std::fs::read_to_string(path)?,
+            RulesSource::Inline(text) => text.clone(),
+        };
+        let schema = match &config.schema {
+            SchemaSource::Infer => infer_schema(&text, "R").map_err(|e| invalid(e.message()))?,
+            SchemaSource::Names(names) => Schema::new("R", names.iter().map(String::as_str))
+                .map_err(|e| invalid(e.to_string()))?,
+        };
+        let mut symbols = SymbolTable::new();
+        let rules = parse_rules(&text, &schema, &mut symbols).map_err(|e| invalid(e.message()))?;
+        let lint = fixlint::lint_source(
+            &text,
+            &schema,
+            &mut symbols,
+            &fixlint::LintOptions::default(),
+        );
+        let consistent = rules.check_consistency().is_consistent();
+        let program = RuleProgram::compile(&rules);
+        let cache = PlanCache::sharded(config.cache_shards.max(1));
+
+        let state = Arc::new(DaemonState {
+            schema,
+            rules,
+            program,
+            engine: config.engine,
+            cache,
+            symbols: RwLock::new(symbols),
+            registry: registry.clone(),
+            health: HealthEvaluator::new(config.slo),
+            journal: TraceJournal::new(config.trace_clock),
+            ledger: ProvenanceLedger::new(),
+            trace_index: Mutex::new(TraceIndex::default()),
+            trace_seq: AtomicU64::new(0),
+            rows_served: AtomicUsize::new(0),
+            use_cache: config.plan_cache,
+            lint_errors: lint.errors(),
+            consistent,
+            stop: AtomicBool::new(false),
+            journal_path: config.journal_path.clone(),
+        });
+
+        if let Some(warm_path) = &config.warm {
+            warm_cache(&state, warm_path).map_err(|e| invalid(e.message))?;
+        }
+
+        let listener = TcpListener::bind(&config.addr)?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        let threads = config.threads.max(1);
+        let accept = {
+            let state = Arc::clone(&state);
+            thread::spawn(move || accept_loop(listener, state, threads))
+        };
+        obs::info!("fixd.listening", addr = addr, threads = threads);
+        Ok(Daemon {
+            addr,
+            state,
+            accept,
+        })
+    }
+
+    /// The bound address (resolves the ephemeral port of `:0` configs).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The registry collecting per-endpoint telemetry.
+    pub fn registry(&self) -> MetricsRegistry {
+        self.state.registry.clone()
+    }
+
+    /// Memoized repair plans currently in the shared cache.
+    pub fn plan_cache_len(&self) -> usize {
+        self.state.cache.len()
+    }
+
+    /// Hit/miss/eviction counters of the shared plan cache.
+    pub fn plan_cache_stats(&self) -> fixrules::repair::PlanCacheStats {
+        self.state.cache.stats()
+    }
+
+    /// The current rolling SLO verdict (what `GET /readyz` consults).
+    pub fn health_report(&self) -> obs::HealthReport {
+        self.state.health.report()
+    }
+
+    /// The journal so far, serialized as JSONL.
+    pub fn journal_jsonl(&self) -> String {
+        self.state.journal.to_jsonl()
+    }
+
+    /// Request a graceful stop and block until in-flight requests drain
+    /// and the journal is flushed.
+    pub fn shutdown(self) {
+        self.state.stop.store(true, Ordering::SeqCst);
+        let _ = self.accept.join();
+    }
+
+    /// Block until the daemon stops on its own (`POST /shutdown`).
+    pub fn wait(self) {
+        let _ = self.accept.join();
+    }
+}
+
+/// Repair every row of `path` once so its tuple signatures are memoized
+/// before the first request. Deliberately invisible: no provenance, no
+/// request metrics, no global row ids consumed.
+fn plan_cache(state: &DaemonState) -> Option<&PlanCache> {
+    state.use_cache.then_some(&state.cache)
+}
+
+fn warm_cache(state: &DaemonState, path: &str) -> Result<usize, SrvError> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| SrvError::new(400, format!("reading {path}: {e}")))?;
+    let mut rows = parse_csv_rows(state, &text)?;
+    let mut scratch = CompiledScratch::new(state.rules.len());
+    for row in &mut rows {
+        repair_row_compiled(
+            &state.rules,
+            &state.program,
+            state.engine,
+            plan_cache(state),
+            &mut scratch,
+            row,
+            &obs::NoopObserver,
+        );
+    }
+    Ok(rows.len())
+}
+
+/// Accept loop + fixed worker pool. Runs until the stop flag is set, then
+/// drains: the channel sender drops, each worker finishes its in-flight
+/// connection and exits, and the journal is flushed.
+fn accept_loop(listener: TcpListener, state: Arc<DaemonState>, threads: usize) {
+    let (tx, rx) = mpsc::channel::<TcpStream>();
+    let rx = Arc::new(Mutex::new(rx));
+    let workers: Vec<JoinHandle<()>> = (0..threads)
+        .map(|_| {
+            let rx = Arc::clone(&rx);
+            let state = Arc::clone(&state);
+            thread::spawn(move || {
+                // One scratch per worker, reused across every request it
+                // serves — zero steady-state allocation in the hot path.
+                let mut scratch = CompiledScratch::new(state.rules.len());
+                loop {
+                    let stream = match rx.lock().unwrap().recv() {
+                        Ok(stream) => stream,
+                        Err(_) => break, // sender dropped: drain complete
+                    };
+                    handle_connection(&state, &mut scratch, stream);
+                }
+            })
+        })
+        .collect();
+
+    while !state.stop.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                // A send can only fail after drain starts; drop the
+                // connection in that case.
+                let _ = tx.send(stream);
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                thread::sleep(Duration::from_millis(2));
+            }
+            Err(_) => thread::sleep(Duration::from_millis(2)),
+        }
+    }
+    drop(tx);
+    for worker in workers {
+        let _ = worker.join();
+    }
+    if let Some(path) = &state.journal_path {
+        if let Err(e) = std::fs::write(path, state.journal.to_jsonl()) {
+            obs::info!("fixd.journal_flush_failed", path = path, error = e);
+        }
+    }
+    obs::info!(
+        "fixd.stopped",
+        rows_served = state.rows_served.load(Ordering::SeqCst)
+    );
+}
+
+/// Which label the request contributes to `http.requests{endpoint=...}`.
+fn endpoint_label(request: &Request) -> &'static str {
+    match request.path.as_str() {
+        "/repair" => "repair",
+        "/check" => "check",
+        "/metrics" | "/metrics.json" => "metrics",
+        "/healthz" => "healthz",
+        "/readyz" => "readyz",
+        "/shutdown" => "shutdown",
+        p if p.starts_with("/explain/") => "explain",
+        p if p.starts_with("/trace/") => "trace",
+        _ => "other",
+    }
+}
+
+/// Endpoints whose outcomes feed the SLO window. Scrapes and probes are
+/// excluded so a tight scrape interval can't dilute (or trip) the SLO.
+fn counts_for_slo(endpoint: &str) -> bool {
+    matches!(endpoint, "repair" | "check" | "explain" | "trace")
+}
+
+fn handle_connection(state: &DaemonState, scratch: &mut CompiledScratch, mut stream: TcpStream) {
+    let started = Instant::now();
+    let request = match Request::read_from(&mut stream) {
+        Ok(request) => request,
+        Err(e) => {
+            let response = Response::json(400, format!("{{\"error\":{:?}}}\n", e.to_string()));
+            state
+                .registry
+                .counter_with("http.requests", &[("endpoint", "other"), ("status", "400")])
+                .inc();
+            let _ = response.write_to(&mut stream);
+            return;
+        }
+    };
+    let endpoint = endpoint_label(&request);
+    let response = match route(state, scratch, &request, endpoint) {
+        Ok(response) => response,
+        Err(e) => Response::json(
+            e.status,
+            format!("{}\n", Json::obj([("error", Json::from(e.message))])),
+        ),
+    };
+    let latency_ns = started.elapsed().as_nanos() as u64;
+    state
+        .registry
+        .counter_with(
+            "http.requests",
+            &[
+                ("endpoint", endpoint),
+                ("status", &response.status.to_string()),
+            ],
+        )
+        .inc();
+    state
+        .registry
+        .histogram_with("http.latency_ns", &[("endpoint", endpoint)])
+        .record(latency_ns);
+    if counts_for_slo(endpoint) {
+        state.health.record(response.status < 500, latency_ns);
+    }
+    let _ = response.write_to(&mut stream);
+}
+
+fn route(
+    state: &DaemonState,
+    scratch: &mut CompiledScratch,
+    request: &Request,
+    endpoint: &str,
+) -> SrvResult {
+    match (request.method.as_str(), endpoint) {
+        ("POST", "repair") => handle_repair(state, scratch, request),
+        ("POST", "check") => handle_check(state, scratch, request),
+        ("GET", "explain") => handle_explain(state, request),
+        ("GET", "trace") => handle_trace(state, request),
+        ("GET", "metrics") => Ok(handle_metrics(state, request)),
+        ("GET", "healthz") => Ok(Response::text(200, "ok\n")),
+        ("GET", "readyz") => Ok(handle_readyz(state)),
+        ("POST", "shutdown") => {
+            state.stop.store(true, Ordering::SeqCst);
+            Ok(Response::text(202, "draining\n"))
+        }
+        (_, "other") => Err(SrvError::new(404, format!("no route {}", request.path))),
+        (method, _) => Err(SrvError::new(
+            405,
+            format!("{method} not allowed on {}", request.path),
+        )),
+    }
+}
+
+/// Parse a request body into rows in daemon-schema attribute order,
+/// interning new values into the shared symbol table.
+fn parse_rows(state: &DaemonState, request: &Request) -> Result<Vec<Vec<Symbol>>, SrvError> {
+    let body = request.body_str();
+    if body.trim().is_empty() {
+        return Err(bad_request("empty request body"));
+    }
+    let is_json = request
+        .header("content-type")
+        .map(|ct| ct.contains("json"))
+        .unwrap_or_else(|| matches!(body.trim_start().as_bytes().first(), Some(b'{' | b'[')));
+    if is_json {
+        parse_json_rows(state, &body)
+    } else {
+        parse_csv_rows(state, &body)
+    }
+}
+
+/// CSV with a header row. Columns may come in any order; every daemon
+/// schema attribute must be present and unknown columns are rejected —
+/// silently dropping a column the rules constrain would repair against
+/// evidence the client never sent.
+///
+/// Parsing interns into a request-local [`SymbolTable`], then maps the
+/// cells onto the shared table via [`intern_rows`] — so concurrent
+/// batches parse in parallel instead of serializing on the write lock.
+fn parse_csv_rows(state: &DaemonState, body: &str) -> Result<Vec<Vec<Symbol>>, SrvError> {
+    let mut local = SymbolTable::new();
+    let table = csv_io::read_csv(body.as_bytes(), "request", &mut local)
+        .map_err(|e| bad_request(format!("csv: {e}")))?;
+    for name in table.schema().attr_names() {
+        if state.schema.attr(name).is_none() {
+            return Err(bad_request(format!("unknown column {name:?}")));
+        }
+    }
+    let mut columns = Vec::with_capacity(state.schema.arity());
+    for name in state.schema.attr_names() {
+        let id = table
+            .schema()
+            .attr(name)
+            .ok_or_else(|| bad_request(format!("missing column {name:?}")))?;
+        columns.push(id);
+    }
+    let rows: Vec<Vec<&str>> = (0..table.len())
+        .map(|i| {
+            columns
+                .iter()
+                .map(|&c| local.resolve(table.cell(i, c)))
+                .collect()
+        })
+        .collect();
+    Ok(intern_rows(state, &rows))
+}
+
+/// Map parsed string cells onto the shared symbol table. Steady-state
+/// traffic (every value already interned by an earlier batch or the
+/// rule set) resolves under the read lock alone; only a batch carrying
+/// genuinely new values falls back to the write lock.
+fn intern_rows(state: &DaemonState, rows: &[Vec<&str>]) -> Vec<Vec<Symbol>> {
+    {
+        let symbols = state.symbols.read().unwrap();
+        let mut out = Vec::with_capacity(rows.len());
+        let mut all_known = true;
+        'rows: for row in rows {
+            let mut mapped = Vec::with_capacity(row.len());
+            for cell in row {
+                match symbols.get(cell) {
+                    Some(sym) => mapped.push(sym),
+                    None => {
+                        all_known = false;
+                        break 'rows;
+                    }
+                }
+            }
+            out.push(mapped);
+        }
+        if all_known {
+            return out;
+        }
+    }
+    let mut symbols = state.symbols.write().unwrap();
+    rows.iter()
+        .map(|row| row.iter().map(|cell| symbols.intern(cell)).collect())
+        .collect()
+}
+
+/// JSON rows: either a bare array or `{"rows": [...]}`, each row an
+/// object with exactly the daemon schema's attributes as string values.
+fn parse_json_rows(state: &DaemonState, body: &str) -> Result<Vec<Vec<Symbol>>, SrvError> {
+    let value = obs::json::parse(body).map_err(|e| bad_request(format!("json: {e}")))?;
+    let rows_value = value.get("rows").unwrap_or(&value);
+    let items = rows_value.as_arr().ok_or_else(|| {
+        bad_request("expected a JSON array of row objects (or {\"rows\": [...]})")
+    })?;
+    let mut rows = Vec::with_capacity(items.len());
+    for (i, item) in items.iter().enumerate() {
+        let obj = item
+            .as_obj()
+            .ok_or_else(|| bad_request(format!("row {i}: expected an object")))?;
+        for key in obj.keys() {
+            if state.schema.attr(key).is_none() {
+                return Err(bad_request(format!("row {i}: unknown attribute {key:?}")));
+            }
+        }
+        let mut row = Vec::with_capacity(state.schema.arity());
+        for name in state.schema.attr_names() {
+            let cell = obj
+                .get(name)
+                .and_then(Json::as_str)
+                .ok_or_else(|| bad_request(format!("row {i}: missing attribute {name:?}")))?;
+            row.push(cell);
+        }
+        rows.push(row);
+    }
+    Ok(intern_rows(state, &rows))
+}
+
+/// Allocate the next trace id and register `span` under it.
+fn new_trace_id(state: &DaemonState, span: u64) -> String {
+    let trace_id = format!("t{:08x}", state.trace_seq.fetch_add(1, Ordering::SeqCst));
+    state
+        .trace_index
+        .lock()
+        .unwrap()
+        .insert(trace_id.clone(), span);
+    trace_id
+}
+
+fn handle_repair(
+    state: &DaemonState,
+    scratch: &mut CompiledScratch,
+    request: &Request,
+) -> SrvResult {
+    let span = state.journal.span("request", 0);
+    let trace_id = new_trace_id(state, span.id());
+    state.journal.event(
+        "request.begin",
+        span.id(),
+        Json::obj([
+            ("bytes", Json::from(request.body.len())),
+            ("endpoint", Json::from("repair")),
+            ("trace_id", Json::from(trace_id.as_str())),
+        ]),
+    );
+    let mut rows = parse_rows(state, request)?;
+    let row_base = state.rows_served.fetch_add(rows.len(), Ordering::SeqCst);
+    let metrics = MetricsObserver::new(&state.registry);
+    let provenance = ProvenanceObserver::new(&state.rules, &state.ledger);
+    let observer = Tee(&metrics, &provenance);
+    let mut repaired_rows = 0usize;
+    let mut all_updates = Vec::new();
+    let repair_started = Instant::now();
+    {
+        let repair_span = state.journal.span("repair", span.id());
+        for (i, row) in rows.iter_mut().enumerate() {
+            let mut updates = repair_row_compiled(
+                &state.rules,
+                &state.program,
+                state.engine,
+                plan_cache(state),
+                scratch,
+                row,
+                &metrics,
+            );
+            if updates.is_empty() {
+                continue;
+            }
+            repaired_rows += 1;
+            for (ordinal, update) in updates.iter_mut().enumerate() {
+                update.row = row_base + i;
+                observer.cell_repaired(update.as_fix(ordinal));
+            }
+            // Row-level detail is sampled: a large dirty batch would
+            // otherwise append thousands of journal records per request
+            // (one global mutex hit each) and grow the in-memory journal
+            // without bound under sustained traffic. The request.end
+            // record always carries the exact totals.
+            if repaired_rows <= ROW_EVENT_SAMPLE {
+                state.journal.event(
+                    "row.repaired",
+                    repair_span.id(),
+                    Json::obj([
+                        ("row", Json::from(row_base + i)),
+                        ("updates", Json::from(updates.len())),
+                    ]),
+                );
+            }
+            all_updates.extend(updates);
+        }
+    }
+    // Stage-level latency: end-to-end `http.latency_ns` is dominated by
+    // transport and (de)serialization, so the plan-cache effect is only
+    // visible on the repair loop itself.
+    state
+        .registry
+        .histogram_with(
+            "serve.repair_stage_ns",
+            &[("cache", if state.use_cache { "on" } else { "off" })],
+        )
+        .record(repair_started.elapsed().as_nanos() as u64);
+    state.journal.event(
+        "request.end",
+        span.id(),
+        Json::obj([
+            ("repaired_rows", Json::from(repaired_rows)),
+            (
+                "rows_sampled",
+                Json::from(repaired_rows.min(ROW_EVENT_SAMPLE)),
+            ),
+            ("rows", Json::from(rows.len())),
+            ("updates", Json::from(all_updates.len())),
+        ]),
+    );
+    let updates_json: Vec<Json> = {
+        let symbols = state.symbols.read().unwrap();
+        all_updates
+            .iter()
+            .map(|update| {
+                Json::obj([
+                    ("attr", Json::from(state.schema.attr_name(update.attr))),
+                    ("new", Json::from(symbols.resolve(update.new))),
+                    ("old", Json::from(symbols.resolve(update.old))),
+                    ("round", Json::from(u64::from(update.round))),
+                    ("row", Json::from(update.row)),
+                    ("rule", Json::from(update.rule.index())),
+                ])
+            })
+            .collect()
+    };
+    let response = if request.query.contains("format=csv") {
+        Response::new(200, "text/csv; charset=utf-8", render_csv(state, &rows))
+    } else {
+        let symbols = state.symbols.read().unwrap();
+        let rows_json: Vec<Json> = rows
+            .iter()
+            .map(|row| {
+                Json::Arr(
+                    row.iter()
+                        .map(|&sym| Json::from(symbols.resolve(sym)))
+                        .collect(),
+                )
+            })
+            .collect();
+        let columns: Vec<Json> = state.schema.attr_names().map(Json::from).collect();
+        Response::json(
+            200,
+            format!(
+                "{}\n",
+                Json::obj([
+                    ("columns", Json::Arr(columns)),
+                    ("repaired_rows", Json::from(repaired_rows)),
+                    ("row_base", Json::from(row_base)),
+                    ("rows", Json::Arr(rows_json)),
+                    ("trace_id", Json::from(trace_id.as_str())),
+                    ("updates", Json::Arr(updates_json)),
+                ])
+            ),
+        )
+    };
+    Ok(response.with_header("X-Trace-Id", &trace_id))
+}
+
+fn render_csv(state: &DaemonState, rows: &[Vec<Symbol>]) -> Vec<u8> {
+    let symbols = state.symbols.read().unwrap();
+    let mut out = String::new();
+    out.push_str(&state.schema.attr_names().collect::<Vec<_>>().join(","));
+    out.push('\n');
+    for row in rows {
+        let cells: Vec<&str> = row.iter().map(|&sym| symbols.resolve(sym)).collect();
+        out.push_str(&cells.join(","));
+        out.push('\n');
+    }
+    out.into_bytes()
+}
+
+/// Dry-run repair: same parsing and the same shared plan cache (a check
+/// warms plans for the repair that follows), but nothing is recorded —
+/// no ledger rows, no global row ids.
+fn handle_check(
+    state: &DaemonState,
+    scratch: &mut CompiledScratch,
+    request: &Request,
+) -> SrvResult {
+    let span = state.journal.span("request", 0);
+    let trace_id = new_trace_id(state, span.id());
+    state.journal.event(
+        "request.begin",
+        span.id(),
+        Json::obj([
+            ("endpoint", Json::from("check")),
+            ("trace_id", Json::from(trace_id.as_str())),
+        ]),
+    );
+    let mut rows = parse_rows(state, request)?;
+    let mut per_row = Vec::with_capacity(rows.len());
+    let mut dirty_rows = 0usize;
+    let mut total_updates = 0usize;
+    for row in rows.iter_mut() {
+        let updates = repair_row_compiled(
+            &state.rules,
+            &state.program,
+            state.engine,
+            plan_cache(state),
+            scratch,
+            row,
+            &obs::NoopObserver,
+        );
+        if !updates.is_empty() {
+            dirty_rows += 1;
+            total_updates += updates.len();
+        }
+        per_row.push(Json::from(updates.len()));
+    }
+    state.journal.event(
+        "request.end",
+        span.id(),
+        Json::obj([
+            ("dirty_rows", Json::from(dirty_rows)),
+            ("rows", Json::from(rows.len())),
+        ]),
+    );
+    let body = Json::obj([
+        ("clean", Json::from(dirty_rows == 0)),
+        ("dirty_rows", Json::from(dirty_rows)),
+        ("per_row", Json::Arr(per_row)),
+        ("rows", Json::from(rows.len())),
+        ("total_updates", Json::from(total_updates)),
+        ("trace_id", Json::from(trace_id.as_str())),
+    ]);
+    Ok(Response::json(200, format!("{body}\n")).with_header("X-Trace-Id", &trace_id))
+}
+
+/// `GET /explain/{row}/{attr}` — the provenance chain justifying the
+/// current value of one cell, one JSON record per line (newest last).
+fn handle_explain(state: &DaemonState, request: &Request) -> SrvResult {
+    let rest = request.path.trim_start_matches("/explain/");
+    let (row_text, attr_name) = rest
+        .split_once('/')
+        .ok_or_else(|| bad_request("expected /explain/{row}/{attr}"))?;
+    let row: usize = row_text
+        .parse()
+        .map_err(|_| bad_request(format!("bad row index {row_text:?}")))?;
+    let attr = state
+        .schema
+        .attr(attr_name)
+        .ok_or_else(|| SrvError::new(404, format!("unknown attribute {attr_name:?}")))?;
+    let chain = state.ledger.chain_for(row, attr);
+    if chain.is_empty() {
+        return Err(SrvError::new(
+            404,
+            format!("no provenance for row {row} attribute {attr_name:?}"),
+        ));
+    }
+    let symbols = state.symbols.read().unwrap();
+    let mut body = String::new();
+    for record in &chain {
+        body.push_str(&record.to_json(&state.schema, &symbols).to_string());
+        body.push('\n');
+    }
+    Ok(Response::new(
+        200,
+        "application/jsonl; charset=utf-8",
+        body.into_bytes(),
+    ))
+}
+
+/// `GET /trace/{id}` — replay one request's records from the global
+/// journal: the root `request` span plus every descendant, in journal
+/// order. `?format=chrome` converts to the Chrome trace-event JSON.
+fn handle_trace(state: &DaemonState, request: &Request) -> SrvResult {
+    let trace_id = request.path.trim_start_matches("/trace/");
+    let root = state
+        .trace_index
+        .lock()
+        .unwrap()
+        .lookup(trace_id)
+        .ok_or_else(|| SrvError::new(404, format!("unknown trace id {trace_id:?}")))?;
+    // Parents always precede children in append order, so one forward
+    // pass with a membership set reconstructs the subtree.
+    let mut members = std::collections::HashSet::from([root]);
+    let subtree: Vec<TraceRecord> = state
+        .journal
+        .records()
+        .into_iter()
+        .filter(|record| {
+            if record.span == root || members.contains(&record.parent) {
+                if record.phase == TracePhase::SpanBegin {
+                    members.insert(record.span);
+                }
+                return true;
+            }
+            false
+        })
+        .collect();
+    if request.query.contains("format=chrome") {
+        let chrome = obs::trace::chrome_trace(&subtree);
+        return Ok(Response::json(200, format!("{chrome}\n")));
+    }
+    let mut body = String::new();
+    for record in &subtree {
+        body.push_str(&record.to_json().to_string());
+        body.push('\n');
+    }
+    Ok(Response::new(
+        200,
+        "application/jsonl; charset=utf-8",
+        body.into_bytes(),
+    ))
+}
+
+fn handle_metrics(state: &DaemonState, request: &Request) -> Response {
+    let snapshot = state.registry.snapshot();
+    if request.path == "/metrics.json" {
+        Response::json(200, format!("{snapshot}\n"))
+    } else {
+        Response::new(
+            200,
+            "text/plain; version=0.0.4; charset=utf-8",
+            prometheus_text(&snapshot).into_bytes(),
+        )
+    }
+}
+
+/// Readiness: lint-clean rules, a consistent rule set, at least one
+/// memoized plan (the cache is warm), and green SLOs. `503` otherwise,
+/// with every sub-verdict in the JSON body.
+fn handle_readyz(state: &DaemonState) -> Response {
+    let report = state.health.report();
+    let lint_clean = state.lint_errors == 0;
+    // With the cache disabled there is nothing to warm; don't gate
+    // readiness on it.
+    let cache_warm = !state.use_cache || !state.cache.is_empty();
+    let ready = lint_clean && state.consistent && cache_warm && report.healthy;
+    let body = Json::obj([
+        ("cache_plans", Json::from(state.cache.len())),
+        ("cache_warm", Json::from(cache_warm)),
+        ("consistent", Json::from(state.consistent)),
+        ("health", report.to_json()),
+        ("lint_clean", Json::from(lint_clean)),
+        ("lint_errors", Json::from(state.lint_errors)),
+        ("ready", Json::from(ready)),
+        (
+            "rows_served",
+            Json::from(state.rows_served.load(Ordering::SeqCst)),
+        ),
+        ("rules", Json::from(state.rules.len())),
+    ]);
+    Response::json(if ready { 200 } else { 503 }, format!("{body}\n"))
+}

@@ -1,0 +1,438 @@
+//! End-to-end tests of the `fixd` daemon over real loopback sockets:
+//! batch repair in both body formats, the shared warm plan cache under
+//! concurrent clients, trace retrieval, SLO-driven readiness, provenance
+//! explain, error paths, and graceful shutdown with a parseable journal.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use fixd::{Daemon, DaemonConfig, RulesSource, SchemaSource};
+use obs::http::{http_get, http_post, http_request};
+use obs::{Json, SloConfig};
+
+const RULES: &str = r#"
+IF zip = "36545" AND city IN {"Jackson Heights", "Jaxon"} THEN city := "Jackson"
+IF zip = "36545" AND state IN {"AK"} THEN state := "AL"
+IF zip = "10001" AND city IN {"NYC", "New-York"} THEN city := "New York"
+IF zip = "10001" AND state IN {"NJ"} THEN state := "NY"
+"#;
+
+fn daemon() -> Daemon {
+    Daemon::start(DaemonConfig {
+        rules: RulesSource::Inline(RULES.to_string()),
+        threads: 4,
+        ..DaemonConfig::default()
+    })
+    .unwrap()
+}
+
+fn url(daemon: &Daemon, path: &str) -> String {
+    format!("http://{}{}", daemon.addr(), path)
+}
+
+fn parse_json(body: &str) -> Json {
+    obs::json::parse(body).expect("response body must be JSON")
+}
+
+#[test]
+fn repairs_a_csv_batch_and_serves_its_trace() {
+    let daemon = daemon();
+    let body = "zip,city,state\n36545,Jaxon,AK\n10001,New York,NY\n";
+    let reply = http_post(&url(&daemon, "/repair"), "text/csv", body.as_bytes()).unwrap();
+    assert_eq!(reply.status, 200);
+    let json = parse_json(&reply.body);
+    assert_eq!(json.get("repaired_rows").unwrap().as_i64(), Some(1));
+    assert_eq!(json.get("row_base").unwrap().as_i64(), Some(0));
+    let rows = json.get("rows").unwrap().as_arr().unwrap();
+    let first = rows[0].as_arr().unwrap();
+    // Schema is inferred from the rules: zip, city, state.
+    assert_eq!(first[1].as_str(), Some("Jackson"));
+    assert_eq!(first[2].as_str(), Some("AL"));
+    assert_eq!(rows[1].as_arr().unwrap()[1].as_str(), Some("New York"));
+
+    // The trace id is in both the header and the body, and resolves to a
+    // JSONL subtree with the request/repair spans and row events.
+    let trace_id = json.get("trace_id").unwrap().as_str().unwrap().to_string();
+    let header = reply
+        .headers
+        .iter()
+        .find(|(name, _)| name.eq_ignore_ascii_case("x-trace-id"))
+        .map(|(_, value)| value.as_str());
+    assert_eq!(header, Some(trace_id.as_str()));
+    let (status, trace) = http_get(&url(&daemon, &format!("/trace/{trace_id}"))).unwrap();
+    assert_eq!(status, 200);
+    let records = obs::trace::parse_jsonl(&trace).unwrap();
+    assert!(records.iter().any(|r| r.name == "request"));
+    assert!(records.iter().any(|r| r.name == "repair"));
+    assert_eq!(
+        records.iter().filter(|r| r.name == "row.repaired").count(),
+        1
+    );
+
+    // Chrome export of the same subtree wraps the events for
+    // chrome://tracing.
+    let (status, chrome) =
+        http_get(&url(&daemon, &format!("/trace/{trace_id}?format=chrome"))).unwrap();
+    assert_eq!(status, 200);
+    let events = parse_json(&chrome);
+    let events = events.get("traceEvents").unwrap().as_arr().unwrap();
+    assert_eq!(events.len(), records.len());
+    daemon.shutdown();
+}
+
+#[test]
+fn accepts_json_rows_and_reordered_csv_columns() {
+    let daemon = daemon();
+    // JSON rows under {"rows": [...]}.
+    let body = r#"{"rows":[{"zip":"36545","city":"Jaxon","state":"AL"}]}"#;
+    let reply = http_post(
+        &url(&daemon, "/repair"),
+        "application/json",
+        body.as_bytes(),
+    )
+    .unwrap();
+    assert_eq!(reply.status, 200);
+    let json = parse_json(&reply.body);
+    let row = json.get("rows").unwrap().as_arr().unwrap()[0]
+        .as_arr()
+        .unwrap();
+    assert_eq!(row[1].as_str(), Some("Jackson"));
+
+    // CSV columns in a different order than the daemon schema.
+    let body = "state,zip,city\nAK,36545,Jackson\n";
+    let reply = http_post(&url(&daemon, "/repair"), "text/csv", body.as_bytes()).unwrap();
+    assert_eq!(reply.status, 200);
+    let json = parse_json(&reply.body);
+    let row = json.get("rows").unwrap().as_arr().unwrap()[0]
+        .as_arr()
+        .unwrap();
+    assert_eq!(
+        row[2].as_str(),
+        Some("AL"),
+        "state column remapped and repaired"
+    );
+
+    // format=csv echoes the repaired batch as CSV in schema order.
+    let reply = http_request(
+        "POST",
+        &url(&daemon, "/repair?format=csv"),
+        "text/csv",
+        "zip,city,state\n36545,Jaxon,AK\n".as_bytes(),
+    )
+    .unwrap();
+    assert_eq!(reply.status, 200);
+    assert_eq!(reply.body, "zip,city,state\n36545,Jackson,AL\n");
+    daemon.shutdown();
+}
+
+#[test]
+fn concurrent_batches_share_one_warm_plan_cache() {
+    let daemon = daemon();
+    let repair_url = url(&daemon, "/repair");
+    // 4 distinct dirty signatures, hammered by 8 clients × 5 batches.
+    let batch = "zip,city,state\n\
+                 36545,Jaxon,AL\n36545,Jackson,AK\n10001,NYC,NY\n10001,New York,NJ\n";
+    let served = AtomicUsize::new(0);
+    std::thread::scope(|s| {
+        for _ in 0..8 {
+            let repair_url = &repair_url;
+            let served = &served;
+            s.spawn(move || {
+                for _ in 0..5 {
+                    let reply = http_post(repair_url, "text/csv", batch.as_bytes()).unwrap();
+                    assert_eq!(reply.status, 200);
+                    let json = parse_json(&reply.body);
+                    assert_eq!(json.get("repaired_rows").unwrap().as_i64(), Some(4));
+                    served.fetch_add(1, Ordering::Relaxed);
+                }
+            });
+        }
+    });
+    assert_eq!(served.load(Ordering::Relaxed), 40);
+    // 160 rows, only 4 distinct signatures: the shared cache holds the 4
+    // plans and almost every row replayed a memoized plan.
+    let stats = daemon.plan_cache_stats();
+    assert_eq!(stats.entries, 4);
+    assert_eq!(stats.hits + stats.misses, 160);
+    assert!(stats.hits >= 156, "cross-request hits, got {stats:?}");
+    // Each batch is a distinct request with its own trace id and global
+    // row ids: 40 requests × 4 rows.
+    let (_, readyz) = http_get(&url(&daemon, "/readyz")).unwrap();
+    let json = parse_json(&readyz);
+    assert_eq!(json.get("rows_served").unwrap().as_i64(), Some(160));
+    daemon.shutdown();
+}
+
+#[test]
+fn readyz_needs_a_warm_cache_and_green_slos() {
+    let daemon = daemon();
+    // Liveness is unconditional; readiness wants a warm plan cache.
+    let (status, body) = http_get(&url(&daemon, "/healthz")).unwrap();
+    assert_eq!((status, body.as_str()), (200, "ok\n"));
+    let (status, body) = http_get(&url(&daemon, "/readyz")).unwrap();
+    assert_eq!(status, 503);
+    let json = parse_json(&body);
+    assert_eq!(json.get("cache_warm").unwrap().as_bool(), Some(false));
+    assert_eq!(json.get("lint_clean").unwrap().as_bool(), Some(true));
+    assert_eq!(json.get("consistent").unwrap().as_bool(), Some(true));
+
+    // The first repair warms the cache; readiness flips green.
+    let body = "zip,city,state\n36545,Jaxon,AL\n";
+    http_post(&url(&daemon, "/repair"), "text/csv", body.as_bytes()).unwrap();
+    let (status, body) = http_get(&url(&daemon, "/readyz")).unwrap();
+    assert_eq!(status, 200);
+    assert_eq!(
+        parse_json(&body).get("ready").unwrap().as_bool(),
+        Some(true)
+    );
+    daemon.shutdown();
+}
+
+#[test]
+fn slo_breach_turns_readiness_red_while_liveness_stays_green() {
+    // A p99 ceiling of 0ns is unsatisfiable once min_samples arrive.
+    let daemon = Daemon::start(DaemonConfig {
+        rules: RulesSource::Inline(RULES.to_string()),
+        slo: SloConfig {
+            window: 8,
+            min_samples: 3,
+            max_error_rate: 1.0,
+            max_p99_ns: 0,
+        },
+        ..DaemonConfig::default()
+    })
+    .unwrap();
+    let body = "zip,city,state\n36545,Jaxon,AL\n";
+    for _ in 0..3 {
+        let reply = http_post(&url(&daemon, "/repair"), "text/csv", body.as_bytes()).unwrap();
+        assert_eq!(reply.status, 200);
+    }
+    let (status, readyz) = http_get(&url(&daemon, "/readyz")).unwrap();
+    assert_eq!(status, 503, "latency SLO breach must fail readiness");
+    let json = parse_json(&readyz);
+    assert_eq!(json.get("cache_warm").unwrap().as_bool(), Some(true));
+    let health = json.get("health").unwrap();
+    assert_eq!(health.get("healthy").unwrap().as_bool(), Some(false));
+    assert_eq!(health.get("latency_ok").unwrap().as_bool(), Some(false));
+    let (status, _) = http_get(&url(&daemon, "/healthz")).unwrap();
+    assert_eq!(status, 200, "liveness is not SLO-gated");
+    daemon.shutdown();
+}
+
+#[test]
+fn check_is_a_dry_run_over_the_shared_cache() {
+    let daemon = daemon();
+    let body = "zip,city,state\n36545,Jaxon,AL\n10001,New York,NY\n";
+    let reply = http_post(&url(&daemon, "/check"), "text/csv", body.as_bytes()).unwrap();
+    assert_eq!(reply.status, 200);
+    let json = parse_json(&reply.body);
+    assert_eq!(json.get("clean").unwrap().as_bool(), Some(false));
+    assert_eq!(json.get("dirty_rows").unwrap().as_i64(), Some(1));
+    assert_eq!(json.get("total_updates").unwrap().as_i64(), Some(1));
+    let per_row = json.get("per_row").unwrap().as_arr().unwrap();
+    assert_eq!(per_row[0].as_i64(), Some(1));
+    assert_eq!(per_row[1].as_i64(), Some(0));
+    // Dry runs consume no global row ids and write no provenance, but do
+    // warm the shared cache.
+    let (_, readyz) = http_get(&url(&daemon, "/readyz")).unwrap();
+    let readyz = parse_json(&readyz);
+    assert_eq!(readyz.get("rows_served").unwrap().as_i64(), Some(0));
+    assert_eq!(readyz.get("cache_warm").unwrap().as_bool(), Some(true));
+    let reply = http_get(&url(&daemon, "/explain/0/city")).unwrap();
+    assert_eq!(reply.0, 404, "check must not create provenance");
+    daemon.shutdown();
+}
+
+#[test]
+fn explain_serves_the_provenance_chain_with_global_row_ids() {
+    let daemon = daemon();
+    // Two batches: row ids keep counting across requests.
+    for _ in 0..2 {
+        let body = "zip,city,state\n36545,Jaxon,AL\n";
+        http_post(&url(&daemon, "/repair"), "text/csv", body.as_bytes()).unwrap();
+    }
+    for row in [0, 1] {
+        let (status, body) = http_get(&url(&daemon, &format!("/explain/{row}/city"))).unwrap();
+        assert_eq!(status, 200, "row {row} must have provenance");
+        let record = parse_json(body.lines().next().unwrap());
+        assert_eq!(record.get("row").unwrap().as_i64(), Some(row));
+        assert_eq!(record.get("attr").unwrap().as_str(), Some("city"));
+        assert_eq!(record.get("new").unwrap().as_str(), Some("Jackson"));
+    }
+    let (status, _) = http_get(&url(&daemon, "/explain/7/city")).unwrap();
+    assert_eq!(status, 404);
+    let (status, _) = http_get(&url(&daemon, "/explain/0/nope")).unwrap();
+    assert_eq!(status, 404);
+    daemon.shutdown();
+}
+
+#[test]
+fn rejects_malformed_requests_with_structured_errors() {
+    let daemon = daemon();
+    let cases: Vec<(&str, &str, Vec<u8>, u16)> = vec![
+        ("POST", "/repair", Vec::new(), 400), // empty body
+        ("POST", "/repair", b"zip,city\n36545,Jaxon\n".to_vec(), 400), // missing column
+        (
+            "POST",
+            "/repair",
+            b"zip,city,state,extra\na,b,c,d\n".to_vec(),
+            400,
+        ), // unknown column
+        ("POST", "/repair", b"[{\"zip\":\"1\"}]".to_vec(), 400), // missing attrs
+        ("POST", "/repair", b"{\"rows\":[42]}".to_vec(), 400), // non-object row
+        ("GET", "/nope", Vec::new(), 404),
+        ("GET", "/repair", Vec::new(), 405),
+        ("POST", "/healthz", Vec::new(), 405),
+        ("GET", "/trace/t12345678", Vec::new(), 404),
+    ];
+    for (method, path, body, expected) in cases {
+        let reply = http_request(method, &url(&daemon, path), "text/plain", &body).unwrap();
+        assert_eq!(
+            reply.status,
+            expected,
+            "{method} {path} with {} byte body",
+            body.len()
+        );
+        if expected == 400 || expected == 404 || expected == 405 {
+            assert!(
+                parse_json(&reply.body).get("error").is_some(),
+                "{method} {path}: error body must be structured JSON"
+            );
+        }
+    }
+    daemon.shutdown();
+}
+
+#[test]
+fn csv_header_with_no_rows_repairs_nothing() {
+    let daemon = daemon();
+    let reply = http_post(&url(&daemon, "/repair"), "text/csv", b"zip,city,state\n").unwrap();
+    assert_eq!(reply.status, 200);
+    let json = parse_json(&reply.body);
+    assert_eq!(
+        json.get("rows").unwrap().as_arr().map(<[Json]>::len),
+        Some(0)
+    );
+    daemon.shutdown();
+}
+
+#[test]
+fn warm_file_and_explicit_schema_make_a_daemon_ready_at_boot() {
+    let dir = std::env::temp_dir().join("fixd-test-warm");
+    std::fs::create_dir_all(&dir).unwrap();
+    let warm = dir.join("warm.csv");
+    std::fs::write(&warm, "zip,city,state,extra_ignored\n").ok();
+    // Explicit schema: an attribute the rules never mention is legal.
+    std::fs::write(&warm, "zip,city,state\n36545,Jaxon,AL\n").unwrap();
+    let daemon = Daemon::start(DaemonConfig {
+        rules: RulesSource::Inline(RULES.to_string()),
+        schema: SchemaSource::Names(vec![
+            "zip".to_string(),
+            "city".to_string(),
+            "state".to_string(),
+        ]),
+        warm: Some(warm.display().to_string()),
+        ..DaemonConfig::default()
+    })
+    .unwrap();
+    let (status, body) = http_get(&url(&daemon, "/readyz")).unwrap();
+    assert_eq!(status, 200, "warm file readies the daemon before traffic");
+    let json = parse_json(&body);
+    assert_eq!(json.get("rows_served").unwrap().as_i64(), Some(0));
+    assert!(json.get("cache_plans").unwrap().as_i64().unwrap() >= 1);
+    daemon.shutdown();
+}
+
+#[test]
+fn shutdown_endpoint_drains_and_flushes_a_parseable_journal() {
+    let dir = std::env::temp_dir().join("fixd-test-journal");
+    std::fs::create_dir_all(&dir).unwrap();
+    let journal_path = dir.join("journal.jsonl");
+    let _ = std::fs::remove_file(&journal_path);
+    let daemon = Daemon::start(DaemonConfig {
+        rules: RulesSource::Inline(RULES.to_string()),
+        journal_path: Some(journal_path.display().to_string()),
+        ..DaemonConfig::default()
+    })
+    .unwrap();
+    let base = daemon.addr();
+    let body = "zip,city,state\n36545,Jaxon,AL\n";
+    let reply = http_post(
+        &format!("http://{base}/repair"),
+        "text/csv",
+        body.as_bytes(),
+    )
+    .unwrap();
+    assert_eq!(reply.status, 200);
+    let reply = http_post(&format!("http://{base}/shutdown"), "text/plain", b"").unwrap();
+    assert_eq!(reply.status, 202);
+    assert_eq!(reply.body, "draining\n");
+    daemon.wait();
+    // The flushed journal parses and holds the request's span scope.
+    let text = std::fs::read_to_string(&journal_path).unwrap();
+    let records = obs::trace::parse_jsonl(&text).unwrap();
+    assert!(records.iter().any(|r| r.name == "request"));
+    assert!(records.iter().any(|r| r.name == "row.repaired"));
+    // The daemon socket is gone: a fresh request now fails to connect.
+    assert!(http_get(&format!("http://{base}/healthz")).is_err());
+}
+
+#[test]
+fn metrics_expose_per_endpoint_labeled_series() {
+    let daemon = daemon();
+    let body = "zip,city,state\n36545,Jaxon,AL\n";
+    http_post(&url(&daemon, "/repair"), "text/csv", body.as_bytes()).unwrap();
+    http_get(&url(&daemon, "/readyz")).unwrap();
+    let (status, text) = http_get(&url(&daemon, "/metrics")).unwrap();
+    assert_eq!(status, 200);
+    let samples = obs::parse_prometheus(&text).unwrap();
+    let series: Vec<String> = samples
+        .iter()
+        .map(|s| format!("{}{}", s.name, s.labels))
+        .collect();
+    assert!(
+        series.iter().any(|s| s.starts_with("http_requests{")
+            && s.contains("endpoint=\"repair\"")
+            && s.contains("status=\"200\"")),
+        "missing repair counter in {series:?}"
+    );
+    assert!(
+        series.iter().any(|s| s.contains("endpoint=\"readyz\"")),
+        "missing readyz counter"
+    );
+    assert!(
+        text.contains("http_latency_ns"),
+        "missing latency histograms"
+    );
+    // The JSON twin parses and carries the same counters section.
+    let (status, json) = http_get(&url(&daemon, "/metrics.json")).unwrap();
+    assert_eq!(status, 200);
+    assert!(parse_json(&json).get("counters").is_some());
+    daemon.shutdown();
+}
+
+#[test]
+fn rejects_unparseable_and_lint_dirty_rule_sets_at_startup() {
+    let err = Daemon::start(DaemonConfig {
+        rules: RulesSource::Inline("this is not a rule".to_string()),
+        ..DaemonConfig::default()
+    })
+    .unwrap_err();
+    assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+
+    // Conflicting rules load (the daemon still serves liveness) but the
+    // rule set is inconsistent, so readiness stays red forever.
+    let conflicting = r#"
+IF zip = "1" AND city IN {"a"} THEN city := "b"
+IF zip = "1" AND city IN {"a"} THEN city := "c"
+"#;
+    let daemon = Daemon::start(DaemonConfig {
+        rules: RulesSource::Inline(conflicting.to_string()),
+        ..DaemonConfig::default()
+    })
+    .unwrap();
+    let (status, body) = http_get(&url(&daemon, "/readyz")).unwrap();
+    assert_eq!(status, 503);
+    let json = parse_json(&body);
+    assert_eq!(json.get("consistent").unwrap().as_bool(), Some(false));
+    daemon.shutdown();
+}

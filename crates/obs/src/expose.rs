@@ -146,10 +146,23 @@ fn valid_name(name: &str) -> bool {
 
 /// Validate a label block: `{k="v",...}` with proper quoting and escapes.
 fn parse_labels(block: &str) -> Result<(), String> {
+    parse_label_pairs(block).map(|_| ())
+}
+
+/// Parse a label block (`{k="v",...}`, or `""` for no labels) into
+/// unescaped `(name, value)` pairs in written order. This is the
+/// machine-readable side of [`PromSample::labels`], used by
+/// `fixctl scrape --require name{k="v"}` to match a required series
+/// regardless of label order.
+pub fn parse_label_pairs(block: &str) -> Result<Vec<(String, String)>, String> {
+    if block.is_empty() {
+        return Ok(Vec::new());
+    }
     let inner = block
         .strip_prefix('{')
         .and_then(|s| s.strip_suffix('}'))
         .ok_or_else(|| format!("malformed label block {block:?}"))?;
+    let mut pairs = Vec::new();
     let mut rest = inner;
     while !rest.is_empty() {
         let eq = rest
@@ -163,22 +176,26 @@ fn parse_labels(block: &str) -> Result<(), String> {
             .strip_prefix('"')
             .ok_or_else(|| format!("unquoted label value in {block:?}"))?;
         // Scan the quoted value, honoring \\ \" \n escapes.
+        let mut value = String::new();
         let mut end = None;
         let mut chars = rest.char_indices();
         while let Some((i, c)) = chars.next() {
             match c {
                 '\\' => match chars.next() {
-                    Some((_, '\\' | '"' | 'n')) => {}
+                    Some((_, '\\')) => value.push('\\'),
+                    Some((_, '"')) => value.push('"'),
+                    Some((_, 'n')) => value.push('\n'),
                     _ => return Err(format!("bad escape in label value in {block:?}")),
                 },
                 '"' => {
                     end = Some(i);
                     break;
                 }
-                _ => {}
+                _ => value.push(c),
             }
         }
         let end = end.ok_or_else(|| format!("unterminated label value in {block:?}"))?;
+        pairs.push((key.to_string(), value));
         rest = &rest[end + 1..];
         if let Some(r) = rest.strip_prefix(',') {
             if r.is_empty() {
@@ -189,7 +206,7 @@ fn parse_labels(block: &str) -> Result<(), String> {
             return Err(format!("junk after label value in {block:?}"));
         }
     }
-    Ok(())
+    Ok(pairs)
 }
 
 /// Parse (and thereby validate) Prometheus text exposition. Returns every
@@ -328,6 +345,24 @@ mod tests {
         assert_eq!(sanitize_name("repair.rule.applied"), "repair_rule_applied");
         assert_eq!(sanitize_name("9lives"), "_9lives");
         assert_eq!(sanitize_name("a-b c"), "a_b_c");
+    }
+
+    #[test]
+    fn label_blocks_parse_to_unescaped_pairs() {
+        assert_eq!(parse_label_pairs("").unwrap(), vec![]);
+        assert_eq!(
+            parse_label_pairs("{endpoint=\"repair\",status=\"200\"}").unwrap(),
+            vec![
+                ("endpoint".to_string(), "repair".to_string()),
+                ("status".to_string(), "200".to_string()),
+            ]
+        );
+        assert_eq!(
+            parse_label_pairs("{k=\"a\\\"b\\\\c\\nd\"}").unwrap(),
+            vec![("k".to_string(), "a\"b\\c\nd".to_string())]
+        );
+        assert!(parse_label_pairs("{k=v}").is_err());
+        assert!(parse_label_pairs("{k=\"v\"").is_err());
     }
 
     #[test]

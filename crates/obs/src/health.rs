@@ -1,0 +1,300 @@
+//! Rolling-window SLO health: a ring buffer of recent request outcomes
+//! evaluated against error-rate and tail-latency thresholds.
+//!
+//! A long-running repair service is *dependable* only if its health is
+//! machine-checkable: the `fixd` daemon records one `(ok, latency)` sample
+//! per served request into a [`HealthEvaluator`] and answers `GET /readyz`
+//! from [`HealthEvaluator::report`]. The window is bounded (oldest samples
+//! fall off), so a burst of failures trips the SLO quickly and recovery
+//! clears it once enough healthy requests have displaced the bad ones.
+//!
+//! Until [`SloConfig::min_samples`] outcomes have been observed the
+//! evaluator reports healthy — an idle daemon is ready, not degraded.
+//!
+//! # Example
+//!
+//! ```
+//! use obs::health::{HealthEvaluator, SloConfig};
+//!
+//! let health = HealthEvaluator::new(SloConfig {
+//!     window: 8,
+//!     min_samples: 4,
+//!     max_error_rate: 0.25,
+//!     max_p99_ns: 1_000_000,
+//!     ..SloConfig::default()
+//! });
+//! for _ in 0..8 {
+//!     health.record(true, 1_000);
+//! }
+//! assert!(health.report().healthy);
+//! for _ in 0..8 {
+//!     health.record(false, 1_000); // displace the window with failures
+//! }
+//! assert!(!health.report().healthy);
+//! ```
+
+use std::collections::VecDeque;
+use std::sync::Mutex;
+
+use crate::json::Json;
+
+/// SLO thresholds and window shape for a [`HealthEvaluator`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SloConfig {
+    /// Number of most-recent outcomes considered.
+    pub window: usize,
+    /// Below this many samples the evaluator reports healthy.
+    pub min_samples: usize,
+    /// Maximum tolerated fraction of failed requests in the window.
+    pub max_error_rate: f64,
+    /// Maximum tolerated p99 latency (nanoseconds) in the window.
+    pub max_p99_ns: u64,
+}
+
+impl Default for SloConfig {
+    fn default() -> Self {
+        SloConfig {
+            window: 512,
+            min_samples: 20,
+            max_error_rate: 0.05,
+            max_p99_ns: 2_000_000_000, // 2 s
+        }
+    }
+}
+
+/// One recorded outcome.
+#[derive(Debug, Clone, Copy)]
+struct Outcome {
+    ok: bool,
+    latency_ns: u64,
+}
+
+/// Thread-safe rolling evaluator of request outcomes against an SLO.
+#[derive(Debug)]
+pub struct HealthEvaluator {
+    config: SloConfig,
+    ring: Mutex<VecDeque<Outcome>>,
+}
+
+/// The result of evaluating the current window; serializable via
+/// [`HealthReport::to_json`] (this is the `GET /readyz` body shape).
+#[derive(Debug, Clone, PartialEq)]
+pub struct HealthReport {
+    /// Samples currently in the window.
+    pub samples: usize,
+    /// Failed samples in the window.
+    pub errors: usize,
+    /// `errors / samples` (0 when empty).
+    pub error_rate: f64,
+    /// p99 latency over the window, nanoseconds (0 when empty).
+    pub p99_ns: u64,
+    /// Error-rate SLO satisfied (vacuously when under `min_samples`).
+    pub error_rate_ok: bool,
+    /// Latency SLO satisfied (vacuously when under `min_samples`).
+    pub latency_ok: bool,
+    /// Both SLOs green.
+    pub healthy: bool,
+    /// The thresholds the window was judged against.
+    pub config: SloConfig,
+}
+
+impl HealthReport {
+    /// JSON object with sorted keys (deterministic given equal state).
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("error_rate", Json::from(format!("{:.4}", self.error_rate))),
+            ("error_rate_ok", Json::from(self.error_rate_ok)),
+            ("errors", Json::from(self.errors)),
+            ("healthy", Json::from(self.healthy)),
+            ("latency_ok", Json::from(self.latency_ok)),
+            (
+                "max_error_rate",
+                Json::from(format!("{:.4}", self.config.max_error_rate)),
+            ),
+            ("max_p99_ns", Json::from(self.config.max_p99_ns)),
+            ("p99_ns", Json::from(self.p99_ns)),
+            ("samples", Json::from(self.samples)),
+            ("window", Json::from(self.config.window)),
+        ])
+    }
+}
+
+impl HealthEvaluator {
+    /// An empty evaluator. `window` is clamped to at least 1.
+    pub fn new(mut config: SloConfig) -> HealthEvaluator {
+        config.window = config.window.max(1);
+        HealthEvaluator {
+            config,
+            ring: Mutex::new(VecDeque::with_capacity(config.window)),
+        }
+    }
+
+    /// The configured thresholds.
+    pub fn config(&self) -> SloConfig {
+        self.config
+    }
+
+    /// Record one request outcome, displacing the oldest sample when the
+    /// window is full.
+    pub fn record(&self, ok: bool, latency_ns: u64) {
+        let mut ring = self.ring.lock().unwrap();
+        if ring.len() == self.config.window {
+            ring.pop_front();
+        }
+        ring.push_back(Outcome { ok, latency_ns });
+    }
+
+    /// Evaluate the current window.
+    pub fn report(&self) -> HealthReport {
+        let ring = self.ring.lock().unwrap();
+        let samples = ring.len();
+        let errors = ring.iter().filter(|o| !o.ok).count();
+        let error_rate = if samples == 0 {
+            0.0
+        } else {
+            errors as f64 / samples as f64
+        };
+        let p99_ns = if samples == 0 {
+            0
+        } else {
+            let mut lat: Vec<u64> = ring.iter().map(|o| o.latency_ns).collect();
+            lat.sort_unstable();
+            let rank = ((0.99 * samples as f64).ceil() as usize).clamp(1, samples);
+            lat[rank - 1]
+        };
+        drop(ring);
+        let warmed = samples >= self.config.min_samples;
+        let error_rate_ok = !warmed || error_rate <= self.config.max_error_rate;
+        let latency_ok = !warmed || p99_ns <= self.config.max_p99_ns;
+        HealthReport {
+            samples,
+            errors,
+            error_rate,
+            p99_ns,
+            error_rate_ok,
+            latency_ok,
+            healthy: error_rate_ok && latency_ok,
+            config: self.config,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn config() -> SloConfig {
+        SloConfig {
+            window: 10,
+            min_samples: 5,
+            max_error_rate: 0.2,
+            max_p99_ns: 1000,
+        }
+    }
+
+    #[test]
+    fn empty_window_is_healthy() {
+        let h = HealthEvaluator::new(config());
+        let r = h.report();
+        assert!(r.healthy);
+        assert_eq!(r.samples, 0);
+        assert_eq!(r.p99_ns, 0);
+    }
+
+    #[test]
+    fn under_min_samples_is_vacuously_green() {
+        let h = HealthEvaluator::new(config());
+        for _ in 0..4 {
+            h.record(false, 1_000_000); // all failing, all slow
+        }
+        assert!(h.report().healthy, "below min_samples must stay ready");
+        h.record(false, 1_000_000);
+        let r = h.report();
+        assert!(!r.healthy, "at min_samples the SLO applies");
+        assert!(!r.error_rate_ok);
+        assert!(!r.latency_ok);
+    }
+
+    #[test]
+    fn error_rate_trips_and_recovers_as_window_rolls() {
+        let h = HealthEvaluator::new(config());
+        for _ in 0..10 {
+            h.record(true, 10);
+        }
+        assert!(h.report().healthy);
+        // 3 failures in a window of 10 → 30% > 20%.
+        for _ in 0..3 {
+            h.record(false, 10);
+        }
+        let r = h.report();
+        assert!(!r.error_rate_ok);
+        assert_eq!(r.errors, 3);
+        // 10 fresh successes displace every failure.
+        for _ in 0..10 {
+            h.record(true, 10);
+        }
+        assert!(h.report().healthy);
+        assert_eq!(h.report().errors, 0);
+    }
+
+    #[test]
+    fn p99_trips_on_tail_latency_only() {
+        let h = HealthEvaluator::new(SloConfig {
+            window: 100,
+            min_samples: 5,
+            max_error_rate: 1.0,
+            max_p99_ns: 1000,
+        });
+        for _ in 0..99 {
+            h.record(true, 10);
+        }
+        h.record(true, 50_000);
+        let r = h.report();
+        // Rank ceil(0.99·100) = 99 of 100 → still the fast bucket.
+        assert_eq!(r.p99_ns, 10);
+        assert!(r.healthy);
+        h.record(true, 60_000); // second slow sample, window rolls to 100
+        let r = h.report();
+        assert_eq!(r.p99_ns, 50_000);
+        assert!(!r.latency_ok);
+    }
+
+    #[test]
+    fn report_json_shape() {
+        let h = HealthEvaluator::new(config());
+        h.record(true, 7);
+        let json = h.report().to_json();
+        for key in [
+            "samples",
+            "errors",
+            "error_rate",
+            "p99_ns",
+            "healthy",
+            "error_rate_ok",
+            "latency_ok",
+            "window",
+            "max_p99_ns",
+            "max_error_rate",
+        ] {
+            assert!(json.get(key).is_some(), "missing {key}");
+        }
+        assert_eq!(json.get("samples").unwrap().as_i64(), Some(1));
+    }
+
+    #[test]
+    fn concurrent_records_never_exceed_window() {
+        let h = HealthEvaluator::new(config());
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let h = &h;
+                s.spawn(move || {
+                    for i in 0..500 {
+                        h.record(i % 7 != 0, i);
+                    }
+                });
+            }
+        });
+        let r = h.report();
+        assert_eq!(r.samples, 10, "window stays bounded");
+    }
+}

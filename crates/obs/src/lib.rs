@@ -23,7 +23,13 @@
 //! * Prometheus text-format v0.0.4 exposition over any snapshot plus a
 //!   matching validator parser ([`expose`]), and a std-only HTTP/1.1
 //!   scrape endpoint serving `GET /metrics`, `/metrics.json`, and
-//!   `/healthz` from a live registry ([`serve`]).
+//!   `/healthz` from a live registry ([`serve`]);
+//! * shared hand-rolled HTTP/1.1 plumbing — request parsing, response
+//!   writing, a one-shot client — used by the scrape endpoint and the
+//!   `fixd` repair daemon ([`http`]);
+//! * [`HealthEvaluator`] — a rolling window of request outcomes judged
+//!   against error-rate and p99-latency SLO thresholds, the readiness
+//!   signal behind `fixd`'s `GET /readyz` ([`health`]).
 //!
 //! The paper's evaluation (§7) is entirely about measured behavior —
 //! repair counts and wall-clock scaling of `cRepair` vs `lRepair` — and
@@ -55,6 +61,8 @@
 
 pub mod attribution;
 pub mod expose;
+pub mod health;
+pub mod http;
 pub mod json;
 pub mod log;
 pub mod metrics;
@@ -63,10 +71,12 @@ pub mod serve;
 pub mod trace;
 
 pub use attribution::{AttributionObserver, AttributionProfile, ProfileRow, RuleLabel};
-pub use expose::{parse_prometheus, prometheus_text, PromSample};
+pub use expose::{parse_label_pairs, parse_prometheus, prometheus_text, PromSample};
+pub use health::{HealthEvaluator, HealthReport, SloConfig};
+pub use http::{http_get, http_post, http_request, HttpResponse};
 pub use json::Json;
 pub use log::Level;
 pub use metrics::{series_key, Counter, Gauge, Histogram, MetricsRegistry, SpanTimer};
 pub use observer::{CellFix, MetricsObserver, NoopObserver, RepairObserver, Tee, METRIC_NAMES};
-pub use serve::{http_get, MetricsServer};
+pub use serve::MetricsServer;
 pub use trace::{TraceClock, TraceJournal, TracePhase, TraceRecord};

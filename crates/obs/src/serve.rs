@@ -1,6 +1,7 @@
 //! A minimal, std-only HTTP/1.1 scrape endpoint over a shared
-//! [`MetricsRegistry`] — the live half of the exposition layer, and the
-//! surface the future `fixd` daemon will mount (ROADMAP item 1).
+//! [`MetricsRegistry`] — the live half of the exposition layer. The
+//! `fixd` repair daemon mounts the same routes (plus the repair surface)
+//! over the shared [`crate::http`] plumbing.
 //!
 //! [`MetricsServer::bind`] spawns one background thread with a
 //! non-blocking accept loop; each request is answered from a fresh
@@ -13,10 +14,10 @@
 //!
 //! The server keeps an exact scrape count so drivers (and CI) can hold a
 //! process alive until a scraper has actually come by, then shut down
-//! deterministically. No keep-alive, no TLS, no routing table — the same
-//! dep-free discipline as the workspace shims.
+//! deterministically. Socket plumbing (request parse, response write,
+//! client) lives in [`crate::http`], shared with `fixd`.
 
-use std::io::{self, Read, Write};
+use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
@@ -24,6 +25,7 @@ use std::thread::JoinHandle;
 use std::time::Duration;
 
 use crate::expose::prometheus_text;
+use crate::http::{Request, Response};
 use crate::metrics::MetricsRegistry;
 
 /// A running scrape endpoint. Dropping it (or calling
@@ -125,111 +127,31 @@ fn serve_one(
     registry: &MetricsRegistry,
     scrapes: &AtomicU64,
 ) -> io::Result<()> {
-    stream.set_nonblocking(false)?;
-    stream.set_read_timeout(Some(Duration::from_secs(2)))?;
-    stream.set_write_timeout(Some(Duration::from_secs(2)))?;
-
-    let request = read_head(&mut stream)?;
-    let mut parts = request
-        .lines()
-        .next()
-        .unwrap_or_default()
-        .split_whitespace();
-    let method = parts.next().unwrap_or_default();
-    let path = parts.next().unwrap_or_default();
-    let path = path.split('?').next().unwrap_or_default();
-
-    let (status, content_type, body) = if method != "GET" {
-        (
-            "405 Method Not Allowed",
-            "text/plain",
-            "method not allowed\n".to_string(),
-        )
+    let request = Request::read_from(&mut stream)?;
+    let response = if request.method != "GET" {
+        Response::text(405, "method not allowed\n")
     } else {
-        match path {
+        match request.path.as_str() {
             "/metrics" => {
                 scrapes.fetch_add(1, Ordering::Relaxed);
-                (
-                    "200 OK",
+                Response::new(
+                    200,
                     "text/plain; version=0.0.4; charset=utf-8",
-                    prometheus_text(&registry.snapshot()),
+                    prometheus_text(&registry.snapshot()).into_bytes(),
                 )
             }
             "/metrics.json" => {
                 scrapes.fetch_add(1, Ordering::Relaxed);
-                (
-                    "200 OK",
-                    "application/json",
-                    format!("{}\n", registry.snapshot()),
-                )
+                Response::json(200, format!("{}\n", registry.snapshot()))
             }
-            "/healthz" => ("200 OK", "text/plain", "ok\n".to_string()),
-            _ => ("404 Not Found", "text/plain", "not found\n".to_string()),
+            "/healthz" => Response::text(200, "ok\n"),
+            _ => Response::text(404, "not found\n"),
         }
     };
-
-    let head = format!(
-        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
-        body.len()
-    );
-    stream.write_all(head.as_bytes())?;
-    stream.write_all(body.as_bytes())?;
-    stream.flush()
+    response.write_to(&mut stream)
 }
 
-/// Read until the end of the request head (`\r\n\r\n`). GET requests have
-/// no body, so this is the whole request; heads above 8 KiB are rejected.
-fn read_head(stream: &mut TcpStream) -> io::Result<String> {
-    let mut buf = Vec::with_capacity(512);
-    let mut chunk = [0u8; 512];
-    loop {
-        let n = stream.read(&mut chunk)?;
-        if n == 0 {
-            break;
-        }
-        buf.extend_from_slice(&chunk[..n]);
-        if buf.windows(4).any(|w| w == b"\r\n\r\n") {
-            break;
-        }
-        if buf.len() > 8 * 1024 {
-            return Err(io::Error::new(
-                io::ErrorKind::InvalidData,
-                "request head too large",
-            ));
-        }
-    }
-    Ok(String::from_utf8_lossy(&buf).into_owned())
-}
-
-/// A matching minimal HTTP GET client (used by `fixctl scrape` and the
-/// tests): fetch `http://host:port/path`, returning `(status, body)`.
-pub fn http_get(url: &str) -> io::Result<(u16, String)> {
-    let rest = url.strip_prefix("http://").ok_or_else(|| {
-        io::Error::new(io::ErrorKind::InvalidInput, "only http:// URLs supported")
-    })?;
-    let (host, path) = match rest.find('/') {
-        Some(i) => (&rest[..i], &rest[i..]),
-        None => (rest, "/"),
-    };
-    let mut stream = TcpStream::connect(host)?;
-    stream.set_read_timeout(Some(Duration::from_secs(5)))?;
-    write!(
-        stream,
-        "GET {path} HTTP/1.1\r\nHost: {host}\r\nConnection: close\r\n\r\n"
-    )?;
-    let mut response = String::new();
-    stream.read_to_string(&mut response)?;
-    let status: u16 = response
-        .split_whitespace()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "malformed response"))?;
-    let body = response
-        .split_once("\r\n\r\n")
-        .map(|(_, b)| b.to_string())
-        .unwrap_or_default();
-    Ok((status, body))
-}
+pub use crate::http::http_get;
 
 #[cfg(test)]
 mod tests {

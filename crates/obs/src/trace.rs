@@ -458,6 +458,73 @@ mod tests {
         assert_eq!(begins, ends);
     }
 
+    /// The daemon thread-pool contract: concurrent appends of nested
+    /// spans and events from many threads must still serialize to a
+    /// parseable JSONL journal with gap-free monotone logical clocks,
+    /// unique span ids, and balanced begin/end pairs.
+    #[test]
+    fn concurrent_spans_produce_valid_jsonl_with_monotone_clocks() {
+        let journal = TraceJournal::new(TraceClock::Logical);
+        const WORKERS: usize = 8;
+        const REQUESTS: usize = 25;
+        std::thread::scope(|s| {
+            for w in 0..WORKERS {
+                let journal = &journal;
+                s.spawn(move || {
+                    for r in 0..REQUESTS {
+                        let req = journal.span("request", 0);
+                        let mut fields = Json::Null;
+                        fields.set("worker", w as u64);
+                        fields.set("request", r as u64);
+                        journal.event("request.meta", req.id(), fields);
+                        {
+                            let stage = journal.span("stage.repair", req.id());
+                            journal.event("repair.done", stage.id(), Json::Null);
+                        }
+                    }
+                });
+            }
+        });
+        let text = journal.to_jsonl();
+        let records = parse_jsonl(&text).expect("concurrent journal must parse");
+        // 6 records per request: B(request) + meta + B(stage) + done + 2×E.
+        assert_eq!(records.len(), WORKERS * REQUESTS * 6);
+        for (i, r) in records.iter().enumerate() {
+            assert_eq!(r.seq, i as u64, "logical clock is gap-free monotone");
+            assert!(r.ts_us.is_none(), "logical journal carries no wall time");
+        }
+        // Span ids are unique per begin, every begin has exactly one end,
+        // and the end never precedes its begin.
+        let mut begin_at = std::collections::HashMap::new();
+        let mut ends = std::collections::HashMap::new();
+        for r in &records {
+            match r.phase {
+                TracePhase::SpanBegin => {
+                    assert!(
+                        begin_at.insert(r.span, r.seq).is_none(),
+                        "span id {} begun twice",
+                        r.span
+                    );
+                }
+                TracePhase::SpanEnd => {
+                    *ends.entry(r.span).or_insert(0u32) += 1;
+                    assert!(begin_at[&r.span] < r.seq, "end precedes begin");
+                }
+                TracePhase::Event => {}
+            }
+        }
+        assert_eq!(begin_at.len(), WORKERS * REQUESTS * 2);
+        assert!(ends.values().all(|&n| n == 1), "every span ends once");
+        assert_eq!(begin_at.len(), ends.len());
+        // Nested stage spans point at a real enclosing request span.
+        for r in records
+            .iter()
+            .filter(|r| r.phase == TracePhase::SpanBegin && r.name == "stage.repair")
+        {
+            assert!(begin_at.contains_key(&r.parent), "dangling parent");
+        }
+    }
+
     #[test]
     fn journal_is_thread_safe() {
         let journal = TraceJournal::new(TraceClock::Logical);

@@ -131,6 +131,49 @@ grep -q 'served 1 scrape(s)' "$TRACE_DIR/expose.log" \
     || { echo "repair --expose did not count the scrape" >&2; exit 1; }
 echo "-- live endpoint served valid exposition and shut down cleanly"
 
+echo "== fixd end-to-end smoke =="
+# Boot the repair daemon on an ephemeral port, drive every endpoint a
+# client would touch, then drain it: repair a batch, check readiness,
+# scrape a labeled per-endpoint series, fetch the request's trace, and
+# assert the flushed journal is a parseable trace export.
+"$FIXCTL" serve \
+    --rules examples/rulesets/hosp_zip.frl \
+    --warm examples/data/hosp_dirty.csv \
+    --journal "$TRACE_DIR/fixd_journal.jsonl" > "$TRACE_DIR/fixd.log" &
+FIXD_PID=$!
+ADDR=""
+for _ in $(seq 1 100); do
+    ADDR=$(grep -o 'http://[0-9.:]*' "$TRACE_DIR/fixd.log" || true)
+    [ -n "$ADDR" ] && break
+    sleep 0.05
+done
+[ -n "$ADDR" ] || { echo "fixctl serve never announced its address" >&2; exit 1; }
+"$FIXCTL" client repair examples/data/hosp_dirty.csv --addr "$ADDR" \
+    > "$TRACE_DIR/fixd_repair.json" 2> "$TRACE_DIR/fixd_repair.err" \
+    || { echo "fixd POST /repair failed" >&2; exit 1; }
+grep -q '"repaired_rows":' "$TRACE_DIR/fixd_repair.json" \
+    || { echo "repair response has no repaired_rows" >&2; exit 1; }
+"$FIXCTL" client get /readyz --addr "$ADDR" | grep -q '"ready":true' \
+    || { echo "fixd /readyz not green after repair traffic" >&2; exit 1; }
+"$FIXCTL" scrape "$ADDR/metrics" \
+    --require 'http_requests{endpoint="repair",status="200"}' \
+    || { echo "live /metrics missing labeled repair series" >&2; exit 1; }
+TRACE_ID=$(grep -o 'trace id: t[0-9a-f]*' "$TRACE_DIR/fixd_repair.err" | cut -d' ' -f3)
+[ -n "$TRACE_ID" ] || { echo "client repair reported no trace id" >&2; exit 1; }
+"$FIXCTL" client get "/trace/$TRACE_ID" --addr "$ADDR" \
+    | grep -q '"name": *"request"\|"name":"request"' \
+    || { echo "GET /trace/$TRACE_ID returned no request span" >&2; exit 1; }
+"$FIXCTL" client shutdown --addr "$ADDR" | grep -q draining \
+    || { echo "fixd /shutdown did not acknowledge the drain" >&2; exit 1; }
+wait "$FIXD_PID" \
+    || { echo "fixd exited nonzero after graceful shutdown" >&2; exit 1; }
+"$FIXCTL" trace export "$TRACE_DIR/fixd_journal.jsonl" \
+    --chrome "$TRACE_DIR/fixd_chrome.json" >/dev/null \
+    || { echo "flushed fixd journal is not a parseable trace" >&2; exit 1; }
+grep -q traceEvents "$TRACE_DIR/fixd_chrome.json" \
+    || { echo "fixd journal chrome export has no traceEvents" >&2; exit 1; }
+echo "-- daemon served repair/readyz/metrics/trace and drained cleanly"
+
 echo "== coverage lint smoke =="
 # Attribution joined against fixlint: rules that never fired on the data
 # must surface as FR007 notes.
