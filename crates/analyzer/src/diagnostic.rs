@@ -56,6 +56,15 @@ pub enum Code {
     /// FR008: a rule flagged statically dead (FR002) *did* fire at
     /// runtime — the shadowing analysis and the data disagree.
     DeadRuleFired,
+    /// FR009: two rule orders drive a synthesized witness tuple to
+    /// different end states — the chase is not confluent.
+    ConfluenceViolation,
+    /// FR010: the rule interaction graph has a fix→evidence cycle, so no
+    /// well-founded round bound certifies termination order-independently.
+    UncertifiedTermination,
+    /// FR011: a rule-set delta (added/removed rule) can invalidate one or
+    /// more previously certified properties — re-certification needed.
+    CertInvalidatedByDiff,
 }
 
 impl Code {
@@ -70,6 +79,9 @@ impl Code {
         Code::ImplicationUnknown,
         Code::UnfiredRule,
         Code::DeadRuleFired,
+        Code::ConfluenceViolation,
+        Code::UncertifiedTermination,
+        Code::CertInvalidatedByDiff,
     ];
 
     /// The stable code string (`FR000`...).
@@ -84,6 +96,9 @@ impl Code {
             Code::ImplicationUnknown => "FR006",
             Code::UnfiredRule => "FR007",
             Code::DeadRuleFired => "FR008",
+            Code::ConfluenceViolation => "FR009",
+            Code::UncertifiedTermination => "FR010",
+            Code::CertInvalidatedByDiff => "FR011",
         }
     }
 
@@ -101,6 +116,8 @@ impl Code {
             }
             Code::ImplicationUnknown | Code::UnfiredRule => Severity::Note,
             Code::DeadRuleFired => Severity::Warning,
+            Code::ConfluenceViolation | Code::UncertifiedTermination => Severity::Error,
+            Code::CertInvalidatedByDiff => Severity::Note,
         }
     }
 
@@ -118,6 +135,15 @@ impl Code {
             Code::ImplicationUnknown => "redundancy check exhausted its budget (undecided)",
             Code::UnfiredRule => "statically live rule never fired on the profiled run",
             Code::DeadRuleFired => "rule flagged dead by the shadowing analysis fired at runtime",
+            Code::ConfluenceViolation => {
+                "two rule orders repair a synthesized witness tuple differently"
+            }
+            Code::UncertifiedTermination => {
+                "rule interaction cycle defeats the well-founded termination ordering"
+            }
+            Code::CertInvalidatedByDiff => {
+                "rule-set delta can invalidate previously certified properties"
+            }
         }
     }
 }

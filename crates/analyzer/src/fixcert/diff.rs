@@ -1,0 +1,383 @@
+//! Semantic rule-set diff (FR011).
+//!
+//! Given an old (certified) set and a new candidate set, classify every
+//! rule as syntactically unchanged, semantically equivalent (implied by
+//! the other side, via the §4.3 small-model implication check), added, or
+//! removed — and report exactly which certified properties each
+//! non-equivalent delta can invalidate, so re-certification effort is
+//! proportional to the change:
+//!
+//! * an **added** rule introduces new pairs (consistency), new enabling
+//!   edges (termination), and new critical pairs (confluence) — all three
+//!   properties must be re-established;
+//! * a **removed** rule cannot create a pair or an edge, so consistency
+//!   and termination survive the delta; confluence can still break,
+//!   because the removed rule may have been the one that pre-empted a
+//!   diverging pair by assuring the contested cell first.
+//!
+//! Implication is only decidable against a *consistent* premise set, so a
+//! side that fails the Fig 4 check downgrades its classifications to
+//! plain added/removed (noted on the entry).
+
+use fixrules::consistency::is_consistent_characterize;
+use fixrules::implication::{implies, model_size, ImplicationOutcome};
+use fixrules::{FixingRule, RuleSet};
+use obs::Json;
+use relation::{Schema, SymbolTable};
+
+use crate::diagnostic::{Code, Diagnostic};
+use crate::fixcert::CertOptions;
+use crate::Span;
+
+/// How one rule moved between the two sets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RuleDelta {
+    /// Present in both sets, byte-for-byte.
+    Unchanged,
+    /// Textually new but implied by the old set — repairs nothing the old
+    /// set didn't already repair.
+    EquivalentAdded,
+    /// Textually gone but implied by the new set — no repair is lost.
+    EquivalentRemoved,
+    /// Genuinely new semantics.
+    Added,
+    /// Genuinely removed semantics.
+    Removed,
+}
+
+impl RuleDelta {
+    /// Lowercase display name.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            RuleDelta::Unchanged => "unchanged",
+            RuleDelta::EquivalentAdded => "equivalent-added",
+            RuleDelta::EquivalentRemoved => "equivalent-removed",
+            RuleDelta::Added => "added",
+            RuleDelta::Removed => "removed",
+        }
+    }
+
+    /// The certified properties this delta can invalidate.
+    pub fn invalidates(self) -> &'static [&'static str] {
+        match self {
+            RuleDelta::Unchanged | RuleDelta::EquivalentAdded | RuleDelta::EquivalentRemoved => &[],
+            RuleDelta::Added => &["consistency", "termination", "confluence"],
+            RuleDelta::Removed => &["confluence"],
+        }
+    }
+}
+
+/// One classified rule.
+#[derive(Debug, Clone)]
+pub struct DiffEntry {
+    /// The rule, rendered in the `.frl` line format.
+    pub rule: String,
+    /// Index in the set it came from (new set for added/unchanged, old
+    /// set for removed).
+    pub index: usize,
+    /// The classification.
+    pub delta: RuleDelta,
+    /// Why an implication check could not run or decide, when it
+    /// couldn't (`None` when the classification is definitive).
+    pub caveat: Option<String>,
+}
+
+/// The full semantic diff.
+#[derive(Debug, Clone, Default)]
+pub struct DiffReport {
+    /// One entry per rule of either set (unchanged rules appear once).
+    pub entries: Vec<DiffEntry>,
+    /// FR011 notes for the non-equivalent deltas, in report order.
+    pub diagnostics: Vec<Diagnostic>,
+}
+
+impl DiffReport {
+    /// True when the delta invalidates nothing — every rule is unchanged
+    /// or semantically equivalent.
+    pub fn preserves_certificate(&self) -> bool {
+        self.entries
+            .iter()
+            .all(|e| e.delta.invalidates().is_empty())
+    }
+
+    /// Deduplicated union of the certified properties the delta can
+    /// invalidate, in a fixed order.
+    pub fn invalidated_properties(&self) -> Vec<&'static str> {
+        ["consistency", "termination", "confluence"]
+            .into_iter()
+            .filter(|p| {
+                self.entries
+                    .iter()
+                    .any(|e| e.delta.invalidates().contains(p))
+            })
+            .collect()
+    }
+
+    /// The diff as a JSON object (deterministic member and entry order).
+    pub fn to_json(&self) -> Json {
+        let mut obj = Json::Null;
+        obj.set(
+            "entries",
+            Json::Arr(
+                self.entries
+                    .iter()
+                    .map(|e| {
+                        let mut entry = Json::Null;
+                        entry.set("rule", e.rule.as_str());
+                        entry.set("index", e.index);
+                        entry.set("delta", e.delta.as_str());
+                        entry.set(
+                            "invalidates",
+                            e.delta
+                                .invalidates()
+                                .iter()
+                                .map(|s| s.to_string())
+                                .collect::<Vec<_>>(),
+                        );
+                        if let Some(caveat) = &e.caveat {
+                            entry.set("caveat", caveat.as_str());
+                        }
+                        entry
+                    })
+                    .collect(),
+            ),
+        );
+        obj.set("preserves_certificate", self.preserves_certificate());
+        obj.set(
+            "invalidates",
+            self.invalidated_properties()
+                .iter()
+                .map(|s| s.to_string())
+                .collect::<Vec<_>>(),
+        );
+        obj
+    }
+}
+
+/// Diff `new` against `old`. `new_spans` aligns with `new`'s rule ids and
+/// anchors the FR011 notes (removed rules have no location in the new
+/// file and anchor at the file head).
+pub fn diff(
+    old: &RuleSet,
+    new: &RuleSet,
+    new_spans: &[Span],
+    symbols: &SymbolTable,
+    opts: &CertOptions,
+) -> DiffReport {
+    let schema = new.schema();
+    let old_consistent = is_consistent_characterize(old, 1).is_consistent();
+    let new_consistent = is_consistent_characterize(new, 1).is_consistent();
+
+    let mut entries = Vec::new();
+    let mut diagnostics = Vec::new();
+
+    for (idx, rule) in new.rules().iter().enumerate() {
+        if old.rules().contains(rule) {
+            entries.push(entry(
+                schema,
+                symbols,
+                rule,
+                idx,
+                RuleDelta::Unchanged,
+                None,
+            ));
+            continue;
+        }
+        let (delta, caveat) = classify(
+            old,
+            rule,
+            old_consistent,
+            opts,
+            RuleDelta::EquivalentAdded,
+            RuleDelta::Added,
+        );
+        if delta == RuleDelta::Added {
+            let span = new_spans.get(idx).copied().unwrap_or_default();
+            diagnostics.push(delta_diag(schema, symbols, rule, span, delta));
+        }
+        entries.push(entry(schema, symbols, rule, idx, delta, caveat));
+    }
+
+    for (idx, rule) in old.rules().iter().enumerate() {
+        if new.rules().contains(rule) {
+            continue;
+        }
+        let (delta, caveat) = classify(
+            new,
+            rule,
+            new_consistent,
+            opts,
+            RuleDelta::EquivalentRemoved,
+            RuleDelta::Removed,
+        );
+        if delta == RuleDelta::Removed {
+            diagnostics.push(delta_diag(schema, symbols, rule, Span::default(), delta));
+        }
+        entries.push(entry(schema, symbols, rule, idx, delta, caveat));
+    }
+
+    DiffReport {
+        entries,
+        diagnostics,
+    }
+}
+
+/// Does `premise` imply `rule`? Falls back to the non-equivalent
+/// classification (with a caveat) when the premise is inconsistent or the
+/// model exceeds the budget.
+fn classify(
+    premise: &RuleSet,
+    rule: &FixingRule,
+    premise_consistent: bool,
+    opts: &CertOptions,
+    equivalent: RuleDelta,
+    changed: RuleDelta,
+) -> (RuleDelta, Option<String>) {
+    if !premise_consistent {
+        return (
+            changed,
+            Some("implication undecidable against an inconsistent premise set".to_string()),
+        );
+    }
+    if model_size(premise, rule) > opts.implication_budget {
+        return (
+            changed,
+            Some(format!(
+                "small-model space exceeds the implication budget ({})",
+                opts.implication_budget
+            )),
+        );
+    }
+    match implies(premise, rule, opts.implication_budget) {
+        ImplicationOutcome::Implied => (equivalent, None),
+        ImplicationOutcome::Unknown { .. } => (
+            changed,
+            Some("implication check exhausted its budget".to_string()),
+        ),
+        ImplicationOutcome::ExtensionInconsistent | ImplicationOutcome::NotImplied { .. } => {
+            (changed, None)
+        }
+    }
+}
+
+fn entry(
+    schema: &Schema,
+    symbols: &SymbolTable,
+    rule: &FixingRule,
+    index: usize,
+    delta: RuleDelta,
+    caveat: Option<String>,
+) -> DiffEntry {
+    DiffEntry {
+        rule: rule.display(schema, symbols),
+        index,
+        delta,
+        caveat,
+    }
+}
+
+fn delta_diag(
+    schema: &Schema,
+    symbols: &SymbolTable,
+    rule: &FixingRule,
+    span: Span,
+    delta: RuleDelta,
+) -> Diagnostic {
+    Diagnostic::new(
+        Code::CertInvalidatedByDiff,
+        span,
+        format!(
+            "{} rule changes the set's semantics: re-certify {}",
+            delta.as_str(),
+            delta.invalidates().join(", ")
+        ),
+    )
+    .with_note(format!("rule: {}", rule.display(schema, symbols)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fixrules::io::parse_rules_spanned;
+
+    fn parse(text: &str, symbols: &mut SymbolTable) -> (RuleSet, Vec<Span>) {
+        let schema = Schema::new("Travel", ["country", "capital", "city", "conf"]).unwrap();
+        let parsed = parse_rules_spanned(text, &schema, symbols).unwrap();
+        (parsed.rules, parsed.spans)
+    }
+
+    #[test]
+    fn unchanged_sets_preserve_the_certificate() {
+        let mut sy = SymbolTable::new();
+        let text = r#"
+IF country = "China" AND capital IN {"Shanghai"} THEN capital := "Beijing"
+"#;
+        let (old, _) = parse(text, &mut sy);
+        let (new, spans) = parse(text, &mut sy);
+        let report = diff(&old, &new, &spans, &sy, &CertOptions::default());
+        assert!(report.preserves_certificate());
+        assert!(report.diagnostics.is_empty());
+        assert_eq!(report.entries.len(), 1);
+        assert_eq!(report.entries[0].delta, RuleDelta::Unchanged);
+    }
+
+    #[test]
+    fn implied_rule_is_equivalent_not_added() {
+        let mut sy = SymbolTable::new();
+        let (old, _) = parse(
+            r#"
+IF country = "China" AND capital IN {"Shanghai", "Hongkong"} THEN capital := "Beijing"
+"#,
+            &mut sy,
+        );
+        // The narrower rule is implied by the broader old one.
+        let (new, spans) = parse(
+            r#"
+IF country = "China" AND capital IN {"Shanghai", "Hongkong"} THEN capital := "Beijing"
+IF country = "China" AND capital IN {"Shanghai"} THEN capital := "Beijing"
+"#,
+            &mut sy,
+        );
+        let report = diff(&old, &new, &spans, &sy, &CertOptions::default());
+        assert!(report.preserves_certificate(), "{:?}", report.entries);
+        let deltas: Vec<_> = report.entries.iter().map(|e| e.delta).collect();
+        assert_eq!(
+            deltas,
+            vec![RuleDelta::Unchanged, RuleDelta::EquivalentAdded]
+        );
+    }
+
+    #[test]
+    fn genuine_add_and_remove_invalidate_properties() {
+        let mut sy = SymbolTable::new();
+        let (old, _) = parse(
+            r#"
+IF country = "China" AND capital IN {"Shanghai"} THEN capital := "Beijing"
+IF country = "Canada" AND capital IN {"Toronto"} THEN capital := "Ottawa"
+"#,
+            &mut sy,
+        );
+        let (new, spans) = parse(
+            r#"
+IF country = "China" AND capital IN {"Shanghai"} THEN capital := "Beijing"
+IF conf = "ICDE" AND city IN {"Tokio"} THEN city := "Tokyo"
+"#,
+            &mut sy,
+        );
+        let report = diff(&old, &new, &spans, &sy, &CertOptions::default());
+        assert!(!report.preserves_certificate());
+        assert_eq!(
+            report.invalidated_properties(),
+            vec!["consistency", "termination", "confluence"]
+        );
+        // One FR011 per non-equivalent delta: the add and the remove.
+        assert_eq!(report.diagnostics.len(), 2);
+        assert!(report
+            .diagnostics
+            .iter()
+            .all(|d| d.code == Code::CertInvalidatedByDiff));
+        let json = report.to_json().to_string_pretty();
+        assert!(json.contains("\"delta\": \"added\""), "{json}");
+        assert!(json.contains("\"delta\": \"removed\""), "{json}");
+    }
+}

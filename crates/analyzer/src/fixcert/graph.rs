@@ -1,0 +1,238 @@
+//! The rule interaction graph and the termination certificate.
+//!
+//! Edge `i → j` when firing rule `i` can newly enable rule `j`: `i`'s fix
+//! lands exactly on a cell `j` reads as evidence (`B_i ∈ X_j` and
+//! `tp_j[B_i] = fact_i`) — the same edge the FR005 lint pass uses, but
+//! here it feeds a *certificate* rather than a style warning.
+//!
+//! # The well-founded termination argument
+//!
+//! Per tuple, any chase terminates within `arity` applications regardless
+//! of this graph: applying a rule assures `X ∪ {B}`
+//! ([`fixrules::FixingRule::assured_delta`]), the assured set only grows,
+//! and a rule whose `B` is assured is never properly applicable again. What
+//! the certificate adds is a bound that is *independent of firing order*:
+//! when the interaction graph is acyclic, ranking every rule by its longest
+//! enabling chain gives a well-founded ordering — a rule of rank `r` can
+//! only be enabled by strictly lower ranks, so every firing sequence
+//! settles within `max_rank + 1` rounds and no rule's applicability can
+//! oscillate with chase order. A strongly connected component of two or
+//! more rules defeats that ordering (each member can re-enable the next),
+//! so the set is reported FR010: it still terminates, but no
+//! order-independent round bound can be certified.
+
+use fixrules::RuleSet;
+
+use crate::passes::cycles::tarjan_sccs;
+
+/// The fix→evidence enabling graph over a rule set, with the derived
+/// termination facts.
+#[derive(Debug, Clone)]
+pub struct InteractionGraph {
+    /// Adjacency: `edges[i]` lists every `j` with an enabling edge
+    /// `i → j`, in rule-id order.
+    pub edges: Vec<Vec<usize>>,
+    /// Strongly connected components of size ≥ 2, each sorted by rule id —
+    /// the witnesses against a well-founded ordering.
+    pub cycles: Vec<Vec<usize>>,
+    /// Longest enabling chain ending at each rule (0 = no enabler).
+    /// Only meaningful when [`InteractionGraph::is_acyclic`].
+    pub rank: Vec<usize>,
+    /// Reachability closure: `reach[i]` holds bit `j` when `j` is
+    /// reachable from `i` through enabling edges (excluding `i` itself
+    /// unless it sits on a cycle).
+    reach: Vec<Vec<u64>>,
+}
+
+impl InteractionGraph {
+    /// Build the graph and run the fixpoint rank pass.
+    pub fn build(rules: &RuleSet) -> InteractionGraph {
+        let all: Vec<_> = rules.rules().iter().collect();
+        let n = all.len();
+        let mut edges: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for (i, from) in all.iter().enumerate() {
+            for (j, to) in all.iter().enumerate() {
+                if i != j && to.evidence_value(from.b()) == Some(from.fact()) {
+                    edges[i].push(j);
+                }
+            }
+        }
+
+        let mut cycles: Vec<Vec<usize>> = tarjan_sccs(&edges)
+            .into_iter()
+            .filter(|c| c.len() >= 2)
+            .map(|mut c| {
+                c.sort_unstable();
+                c
+            })
+            .collect();
+        cycles.sort();
+
+        // Fixpoint longest-path rank. On a cyclic graph the true longest
+        // path is unbounded; capping the iteration count at n keeps the
+        // pass total and the ranks are simply not used in that case.
+        let mut rank = vec![0usize; n];
+        for _ in 0..n {
+            let mut changed = false;
+            for i in 0..n {
+                for &j in &edges[i] {
+                    if rank[j] < rank[i] + 1 {
+                        rank[j] = rank[i] + 1;
+                        changed = true;
+                    }
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+
+        let words = n.div_ceil(64).max(1);
+        let mut reach = vec![vec![0u64; words]; n];
+        for i in 0..n {
+            // Iterative DFS from i over the (small, deterministic) edges.
+            let mut stack: Vec<usize> = edges[i].clone();
+            while let Some(v) = stack.pop() {
+                if reach[i][v / 64] & (1 << (v % 64)) != 0 {
+                    continue;
+                }
+                reach[i][v / 64] |= 1 << (v % 64);
+                stack.extend_from_slice(&edges[v]);
+            }
+        }
+
+        InteractionGraph {
+            edges,
+            cycles,
+            rank,
+            reach,
+        }
+    }
+
+    /// True when no component of size ≥ 2 exists (self-loops are
+    /// impossible by rule construction: `B ∉ X`).
+    pub fn is_acyclic(&self) -> bool {
+        self.cycles.is_empty()
+    }
+
+    /// `j` reachable from `i` through enabling edges?
+    pub fn reaches(&self, i: usize, j: usize) -> bool {
+        self.reach[i][j / 64] & (1 << (j % 64)) != 0
+    }
+
+    /// Are `i` and `j` connected in either direction — i.e. can one rule's
+    /// firing influence the other's applicability through a chain of
+    /// enabling edges?
+    pub fn connected(&self, i: usize, j: usize) -> bool {
+        self.reaches(i, j) || self.reaches(j, i)
+    }
+
+    /// The certified order-independent round bound: `max_rank + 1` rounds
+    /// settle every firing sequence. `None` when the graph is cyclic.
+    pub fn round_bound(&self) -> Option<usize> {
+        if self.is_acyclic() {
+            Some(self.rank.iter().copied().max().unwrap_or(0) + 1)
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use relation::{Schema, SymbolTable};
+
+    fn schema() -> Schema {
+        Schema::new("Travel", ["country", "capital", "city", "conf"]).unwrap()
+    }
+
+    #[test]
+    fn chain_gets_ranked_and_bounded() {
+        let mut sy = SymbolTable::new();
+        let mut rules = RuleSet::new(schema());
+        // r0 writes capital := Beijing; r1 reads capital = Beijing.
+        rules
+            .push_named(
+                &mut sy,
+                &[("country", "China")],
+                "capital",
+                &["Nanjing"],
+                "Beijing",
+            )
+            .unwrap();
+        rules
+            .push_named(
+                &mut sy,
+                &[("capital", "Beijing")],
+                "city",
+                &["Hangzhou"],
+                "Pudong",
+            )
+            .unwrap();
+        let graph = InteractionGraph::build(&rules);
+        assert_eq!(graph.edges[0], vec![1]);
+        assert!(graph.is_acyclic());
+        assert_eq!(graph.rank, vec![0, 1]);
+        assert_eq!(graph.round_bound(), Some(2));
+        assert!(graph.reaches(0, 1));
+        assert!(!graph.reaches(1, 0));
+        assert!(graph.connected(1, 0));
+    }
+
+    #[test]
+    fn two_cycle_defeats_the_bound() {
+        let mut sy = SymbolTable::new();
+        let mut rules = RuleSet::new(schema());
+        rules
+            .push_named(
+                &mut sy,
+                &[("city", "Pudong")],
+                "capital",
+                &["Nanjing"],
+                "Beijing",
+            )
+            .unwrap();
+        rules
+            .push_named(
+                &mut sy,
+                &[("capital", "Beijing")],
+                "city",
+                &["Hangzhou"],
+                "Pudong",
+            )
+            .unwrap();
+        let graph = InteractionGraph::build(&rules);
+        assert_eq!(graph.cycles, vec![vec![0, 1]]);
+        assert_eq!(graph.round_bound(), None);
+        assert!(graph.reaches(0, 0), "cycle members reach themselves");
+    }
+
+    #[test]
+    fn independent_rules_share_no_edges() {
+        let mut sy = SymbolTable::new();
+        let mut rules = RuleSet::new(schema());
+        rules
+            .push_named(
+                &mut sy,
+                &[("country", "China")],
+                "capital",
+                &["Nanjing"],
+                "Beijing",
+            )
+            .unwrap();
+        rules
+            .push_named(
+                &mut sy,
+                &[("country", "Canada")],
+                "capital",
+                &["Toronto"],
+                "Ottawa",
+            )
+            .unwrap();
+        let graph = InteractionGraph::build(&rules);
+        assert!(graph.edges.iter().all(Vec::is_empty));
+        assert_eq!(graph.round_bound(), Some(1));
+        assert!(!graph.connected(0, 1));
+    }
+}

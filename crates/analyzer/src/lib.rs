@@ -19,9 +19,15 @@
 //! | FR006 | note     | redundancy check exhausted its budget |
 //! | FR007 | note     | statically live rule never fired on a profiled run |
 //! | FR008 | warning  | statically dead rule (FR002) fired on a profiled run |
+//! | FR009 | error    | confluence violation: two rule orders repair a witness tuple differently |
+//! | FR010 | error    | termination uncertifiable: fix→evidence interaction cycle |
+//! | FR011 | note     | rule-set delta can invalidate certified properties |
 //!
 //! FR007/FR008 come from the [`coverage`] join of a static report against
-//! a runtime attribution profile, not from the static passes.
+//! a runtime attribution profile, not from the static passes; FR009–FR011
+//! come from the whole-set certifier ([`fixcert`], surfaced as
+//! `fixctl certify`), which judges the set as a rewrite system rather
+//! than rule by rule.
 //!
 //! # Example
 //!
@@ -44,13 +50,15 @@
 
 pub mod coverage;
 pub mod diagnostic;
+pub mod fixcert;
 pub mod passes;
 pub mod render;
 
 pub use coverage::{coverage_join, RuleActivity};
 pub use diagnostic::{Code, Diagnostic, Related, Severity};
+pub use fixcert::{certify, certify_observed, CertOptions, Certificate};
 pub use fixrules::io::Span;
-pub use render::{render, render_block, render_report, Excerpt};
+pub use render::{render, render_block, render_report, render_sarif, Excerpt};
 
 use fixrules::io::{parse_rules_spanned, RuleParseError};
 use fixrules::RuleSet;
@@ -93,13 +101,27 @@ impl DenyList {
     }
 
     /// Parse a `--deny` argument: a comma-separated list of `warnings`
-    /// and/or code strings.
+    /// and/or code strings. Duplicate targets and contradictory spellings
+    /// (`errors` — errors are always fatal, denying them is a no-op that
+    /// usually means a typo'd severity) are rejected rather than silently
+    /// accepted, so a CI config drift surfaces immediately.
     pub fn parse(spec: &str) -> Result<DenyList, String> {
         let mut deny = DenyList::default();
         for part in spec.split(',').map(str::trim).filter(|p| !p.is_empty()) {
             if part == "warnings" {
+                if deny.deny_warnings {
+                    return Err("duplicate deny target `warnings`".to_string());
+                }
                 deny.deny_warnings = true;
+            } else if part == "errors" || part == "notes" {
+                return Err(format!(
+                    "unsupported deny severity `{part}` (errors are always fatal; \
+                     deny notes by code, e.g. FR006)"
+                ));
             } else if let Some(code) = Code::parse(part) {
+                if deny.codes.contains(&code) {
+                    return Err(format!("duplicate deny target `{part}`"));
+                }
                 deny.codes.push(code);
             } else {
                 return Err(format!(
@@ -402,6 +424,31 @@ IF capital = "Beijing" AND city IN {"Hangzhou"} THEN city := "Pudong"
         // Errors are always fatal, even with nothing denied.
         let err = Diagnostic::new(Code::ConflictingRules, Span::point(1, 1), "e");
         assert!(DenyList::none().is_fatal(&err));
+    }
+
+    #[test]
+    fn deny_list_rejects_duplicates_and_contradictions() {
+        // Duplicate codes and duplicate `warnings` are config drift.
+        let err = DenyList::parse("FR002,FR002").unwrap_err();
+        assert!(err.contains("duplicate"), "{err}");
+        let err = DenyList::parse("FR002, FR006, FR002").unwrap_err();
+        assert!(err.contains("duplicate deny target `FR002`"), "{err}");
+        let err = DenyList::parse("warnings,warnings").unwrap_err();
+        assert!(err.contains("duplicate deny target `warnings`"), "{err}");
+        // Severities other than `warnings` are contradictions, not codes.
+        let err = DenyList::parse("errors").unwrap_err();
+        assert!(err.contains("always fatal"), "{err}");
+        assert!(DenyList::parse("notes").is_err());
+        // Boundary cases that must still parse: empty spec, stray commas
+        // and whitespace, every shipped code at once.
+        assert!(DenyList::parse("").is_ok());
+        assert!(DenyList::parse(" , ,").is_ok());
+        let all = Code::ALL
+            .iter()
+            .map(|c| c.as_str())
+            .collect::<Vec<_>>()
+            .join(",");
+        assert!(DenyList::parse(&all).is_ok());
     }
 
     #[test]

@@ -59,7 +59,8 @@ pub fn run(ctx: &Ctx<'_>) -> Vec<Diagnostic> {
 
 /// Iterative Tarjan strongly-connected components. Components are returned
 /// in a deterministic order (a function of the deterministic edge lists).
-fn tarjan_sccs(edges: &[Vec<usize>]) -> Vec<Vec<usize>> {
+/// Shared with `fixcert`, whose interaction graph uses the same edges.
+pub(crate) fn tarjan_sccs(edges: &[Vec<usize>]) -> Vec<Vec<usize>> {
     let n = edges.len();
     let mut index = vec![usize::MAX; n];
     let mut low = vec![0usize; n];

@@ -14,8 +14,9 @@
 use std::fmt::Write as _;
 
 use fixrules::io::Span;
+use obs::Json;
 
-use crate::diagnostic::Diagnostic;
+use crate::diagnostic::{Code, Diagnostic, Severity};
 use crate::LintReport;
 
 /// One source excerpt of a rendered block: the span to show, the
@@ -117,6 +118,120 @@ pub fn render_report(report: &LintReport, file: &str, source: &str) -> String {
     out
 }
 
+/// Serialize a report as a SARIF 2.1.0 log (one run, the `fixlint`
+/// driver), so findings flow into code-scanning UIs. Std-only: built on
+/// the deterministic [`Json`] encoder, so identical reports are
+/// byte-identical SARIF — pinned by the golden file under
+/// `examples/lint/`.
+///
+/// Shape per the spec: `runs[0].tool.driver.rules` carries every stable
+/// code (index-linked from each result via `ruleIndex`), and each finding
+/// becomes a `result` with `level`, `message.text`, one physical location,
+/// related locations, and the notes folded into the message (SARIF has no
+/// first-class notes field).
+pub fn render_sarif(report: &LintReport, file: &str) -> String {
+    let rules: Vec<Json> = Code::ALL
+        .iter()
+        .map(|code| {
+            let mut desc = Json::Null;
+            desc.set("text", code.summary());
+            let mut rule = Json::Null;
+            rule.set("id", code.as_str());
+            rule.set("shortDescription", desc);
+            rule
+        })
+        .collect();
+
+    let results: Vec<Json> = report
+        .diagnostics
+        .iter()
+        .map(|diag| {
+            let mut message = Json::Null;
+            let text = if diag.notes.is_empty() {
+                diag.message.clone()
+            } else {
+                format!("{}\n{}", diag.message, diag.notes.join("\n"))
+            };
+            message.set("text", text);
+
+            let mut result = Json::Null;
+            result.set("ruleId", diag.code.as_str());
+            result.set(
+                "ruleIndex",
+                Code::ALL.iter().position(|c| *c == diag.code).unwrap_or(0),
+            );
+            result.set("level", sarif_level(diag.severity));
+            result.set("message", message);
+            result.set(
+                "locations",
+                Json::Arr(vec![sarif_location(file, diag.span)]),
+            );
+            if !diag.related.is_empty() {
+                result.set(
+                    "relatedLocations",
+                    Json::Arr(
+                        diag.related
+                            .iter()
+                            .map(|r| {
+                                let mut loc = sarif_location(file, r.span);
+                                let mut msg = Json::Null;
+                                msg.set("text", r.message.as_str());
+                                loc.set("message", msg);
+                                loc
+                            })
+                            .collect(),
+                    ),
+                );
+            }
+            result
+        })
+        .collect();
+
+    let mut driver = Json::Null;
+    driver.set("name", "fixlint");
+    driver.set(
+        "informationUri",
+        "https://dl.acm.org/doi/10.1145/2588555.2610494",
+    );
+    driver.set("rules", Json::Arr(rules));
+    let mut tool = Json::Null;
+    tool.set("driver", driver);
+    let mut run = Json::Null;
+    run.set("tool", tool);
+    run.set("results", Json::Arr(results));
+    let mut log = Json::Null;
+    log.set("$schema", "https://json.schemastore.org/sarif-2.1.0.json");
+    log.set("version", "2.1.0");
+    log.set("runs", Json::Arr(vec![run]));
+    log.to_string_pretty()
+}
+
+/// SARIF `level` for a severity (`note` maps to SARIF's `note`).
+fn sarif_level(severity: Severity) -> &'static str {
+    match severity {
+        Severity::Error => "error",
+        Severity::Warning => "warning",
+        Severity::Note => "note",
+    }
+}
+
+/// A SARIF physical location: artifact URI plus a region. Spans cover one
+/// line, so `endColumn` is start + len (SARIF end columns are exclusive).
+fn sarif_location(file: &str, span: Span) -> Json {
+    let mut artifact = Json::Null;
+    artifact.set("uri", file);
+    let mut region = Json::Null;
+    region.set("startLine", span.line.max(1));
+    region.set("startColumn", span.col.max(1));
+    region.set("endColumn", span.col.max(1) + span.len);
+    let mut physical = Json::Null;
+    physical.set("artifactLocation", artifact);
+    physical.set("region", region);
+    let mut loc = Json::Null;
+    loc.set("physicalLocation", physical);
+    loc
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -140,6 +255,59 @@ mod tests {
         assert!(text.contains("2 | IF a = \"1\""), "{text}");
         assert!(text.contains("^^^^^"), "{text}");
         assert!(text.contains("= note: sample note"), "{text}");
+    }
+
+    #[test]
+    fn sarif_log_is_valid_deterministic_json() {
+        let diag = Diagnostic::new(Code::ConflictingRules, Span::new(3, 1, 70), "conflict")
+            .with_related(Span::new(2, 1, 80), "the other rule")
+            .with_note("witness tuple: capital = \"Shanghai\"");
+        let report = LintReport::new(vec![diag]);
+        let a = render_sarif(&report, "examples/lint/conflicting.frl");
+        let b = render_sarif(&report, "examples/lint/conflicting.frl");
+        assert_eq!(a, b);
+        let log = obs::json::parse(&a).unwrap();
+        assert_eq!(log.get("version").and_then(Json::as_str), Some("2.1.0"));
+        let runs = log.get("runs").and_then(Json::as_arr).unwrap();
+        let results = runs[0].get("results").and_then(Json::as_arr).unwrap();
+        assert_eq!(results.len(), 1);
+        assert_eq!(
+            results[0].get("ruleId").and_then(Json::as_str),
+            Some("FR001")
+        );
+        assert_eq!(
+            results[0].get("level").and_then(Json::as_str),
+            Some("error")
+        );
+        let region = results[0]
+            .get("locations")
+            .and_then(Json::as_arr)
+            .and_then(|l| l[0].get("physicalLocation"))
+            .and_then(|p| p.get("region"))
+            .unwrap();
+        assert_eq!(region.get("startLine").and_then(Json::as_i64), Some(3));
+        assert_eq!(region.get("endColumn").and_then(Json::as_i64), Some(71));
+        // Every shipped code appears in the driver's rule table, and each
+        // result's ruleIndex points back at its code.
+        let rules = runs[0]
+            .get("tool")
+            .and_then(|t| t.get("driver"))
+            .and_then(|d| d.get("rules"))
+            .and_then(Json::as_arr)
+            .unwrap();
+        assert_eq!(rules.len(), Code::ALL.len());
+        let idx = results[0].get("ruleIndex").and_then(Json::as_i64).unwrap();
+        assert_eq!(
+            rules[idx as usize].get("id").and_then(Json::as_str),
+            Some("FR001")
+        );
+        // Notes fold into the message text.
+        let text = results[0]
+            .get("message")
+            .and_then(|m| m.get("text"))
+            .and_then(Json::as_str)
+            .unwrap();
+        assert!(text.contains("witness tuple"), "{text}");
     }
 
     #[test]

@@ -1,0 +1,38 @@
+//! Byte-equality pin of the golden SARIF file: the SARIF serializer is
+//! deterministic, so `fixctl lint --format sarif` over the conflicting
+//! example must reproduce `examples/lint/conflicting.sarif` exactly.
+//! Regenerate after an intentional format change with:
+//! `fixctl lint examples/lint/conflicting.frl --format sarif > examples/lint/conflicting.sarif`
+
+use fixlint::{lint_source, render_sarif, LintOptions};
+use relation::SymbolTable;
+
+const RULES_PATH: &str = concat!(
+    env!("CARGO_MANIFEST_DIR"),
+    "/../../examples/lint/conflicting.frl"
+);
+const GOLDEN_PATH: &str = concat!(
+    env!("CARGO_MANIFEST_DIR"),
+    "/../../examples/lint/conflicting.sarif"
+);
+
+#[test]
+fn sarif_output_matches_the_golden_file_byte_for_byte() {
+    let text = std::fs::read_to_string(RULES_PATH).unwrap();
+    let golden = std::fs::read_to_string(GOLDEN_PATH).unwrap();
+    // Mirror `fixctl lint` with no --schema/--data: infer from the rules.
+    let schema = fixrules::io::infer_schema(&text, "R").unwrap();
+    let mut symbols = SymbolTable::new();
+    let report = lint_source(&text, &schema, &mut symbols, &LintOptions::default());
+    assert!(!report.is_clean(), "the fixture must report findings");
+    // The CLI prints the log with a trailing newline.
+    let sarif = format!(
+        "{}\n",
+        render_sarif(&report, "examples/lint/conflicting.frl")
+    );
+    assert_eq!(
+        sarif, golden,
+        "SARIF output drifted from examples/lint/conflicting.sarif; \
+         regenerate the golden file if the change is intentional"
+    );
+}

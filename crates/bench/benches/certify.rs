@@ -1,0 +1,32 @@
+//! `fixcert` certification cost across rule-set sizes: the whole-set
+//! chase certificate (interaction graph + termination + critical-pair
+//! confluence) on §7.1-pipeline rule sets of 10, 100, and 1000 rules.
+//! The interaction-graph and pair enumeration are O(n²), so the scaling
+//! from 10 → 1000 shows whether certification stays viable as a boot and
+//! hot-swap gate.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use fixlint::{certify, CertOptions};
+use fixrules::io::Span;
+
+fn bench_certify(c: &mut Criterion) {
+    let mut group = c.benchmark_group("certify");
+    for &n in &[10usize, 100, 1000] {
+        let workload = bench::hosp_workload(6_000, n);
+        let rules = workload.rules;
+        let spans = vec![Span::default(); rules.len()];
+        let symbols = &workload.dataset.symbols;
+        group.bench_with_input(BenchmarkId::new("certify", n), &n, |b, _| {
+            b.iter(|| certify(&rules, &spans, symbols, &CertOptions::default()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_certify
+}
+criterion_main!(benches);

@@ -220,20 +220,20 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
     let Some(command) = args.first() else {
         return Err(usage());
     };
-    // `lint` and `explain` take a file as a positional argument (like
-    // rustc), `trace` has an `export` subcommand; every other command is
-    // pure `--flag value` pairs.
+    // `lint`, `certify` and `explain` take a file as a positional argument
+    // (like rustc), `trace` has an `export` subcommand; every other
+    // command is pure `--flag value` pairs.
     let (positional, flag_args) = match command.as_str() {
-        "lint" | "explain" | "scrape" => match args.get(1) {
+        "lint" | "certify" | "explain" | "scrape" => match args.get(1) {
             Some(arg) if !arg.starts_with("--") => (Some(arg.as_str()), &args[2..]),
             _ => (None, &args[1..]),
         },
         "client" => {
             match args.get(1).map(String::as_str) {
-                Some("repair" | "check" | "get" | "shutdown") => {}
+                Some("repair" | "check" | "get" | "rules" | "shutdown") => {}
                 _ => {
                     return Err("unknown client subcommand (expected `fixctl client \
-                         <repair|check|get|shutdown> ... --addr HOST:PORT`)"
+                         <repair|check|get|rules|shutdown> ... --addr HOST:PORT`)"
                         .to_string())
                 }
             }
@@ -267,6 +267,7 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
         "discover" => cmd_discover(&flags).map(|()| ExitCode::SUCCESS),
         "explain" => cmd_explain(positional, &flags),
         "lint" => cmd_lint(positional, &flags, &obs_ctx),
+        "certify" => cmd_certify(positional, &flags, &obs_ctx),
         "resolve" => cmd_resolve(&flags, &obs_ctx).map(|()| ExitCode::SUCCESS),
         "repair" => cmd_repair(&flags, &obs_ctx).map(|()| ExitCode::SUCCESS),
         "scrape" => cmd_scrape(positional, &flags),
@@ -291,7 +292,9 @@ fn usage() -> String {
      [--plan-cache on|off|CAPACITY] [--threads N] [--strategy shrink|drop] [--updates-log FILE] \
      [--metrics FILE.json] [--log off|info|debug] [--trace FILE.jsonl] [--trace-clock logical|wall] \
      [--profile] [--profile-json FILE] [--expose ADDR] [--expose-hold N] \
-     | lint RULES.frl [--schema a,b,c | --data FILE.csv] [--format human|json] \
+     | lint RULES.frl [--schema a,b,c | --data FILE.csv] [--format human|json|sarif] \
+     [--deny warnings|FR001,...] \
+     | certify RULES.frl [--schema a,b,c | --data FILE.csv] [--format human|json|sarif] \
      [--deny warnings|FR001,...] \
      | coverage --rules FILE --data FILE.csv [--engine lrepair|chase|compiled] [--lint] \
      | serve-metrics [--addr HOST:PORT] [--scrapes N] \
@@ -299,6 +302,7 @@ fn usage() -> String {
      [--schema a,b,c] [--warm FILE.csv] [--journal FILE.jsonl] [--cache-shards N] \
      [--slo-window N] [--slo-min-samples N] [--slo-max-error-rate F] [--slo-max-p99-ms N] \
      | client repair|check FILE --addr HOST:PORT [--format csv|json] \
+     | client rules RULES.frl --addr HOST:PORT \
      | client get PATH --addr HOST:PORT | client shutdown --addr HOST:PORT \
      | scrape URL|FILE [--require METRIC[{k=\"v\",...}]] \
      | explain TRACE.jsonl --row N --attr NAME \
@@ -356,10 +360,104 @@ fn cmd_lint(positional: Option<&str>, flags: &Flags, obs_ctx: &ObsCtx) -> Result
     );
     match format {
         "json" => println!("{}", report.to_json(path).to_string_pretty()),
+        "sarif" => println!("{}", fixlint::render_sarif(&report, path)),
         "human" => print!("{}", fixlint::render_report(&report, path, &text)),
-        other => return Err(format!("unknown format `{other}` (human|json)")),
+        other => return Err(format!("unknown format `{other}` (human|json|sarif)")),
     }
     if report.fatal(&deny) > 0 {
+        Ok(ExitCode::from(1))
+    } else {
+        Ok(ExitCode::SUCCESS)
+    }
+}
+
+/// Whole-set chase certification of a rule file: build the interaction
+/// graph (termination), commute every interacting critical pair through
+/// the compiled engine (confluence), and render the certificate. Exit
+/// status mirrors `lint`: 2 on operational errors, 1 when any finding is
+/// fatal under `--deny` (FR009/FR010 are errors, hence always fatal),
+/// 0 on a green certificate.
+fn cmd_certify(
+    positional: Option<&str>,
+    flags: &Flags,
+    obs_ctx: &ObsCtx,
+) -> Result<ExitCode, String> {
+    let path = positional
+        .or_else(|| flags.optional("rules"))
+        .ok_or("certify needs a rules file: fixctl certify <rules.frl>")?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    let deny = match flags.optional("deny") {
+        Some(spec) => fixlint::DenyList::parse(spec)?,
+        None => fixlint::DenyList::none(),
+    };
+    let format = flags.optional("format").unwrap_or("human");
+    let mut symbols = SymbolTable::new();
+    let schema = if let Some(names) = flags.optional("schema") {
+        relation::Schema::new("R", names.split(',').map(str::trim)).map_err(|e| e.to_string())?
+    } else if let Some(data_path) = flags.optional("data") {
+        relation::csv_io::read_csv_file(data_path, "data", &mut symbols)
+            .map_err(|e| format!("reading {data_path}: {e}"))?
+            .schema()
+            .clone()
+    } else {
+        match fixrules::io::infer_schema(&text, "R") {
+            Ok(schema) => schema,
+            // An unparseable file still gets a rendered FR000 report below.
+            Err(_) => relation::Schema::new("R", ["_"]).map_err(|e| e.to_string())?,
+        }
+    };
+    let cert = {
+        let _span = obs_ctx.span("certify");
+        match fixrules::io::parse_rules_spanned(&text, &schema, &mut symbols) {
+            Ok(parsed) => fixlint::certify_observed(
+                &parsed.rules,
+                &parsed.spans,
+                &symbols,
+                &fixlint::CertOptions::default(),
+                &obs_ctx.observer,
+            ),
+            Err(error) => fixlint::Certificate {
+                report: fixlint::parse_error_report(&error),
+                ..fixlint::Certificate::default()
+            },
+        }
+    };
+    cert.observe(&obs_ctx.observer);
+    obs::info!(
+        "certify.done",
+        file = path,
+        certified = cert.is_certified(),
+        rules = cert.rules,
+        pairs = cert.confluence.pairs_checked,
+        violations = cert.confluence.violations
+    );
+    match format {
+        "json" => println!("{}", cert.to_json(path).to_string_pretty()),
+        "sarif" => println!("{}", fixlint::render_sarif(&cert.report, path)),
+        "human" => {
+            print!("{}", fixlint::render_report(&cert.report, path, &text));
+            let bound = match cert.termination.round_bound {
+                Some(b) => format!("round bound {b}"),
+                None => "no order-independent round bound".to_string(),
+            };
+            println!(
+                "{path}: {} — {} rule(s), {}, {} pair(s) checked, {} witness run(s), \
+                 {} skipped over budget",
+                if cert.is_certified() {
+                    "certificate GREEN"
+                } else {
+                    "certificate RED"
+                },
+                cert.rules,
+                bound,
+                cert.confluence.pairs_checked,
+                cert.confluence.witness_runs,
+                cert.confluence.pairs_skipped
+            );
+        }
+        other => return Err(format!("unknown format `{other}` (human|json|sarif)")),
+    }
+    if cert.report.fatal(&deny) > 0 {
         Ok(ExitCode::from(1))
     } else {
         Ok(ExitCode::SUCCESS)
@@ -1005,6 +1103,16 @@ fn cmd_client(sub: &str, positional: Option<&str>, flags: &Flags) -> Result<Exit
                 let path = positional
                     .ok_or("client get needs a path, e.g. fixctl client get /readyz --addr ...")?;
                 obs::http_request("GET", &format!("{base}{path}"), "text/plain", b"")
+            }
+            "rules" => {
+                let path = positional
+                    .or_else(|| flags.optional("rules"))
+                    .ok_or_else(|| {
+                        "client rules needs a rule file: fixctl client rules rules.frl --addr ..."
+                            .to_string()
+                    })?;
+                let body = std::fs::read(path).map_err(|e| format!("reading {path}: {e}"))?;
+                obs::http_post(&format!("{base}/rules"), "text/plain", &body)
             }
             "shutdown" => obs::http_post(&format!("{base}/shutdown"), "text/plain", b""),
             other => return Err(format!("unknown client subcommand `{other}`")),

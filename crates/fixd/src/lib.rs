@@ -26,6 +26,14 @@
 //! * repairs append to a [`ProvenanceLedger`] with daemon-global row ids
 //!   (`row_base` in each response), so `GET /explain/{row}/{attr}` can
 //!   justify any cell the daemon ever changed;
+//! * `POST /rules` hot-swaps the rule set behind a **certified promotion
+//!   gate**: the candidate text is linted, certified by `fixcert`
+//!   (termination + confluence), and semantically diffed against the
+//!   serving set; only a green certificate atomically promotes a freshly
+//!   compiled program bundle — with a *new* plan cache, since memoized
+//!   plans from the old rules must never replay against the new ones. A
+//!   red candidate is rejected wholesale and the old program keeps
+//!   serving, so a bad rule set can never reach the data path;
 //! * `POST /shutdown` (or [`Daemon::shutdown`]) drains in-flight requests
 //!   and flushes the trace journal to disk.
 //!
@@ -35,6 +43,7 @@
 //! |---|---|
 //! | `POST /repair` | Repair a batch (CSV with header, or JSON rows); mutating |
 //! | `POST /check` | Dry-run repair: per-row violation counts, nothing recorded |
+//! | `POST /rules` | Hot-swap the rule set (lint + certify + diff gate) |
 //! | `GET /explain/{row}/{attr}` | Provenance chain for a repaired cell, JSONL |
 //! | `GET /trace/{id}` | One request's trace records (`?format=chrome` optional) |
 //! | `GET /metrics` | Prometheus text v0.0.4 (`/metrics.json` for the snapshot) |
@@ -73,7 +82,7 @@ use std::sync::{mpsc, Arc, Mutex, RwLock};
 use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
 
-use fixrules::io::{infer_schema, parse_rules};
+use fixrules::io::{infer_schema, parse_rules_spanned};
 use fixrules::provenance::{ProvenanceLedger, ProvenanceObserver};
 use fixrules::repair::{
     repair_row_compiled, CompiledEngine, CompiledScratch, PlanCache, RuleProgram,
@@ -189,15 +198,35 @@ impl TraceIndex {
     }
 }
 
-/// Shared immutable-after-startup daemon state plus the concurrent
-/// journals and caches every worker thread touches.
+/// Everything that must swap *atomically* when `POST /rules` promotes a
+/// new rule set: the rules, their compiled program, the plan cache keyed
+/// to them, and the analysis verdicts `GET /readyz` reports. Handlers
+/// take one `Arc` snapshot at request start, so an in-flight batch keeps
+/// a consistent rules/program/cache view across a concurrent swap.
+#[derive(Debug)]
+struct ProgramBundle {
+    rules: RuleSet,
+    program: RuleProgram,
+    /// Fresh per bundle: a memoized plan references rule ids and facts of
+    /// the set it was recorded under, so promotion *must* discard every
+    /// old plan (pinned by the hot-swap ledger-equality test).
+    cache: PlanCache,
+    lint_errors: usize,
+    consistent: bool,
+    certified: bool,
+    cert_errors: usize,
+    /// Monotonic swap counter: 0 for the boot set, +1 per promotion.
+    generation: u64,
+}
+
+/// Shared daemon state: the swappable [`ProgramBundle`] plus the
+/// concurrent journals and caches every worker thread touches.
 #[derive(Debug)]
 struct DaemonState {
     schema: Schema,
-    rules: RuleSet,
-    program: RuleProgram,
+    bundle: RwLock<Arc<ProgramBundle>>,
     engine: CompiledEngine,
-    cache: PlanCache,
+    cache_shards: usize,
     symbols: RwLock<SymbolTable>,
     registry: MetricsRegistry,
     health: HealthEvaluator,
@@ -207,10 +236,56 @@ struct DaemonState {
     trace_seq: AtomicU64,
     rows_served: AtomicUsize,
     use_cache: bool,
-    lint_errors: usize,
-    consistent: bool,
     stop: AtomicBool,
     journal_path: Option<String>,
+}
+
+impl DaemonState {
+    /// The currently serving bundle (one atomic refcount bump).
+    fn bundle(&self) -> Arc<ProgramBundle> {
+        Arc::clone(&self.bundle.read().unwrap())
+    }
+}
+
+/// Parse, lint, certify, and compile one rule text into a promotable
+/// bundle. Never rejects analysis findings — the verdicts ride along for
+/// the caller (boot surfaces them via `/readyz`; the hot-swap gate
+/// refuses to promote on them).
+fn build_bundle(
+    text: &str,
+    schema: &Schema,
+    symbols: &mut SymbolTable,
+    cache_shards: usize,
+    generation: u64,
+) -> Result<
+    (ProgramBundle, fixlint::Certificate, Vec<fixrules::io::Span>),
+    fixrules::io::RuleParseError,
+> {
+    let parsed = parse_rules_spanned(text, schema, symbols)?;
+    let lint = fixlint::lint(
+        &parsed.rules,
+        &parsed.spans,
+        symbols,
+        &fixlint::LintOptions::default(),
+    );
+    let cert = fixlint::certify(
+        &parsed.rules,
+        &parsed.spans,
+        symbols,
+        &fixlint::CertOptions::default(),
+    );
+    let program = RuleProgram::compile(&parsed.rules);
+    let bundle = ProgramBundle {
+        consistent: parsed.rules.check_consistency().is_consistent(),
+        program,
+        cache: PlanCache::sharded(cache_shards.max(1)),
+        lint_errors: lint.errors(),
+        certified: cert.is_certified(),
+        cert_errors: cert.report.errors(),
+        generation,
+        rules: parsed.rules,
+    };
+    Ok((bundle, cert, parsed.spans))
 }
 
 /// A handler-level failure: an HTTP status plus a message the client sees
@@ -271,23 +346,19 @@ impl Daemon {
                 .map_err(|e| invalid(e.to_string()))?,
         };
         let mut symbols = SymbolTable::new();
-        let rules = parse_rules(&text, &schema, &mut symbols).map_err(|e| invalid(e.message()))?;
-        let lint = fixlint::lint_source(
-            &text,
-            &schema,
-            &mut symbols,
-            &fixlint::LintOptions::default(),
-        );
-        let consistent = rules.check_consistency().is_consistent();
-        let program = RuleProgram::compile(&rules);
-        let cache = PlanCache::sharded(config.cache_shards.max(1));
+        let cache_shards = config.cache_shards.max(1);
+        // Boot runs the same build as a hot-swap (lint + certify + compile),
+        // but tolerates red verdicts — `GET /readyz` reports them as 503
+        // instead, so a probe can distinguish "bad rules" from "down".
+        let (bundle, cert, _spans) = build_bundle(&text, &schema, &mut symbols, cache_shards, 0)
+            .map_err(|e| invalid(e.message()))?;
+        cert.observe(&MetricsObserver::new(&registry));
 
         let state = Arc::new(DaemonState {
             schema,
-            rules,
-            program,
+            bundle: RwLock::new(Arc::new(bundle)),
             engine: config.engine,
-            cache,
+            cache_shards,
             symbols: RwLock::new(symbols),
             registry: registry.clone(),
             health: HealthEvaluator::new(config.slo),
@@ -297,8 +368,6 @@ impl Daemon {
             trace_seq: AtomicU64::new(0),
             rows_served: AtomicUsize::new(0),
             use_cache: config.plan_cache,
-            lint_errors: lint.errors(),
-            consistent,
             stop: AtomicBool::new(false),
             journal_path: config.journal_path.clone(),
         });
@@ -333,14 +402,20 @@ impl Daemon {
         self.state.registry.clone()
     }
 
-    /// Memoized repair plans currently in the shared cache.
+    /// Memoized repair plans currently in the serving bundle's cache.
     pub fn plan_cache_len(&self) -> usize {
-        self.state.cache.len()
+        self.state.bundle().cache.len()
     }
 
-    /// Hit/miss/eviction counters of the shared plan cache.
+    /// Hit/miss/eviction counters of the serving bundle's plan cache.
     pub fn plan_cache_stats(&self) -> fixrules::repair::PlanCacheStats {
-        self.state.cache.stats()
+        self.state.bundle().cache.stats()
+    }
+
+    /// The generation of the serving rule set: 0 at boot, +1 per
+    /// promoted `POST /rules` hot-swap.
+    pub fn rules_generation(&self) -> u64 {
+        self.state.bundle().generation
     }
 
     /// The current rolling SLO verdict (what `GET /readyz` consults).
@@ -369,21 +444,22 @@ impl Daemon {
 /// Repair every row of `path` once so its tuple signatures are memoized
 /// before the first request. Deliberately invisible: no provenance, no
 /// request metrics, no global row ids consumed.
-fn plan_cache(state: &DaemonState) -> Option<&PlanCache> {
-    state.use_cache.then_some(&state.cache)
+fn plan_cache<'a>(state: &DaemonState, bundle: &'a ProgramBundle) -> Option<&'a PlanCache> {
+    state.use_cache.then_some(&bundle.cache)
 }
 
 fn warm_cache(state: &DaemonState, path: &str) -> Result<usize, SrvError> {
     let text = std::fs::read_to_string(path)
         .map_err(|e| SrvError::new(400, format!("reading {path}: {e}")))?;
     let mut rows = parse_csv_rows(state, &text)?;
-    let mut scratch = CompiledScratch::new(state.rules.len());
+    let bundle = state.bundle();
+    let mut scratch = CompiledScratch::new(bundle.rules.len());
     for row in &mut rows {
         repair_row_compiled(
-            &state.rules,
-            &state.program,
+            &bundle.rules,
+            &bundle.program,
             state.engine,
-            plan_cache(state),
+            plan_cache(state, &bundle),
             &mut scratch,
             row,
             &obs::NoopObserver,
@@ -405,7 +481,9 @@ fn accept_loop(listener: TcpListener, state: Arc<DaemonState>, threads: usize) {
             thread::spawn(move || {
                 // One scratch per worker, reused across every request it
                 // serves — zero steady-state allocation in the hot path.
-                let mut scratch = CompiledScratch::new(state.rules.len());
+                // Survives hot-swaps: `begin_tuple` resizes the scratch
+                // whenever the rule count changes.
+                let mut scratch = CompiledScratch::new(state.bundle().rules.len());
                 loop {
                     let stream = match rx.lock().unwrap().recv() {
                         Ok(stream) => stream,
@@ -450,6 +528,7 @@ fn endpoint_label(request: &Request) -> &'static str {
     match request.path.as_str() {
         "/repair" => "repair",
         "/check" => "check",
+        "/rules" => "rules",
         "/metrics" | "/metrics.json" => "metrics",
         "/healthz" => "healthz",
         "/readyz" => "readyz",
@@ -518,6 +597,7 @@ fn route(
     match (request.method.as_str(), endpoint) {
         ("POST", "repair") => handle_repair(state, scratch, request),
         ("POST", "check") => handle_check(state, scratch, request),
+        ("POST", "rules") => handle_rules(state, request),
         ("GET", "explain") => handle_explain(state, request),
         ("GET", "trace") => handle_trace(state, request),
         ("GET", "metrics") => Ok(handle_metrics(state, request)),
@@ -680,9 +760,12 @@ fn handle_repair(
         ]),
     );
     let mut rows = parse_rows(state, request)?;
+    // One bundle snapshot for the whole batch: a concurrent hot-swap must
+    // never mix old-rules plans with new-rules attribution mid-request.
+    let bundle = state.bundle();
     let row_base = state.rows_served.fetch_add(rows.len(), Ordering::SeqCst);
     let metrics = MetricsObserver::new(&state.registry);
-    let provenance = ProvenanceObserver::new(&state.rules, &state.ledger);
+    let provenance = ProvenanceObserver::new(&bundle.rules, &state.ledger);
     let observer = Tee(&metrics, &provenance);
     let mut repaired_rows = 0usize;
     let mut all_updates = Vec::new();
@@ -691,10 +774,10 @@ fn handle_repair(
         let repair_span = state.journal.span("repair", span.id());
         for (i, row) in rows.iter_mut().enumerate() {
             let mut updates = repair_row_compiled(
-                &state.rules,
-                &state.program,
+                &bundle.rules,
+                &bundle.program,
                 state.engine,
-                plan_cache(state),
+                plan_cache(state, &bundle),
                 scratch,
                 row,
                 &metrics,
@@ -829,15 +912,16 @@ fn handle_check(
         ]),
     );
     let mut rows = parse_rows(state, request)?;
+    let bundle = state.bundle();
     let mut per_row = Vec::with_capacity(rows.len());
     let mut dirty_rows = 0usize;
     let mut total_updates = 0usize;
     for row in rows.iter_mut() {
         let updates = repair_row_compiled(
-            &state.rules,
-            &state.program,
+            &bundle.rules,
+            &bundle.program,
             state.engine,
-            plan_cache(state),
+            plan_cache(state, &bundle),
             scratch,
             row,
             &obs::NoopObserver,
@@ -865,6 +949,100 @@ fn handle_check(
         ("trace_id", Json::from(trace_id.as_str())),
     ]);
     Ok(Response::json(200, format!("{body}\n")).with_header("X-Trace-Id", &trace_id))
+}
+
+/// `POST /rules` — certified hot-swap of the serving rule set.
+///
+/// The body is rule text against the daemon's (fixed) schema. It is
+/// parsed, linted, certified by `fixcert`, and semantically diffed
+/// against the serving set. Promotion is all-or-nothing:
+///
+/// * parse error → `400`, lint errors or a red certificate → `422`; in
+///   every rejection the old bundle keeps serving untouched and the
+///   response says why (`promoted: false`, the findings, the diff);
+/// * a green certificate atomically swaps in a freshly compiled
+///   [`ProgramBundle`] with an **empty plan cache** — memoized plans
+///   from the old rules must never replay against the new ones.
+fn handle_rules(state: &DaemonState, request: &Request) -> SrvResult {
+    let span = state.journal.span("request", 0);
+    let trace_id = new_trace_id(state, span.id());
+    let text = request.body_str();
+    if text.trim().is_empty() {
+        return Err(bad_request("empty rule text"));
+    }
+    state.journal.event(
+        "request.begin",
+        span.id(),
+        Json::obj([
+            ("bytes", Json::from(request.body.len())),
+            ("endpoint", Json::from("rules")),
+            ("trace_id", Json::from(trace_id.as_str())),
+        ]),
+    );
+    // Swaps are rare administrative operations: hold the symbol-table
+    // write lock across the whole build so rule symbols intern against a
+    // stable table (no lost-intern race with concurrent batches).
+    let mut symbols = state.symbols.write().unwrap();
+    let (mut candidate, cert, spans) =
+        build_bundle(&text, &state.schema, &mut symbols, state.cache_shards, 0)
+            .map_err(|e| bad_request(format!("rules: {}", e.message())))?;
+    cert.observe(&MetricsObserver::new(&state.registry));
+    let serving = state.bundle();
+    let delta = fixlint::fixcert::diff(
+        &serving.rules,
+        &candidate.rules,
+        &spans,
+        &symbols,
+        &fixlint::CertOptions::default(),
+    );
+    let findings: Vec<Json> = cert
+        .report
+        .diagnostics
+        .iter()
+        .map(|d| {
+            Json::from(format!(
+                "{}[{}]: {}",
+                d.severity.as_str(),
+                d.code.as_str(),
+                d.message
+            ))
+        })
+        .collect();
+    let lint_errors = candidate.lint_errors;
+    let accepted = lint_errors == 0 && candidate.certified;
+    let generation = if accepted {
+        // Fix the generation under the bundle write lock so concurrent
+        // swaps serialize into strictly increasing generations.
+        let mut slot = state.bundle.write().unwrap();
+        candidate.generation = slot.generation + 1;
+        let generation = candidate.generation;
+        *slot = Arc::new(candidate);
+        generation
+    } else {
+        serving.generation
+    };
+    state.journal.event(
+        "rules.swap",
+        span.id(),
+        Json::obj([
+            ("certified", Json::from(cert.is_certified())),
+            ("generation", Json::from(generation)),
+            ("lint_errors", Json::from(lint_errors)),
+            ("promoted", Json::from(accepted)),
+        ]),
+    );
+    let body = Json::obj([
+        ("cert_errors", Json::from(cert.report.errors())),
+        ("certified", Json::from(cert.is_certified())),
+        ("diff", delta.to_json()),
+        ("findings", Json::Arr(findings)),
+        ("generation", Json::from(generation)),
+        ("lint_errors", Json::from(lint_errors)),
+        ("promoted", Json::from(accepted)),
+        ("trace_id", Json::from(trace_id.as_str())),
+    ]);
+    let status = if accepted { 200 } else { 422 };
+    Ok(Response::json(status, format!("{body}\n")).with_header("X-Trace-Id", &trace_id))
 }
 
 /// `GET /explain/{row}/{attr}` — the provenance chain justifying the
@@ -958,29 +1136,34 @@ fn handle_metrics(state: &DaemonState, request: &Request) -> Response {
     }
 }
 
-/// Readiness: lint-clean rules, a consistent rule set, at least one
-/// memoized plan (the cache is warm), and green SLOs. `503` otherwise,
-/// with every sub-verdict in the JSON body.
+/// Readiness: lint-clean rules, a consistent rule set, a green `fixcert`
+/// certificate (termination + confluence), at least one memoized plan
+/// (the cache is warm), and green SLOs. `503` otherwise, with every
+/// sub-verdict in the JSON body.
 fn handle_readyz(state: &DaemonState) -> Response {
     let report = state.health.report();
-    let lint_clean = state.lint_errors == 0;
+    let bundle = state.bundle();
+    let lint_clean = bundle.lint_errors == 0;
     // With the cache disabled there is nothing to warm; don't gate
     // readiness on it.
-    let cache_warm = !state.use_cache || !state.cache.is_empty();
-    let ready = lint_clean && state.consistent && cache_warm && report.healthy;
+    let cache_warm = !state.use_cache || !bundle.cache.is_empty();
+    let ready = lint_clean && bundle.consistent && bundle.certified && cache_warm && report.healthy;
     let body = Json::obj([
-        ("cache_plans", Json::from(state.cache.len())),
+        ("cache_plans", Json::from(bundle.cache.len())),
         ("cache_warm", Json::from(cache_warm)),
-        ("consistent", Json::from(state.consistent)),
+        ("cert_errors", Json::from(bundle.cert_errors)),
+        ("certified", Json::from(bundle.certified)),
+        ("consistent", Json::from(bundle.consistent)),
+        ("generation", Json::from(bundle.generation)),
         ("health", report.to_json()),
         ("lint_clean", Json::from(lint_clean)),
-        ("lint_errors", Json::from(state.lint_errors)),
+        ("lint_errors", Json::from(bundle.lint_errors)),
         ("ready", Json::from(ready)),
         (
             "rows_served",
             Json::from(state.rows_served.load(Ordering::SeqCst)),
         ),
-        ("rules", Json::from(state.rules.len())),
+        ("rules", Json::from(bundle.rules.len())),
     ]);
     Response::json(if ready { 200 } else { 503 }, format!("{body}\n"))
 }

@@ -411,6 +411,148 @@ fn metrics_expose_per_endpoint_labeled_series() {
 }
 
 #[test]
+fn hot_swap_never_promotes_an_uncertified_rule_set() {
+    let daemon = daemon();
+    let batch = "zip,city,state\n36545,Jaxon,AL\n";
+    let reply = http_post(&url(&daemon, "/repair"), "text/csv", batch.as_bytes()).unwrap();
+    assert_eq!(reply.status, 200);
+    let (status, _) = http_get(&url(&daemon, "/readyz")).unwrap();
+    assert_eq!(status, 200, "daemon must be ready before the bad swap");
+
+    // Unparseable candidate: rejected outright, nothing changes.
+    let reply = http_post(&url(&daemon, "/rules"), "text/plain", b"this is not a rule").unwrap();
+    assert_eq!(reply.status, 400);
+
+    // A conflicting candidate lints dirty AND certifies red (FR009): the
+    // gate must refuse it wholesale.
+    let conflicting = "IF zip = \"1\" AND city IN {\"a\"} THEN city := \"b\"\n\
+                       IF zip = \"1\" AND city IN {\"a\"} THEN city := \"c\"\n";
+    let reply = http_post(
+        &url(&daemon, "/rules"),
+        "text/plain",
+        conflicting.as_bytes(),
+    )
+    .unwrap();
+    assert_eq!(reply.status, 422, "uncertified rules must not promote");
+    let json = parse_json(&reply.body);
+    assert_eq!(json.get("promoted").unwrap().as_bool(), Some(false));
+    assert_eq!(json.get("certified").unwrap().as_bool(), Some(false));
+    assert_eq!(json.get("generation").unwrap().as_i64(), Some(0));
+    let findings = json.get("findings").unwrap().as_arr().unwrap();
+    assert!(
+        findings
+            .iter()
+            .any(|f| f.as_str().is_some_and(|s| s.contains("FR009"))),
+        "rejection must carry the confluence finding, got {findings:?}"
+    );
+
+    // The old bundle keeps serving: readiness stays green on generation 0
+    // and repairs still follow the boot rules.
+    let (status, body) = http_get(&url(&daemon, "/readyz")).unwrap();
+    assert_eq!(status, 200, "readyz must stay green after a rejected swap");
+    let readyz = parse_json(&body);
+    assert_eq!(readyz.get("generation").unwrap().as_i64(), Some(0));
+    assert_eq!(readyz.get("certified").unwrap().as_bool(), Some(true));
+    let reply = http_post(&url(&daemon, "/repair"), "text/csv", batch.as_bytes()).unwrap();
+    let row = parse_json(&reply.body)
+        .get("rows")
+        .unwrap()
+        .as_arr()
+        .unwrap()[0]
+        .as_arr()
+        .unwrap()
+        .to_vec();
+    assert_eq!(row[1].as_str(), Some("Jackson"), "old rules still serve");
+    daemon.shutdown();
+}
+
+#[test]
+fn hot_swap_promotes_certified_rules_and_invalidates_the_plan_cache() {
+    let daemon = daemon();
+    let batch = "zip,city,state\n36545,Jaxon,AL\n";
+    let reply = http_post(&url(&daemon, "/repair"), "text/csv", batch.as_bytes()).unwrap();
+    assert_eq!(reply.status, 200);
+    assert!(daemon.plan_cache_len() >= 1, "first batch memoizes a plan");
+    assert_eq!(daemon.rules_generation(), 0);
+
+    // The replacement set repairs the SAME dirty signature differently:
+    // a stale memoized plan would keep producing "Jackson".
+    let swapped = "IF zip = \"36545\" AND city IN {\"Jaxon\", \"Jackson Heights\"} THEN city := \"Jacksonville\"\n\
+                   IF zip = \"10001\" AND state IN {\"NJ\"} THEN state := \"NY\"\n";
+    let reply = http_post(&url(&daemon, "/rules"), "text/plain", swapped.as_bytes()).unwrap();
+    assert_eq!(
+        reply.status, 200,
+        "certified rules must promote: {}",
+        reply.body
+    );
+    let json = parse_json(&reply.body);
+    assert_eq!(json.get("promoted").unwrap().as_bool(), Some(true));
+    assert_eq!(json.get("certified").unwrap().as_bool(), Some(true));
+    assert_eq!(json.get("generation").unwrap().as_i64(), Some(1));
+    assert!(json.get("diff").unwrap().get("entries").is_some());
+    assert_eq!(
+        daemon.plan_cache_len(),
+        0,
+        "promotion must discard every old-rules plan"
+    );
+
+    // Ledger equality with a fresh daemon booted directly on the new set:
+    // the swapped daemon's updates must match field-for-field (modulo the
+    // daemon-global row id), proving no old plan replayed.
+    let fresh = Daemon::start(DaemonConfig {
+        rules: RulesSource::Inline(swapped.to_string()),
+        schema: SchemaSource::Names(vec![
+            "zip".to_string(),
+            "city".to_string(),
+            "state".to_string(),
+        ]),
+        ..DaemonConfig::default()
+    })
+    .unwrap();
+    let strip_row = |body: &str| -> Vec<String> {
+        parse_json(body)
+            .get("updates")
+            .unwrap()
+            .as_arr()
+            .unwrap()
+            .iter()
+            .map(|u| {
+                format!(
+                    "{}:{}->{} rule={} round={}",
+                    u.get("attr").unwrap().as_str().unwrap(),
+                    u.get("old").unwrap().as_str().unwrap(),
+                    u.get("new").unwrap().as_str().unwrap(),
+                    u.get("rule").unwrap().as_i64().unwrap(),
+                    u.get("round").unwrap().as_i64().unwrap(),
+                )
+            })
+            .collect()
+    };
+    let after_swap = http_post(&url(&daemon, "/repair"), "text/csv", batch.as_bytes()).unwrap();
+    let from_boot = http_post(&url(&fresh, "/repair"), "text/csv", batch.as_bytes()).unwrap();
+    let swapped_updates = strip_row(&after_swap.body);
+    assert_eq!(
+        swapped_updates,
+        strip_row(&from_boot.body),
+        "post-swap ledger must equal a fresh boot of the new rules"
+    );
+    assert_eq!(swapped_updates, ["city:Jaxon->Jacksonville rule=0 round=1"]);
+    // Provenance for the post-swap row attributes the NEW rule set.
+    let (status, chain) = http_get(&url(&daemon, "/explain/1/city")).unwrap();
+    assert_eq!(status, 200);
+    assert!(chain.contains("Jacksonville"), "{chain}");
+
+    // Readiness is green again once the new cache warms, on generation 1.
+    let (status, body) = http_get(&url(&daemon, "/readyz")).unwrap();
+    assert_eq!(status, 200);
+    let readyz = parse_json(&body);
+    assert_eq!(readyz.get("generation").unwrap().as_i64(), Some(1));
+    assert_eq!(readyz.get("rules").unwrap().as_i64(), Some(2));
+    fresh.shutdown();
+    daemon.shutdown();
+}
+
+#[test]
 fn rejects_unparseable_and_lint_dirty_rule_sets_at_startup() {
     let err = Daemon::start(DaemonConfig {
         rules: RulesSource::Inline("this is not a rule".to_string()),

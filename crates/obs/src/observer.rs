@@ -159,6 +159,30 @@ pub trait RepairObserver: Sync {
     #[inline]
     fn witness_found(&self) {}
 
+    /// The certifier (`fixcert`) examined `pairs` interaction-graph pairs
+    /// for confluence.
+    #[inline]
+    fn cert_pair_checked(&self, pairs: usize) {
+        let _ = pairs;
+    }
+
+    /// The certifier executed one synthesized witness tuple through the
+    /// compiled chase engine (two rule orders count as one run).
+    #[inline]
+    fn cert_witness_run(&self) {}
+
+    /// The certifier emitted one finding (`FR009`/`FR010`/`FR011`).
+    #[inline]
+    fn cert_finding(&self, code: &'static str, severity: &'static str) {
+        let _ = (code, severity);
+    }
+
+    /// A certification pass finished; `certified` is the verdict.
+    #[inline]
+    fn cert_completed(&self, certified: bool) {
+        let _ = certified;
+    }
+
     /// Whether this observer consumes [`RepairObserver::rule_latency`].
     /// Defaults to false; under [`NoopObserver`] the drivers' timing
     /// branches monomorphize away, keeping the uninstrumented hot path.
@@ -260,6 +284,26 @@ impl<T: RepairObserver + ?Sized> RepairObserver for &T {
     #[inline]
     fn witness_found(&self) {
         (**self).witness_found();
+    }
+
+    #[inline]
+    fn cert_pair_checked(&self, pairs: usize) {
+        (**self).cert_pair_checked(pairs);
+    }
+
+    #[inline]
+    fn cert_witness_run(&self) {
+        (**self).cert_witness_run();
+    }
+
+    #[inline]
+    fn cert_finding(&self, code: &'static str, severity: &'static str) {
+        (**self).cert_finding(code, severity);
+    }
+
+    #[inline]
+    fn cert_completed(&self, certified: bool) {
+        (**self).cert_completed(certified);
     }
 
     #[inline]
@@ -389,6 +433,30 @@ impl<A: RepairObserver + ?Sized, B: RepairObserver + ?Sized> RepairObserver for 
     }
 
     #[inline]
+    fn cert_pair_checked(&self, pairs: usize) {
+        self.0.cert_pair_checked(pairs);
+        self.1.cert_pair_checked(pairs);
+    }
+
+    #[inline]
+    fn cert_witness_run(&self) {
+        self.0.cert_witness_run();
+        self.1.cert_witness_run();
+    }
+
+    #[inline]
+    fn cert_finding(&self, code: &'static str, severity: &'static str) {
+        self.0.cert_finding(code, severity);
+        self.1.cert_finding(code, severity);
+    }
+
+    #[inline]
+    fn cert_completed(&self, certified: bool) {
+        self.0.cert_completed(certified);
+        self.1.cert_completed(certified);
+    }
+
+    #[inline]
     fn wants_rule_timing(&self) -> bool {
         self.0.wants_rule_timing() || self.1.wants_rule_timing()
     }
@@ -398,6 +466,10 @@ impl<A: RepairObserver + ?Sized, B: RepairObserver + ?Sized> RepairObserver for 
 /// (sorted) order. Kept public so tests and docs stay in sync with the
 /// implementation.
 pub const METRIC_NAMES: &[&str] = &[
+    "cert.findings",
+    "cert.pairs_checked",
+    "cert.passes",
+    "cert.witness_runs",
     "consistency.conflicts",
     "consistency.pairs_checked",
     "consistency.witness_found",
@@ -448,6 +520,10 @@ pub struct MetricsObserver {
     conflicts: Counter,
     witnesses: Counter,
     lint_findings: Counter,
+    cert_pairs: Counter,
+    cert_witness_runs: Counter,
+    cert_findings: Counter,
+    cert_passes: Counter,
 }
 
 impl MetricsObserver {
@@ -474,6 +550,10 @@ impl MetricsObserver {
             conflicts: registry.counter("consistency.conflicts"),
             witnesses: registry.counter("consistency.witness_found"),
             lint_findings: registry.counter("lint.findings"),
+            cert_pairs: registry.counter("cert.pairs_checked"),
+            cert_witness_runs: registry.counter("cert.witness_runs"),
+            cert_findings: registry.counter("cert.findings"),
+            cert_passes: registry.counter("cert.passes"),
             registry: registry.clone(),
         }
     }
@@ -584,6 +664,37 @@ impl RepairObserver for MetricsObserver {
             .counter(&format!("lint.severity.{severity}"))
             .inc();
     }
+
+    #[inline]
+    fn cert_pair_checked(&self, pairs: usize) {
+        self.cert_pairs.add(pairs as u64);
+    }
+
+    #[inline]
+    fn cert_witness_run(&self) {
+        self.cert_witness_runs.inc();
+    }
+
+    fn cert_finding(&self, code: &'static str, severity: &'static str) {
+        self.cert_findings.inc();
+        self.registry
+            .counter(&format!("cert.findings.{code}"))
+            .inc();
+        self.registry
+            .counter(&format!("cert.severity.{severity}"))
+            .inc();
+    }
+
+    fn cert_completed(&self, certified: bool) {
+        self.cert_passes.inc();
+        self.registry
+            .counter(if certified {
+                "cert.certified"
+            } else {
+                "cert.rejected"
+            })
+            .inc();
+    }
 }
 
 #[cfg(test)]
@@ -683,6 +794,10 @@ mod tests {
         obs.conflict_found("BiInXj");
         obs.witness_found();
         obs.lint_finding("FR001", "error");
+        obs.cert_pair_checked(3);
+        obs.cert_witness_run();
+        obs.cert_finding("FR009", "error");
+        obs.cert_completed(false);
         let snap = reg.snapshot();
         let counters = snap.get("counters").unwrap().as_obj().unwrap();
         for name in METRIC_NAMES {

@@ -32,12 +32,52 @@ for f in examples/lint/*.frl; do
     fi
 done
 
+TRACE_DIR=$(mktemp -d)
+trap 'rm -rf "$TRACE_DIR"' EXIT
+
+echo "== fixctl certify =="
+# Whole-set chase certification: every shipped ruleset must earn a green
+# certificate (terminating + confluent), even under --deny warnings.
+for f in examples/rulesets/*.frl; do
+    echo "-- certify $f (must be green)"
+    "$FIXCTL" certify "$f" --deny warnings >/dev/null
+done
+# The conflicting fixture must certify RED with a concrete synthesized
+# witness tuple and both divergent end states (FR009).
+if "$FIXCTL" certify examples/lint/conflicting.frl > "$TRACE_DIR/certify_conflicting.txt"; then
+    echo "expected a red certificate for examples/lint/conflicting.frl" >&2
+    exit 1
+fi
+grep -q 'error\[FR009\]' "$TRACE_DIR/certify_conflicting.txt" \
+    || { echo "red certificate missing the FR009 confluence error" >&2; exit 1; }
+grep -q 'witness tuple:' "$TRACE_DIR/certify_conflicting.txt" \
+    || { echo "FR009 missing the synthesized witness tuple" >&2; exit 1; }
+grep -q 'end state under order' "$TRACE_DIR/certify_conflicting.txt" \
+    || { echo "FR009 missing the divergent end states" >&2; exit 1; }
+echo "-- conflicting.frl rejected with witness tuple and end states"
+# Per-rule hygiene problems are lint's business, not the certificate's:
+# dead/redundant rules still certify green.
+"$FIXCTL" certify examples/lint/dead_redundant.frl >/dev/null \
+    || { echo "dead_redundant.frl must still certify green" >&2; exit 1; }
+echo "-- dead_redundant.frl certifies green (lint-only findings)"
+
+echo "== SARIF output smoke =="
+# The SARIF serializer is deterministic: lint over the conflicting
+# fixture must reproduce the golden file byte for byte (lint exits 1 on
+# findings — that's the point of the fixture).
+"$FIXCTL" lint examples/lint/conflicting.frl --format sarif \
+    > "$TRACE_DIR/conflicting.sarif" || true
+cmp "$TRACE_DIR/conflicting.sarif" examples/lint/conflicting.sarif \
+    || { echo "SARIF output drifted from the golden file" >&2; exit 1; }
+"$FIXCTL" certify examples/rulesets/hosp_zip.frl --format sarif \
+    | grep -q '"version": "2.1.0"' \
+    || { echo "certify --format sarif is not SARIF 2.1.0" >&2; exit 1; }
+echo "-- SARIF matches the golden file; certify emits SARIF 2.1.0"
+
 echo "== fixctl trace round trip =="
 # repair --trace → explain → trace export, and the determinism gate: two
 # identical runs under the default logical clock must produce
 # byte-identical journals.
-TRACE_DIR=$(mktemp -d)
-trap 'rm -rf "$TRACE_DIR"' EXIT
 for run in 1 2; do
     "$FIXCTL" repair \
         --rules examples/rulesets/hosp_zip.frl \
@@ -163,6 +203,59 @@ TRACE_ID=$(grep -o 'trace id: t[0-9a-f]*' "$TRACE_DIR/fixd_repair.err" | cut -d'
 "$FIXCTL" client get "/trace/$TRACE_ID" --addr "$ADDR" \
     | grep -q '"name": *"request"\|"name":"request"' \
     || { echo "GET /trace/$TRACE_ID returned no request span" >&2; exit 1; }
+
+echo "== fixd certified hot-swap e2e =="
+# A conflicting candidate must be rejected by the certification gate with
+# the old program untouched: readiness stays green, repairs unchanged.
+cat > "$TRACE_DIR/bad_rules.frl" <<'EOF'
+IF zip = "36545" AND city IN {"Jaxon"} THEN city := "Jackson"
+IF zip = "36545" AND city IN {"Jaxon"} THEN city := "Mobile"
+EOF
+if "$FIXCTL" client rules "$TRACE_DIR/bad_rules.frl" --addr "$ADDR" \
+    > "$TRACE_DIR/swap_bad.json" 2>/dev/null; then
+    echo "fixd promoted an uncertified rule set" >&2
+    exit 1
+fi
+grep -q '"promoted":false' "$TRACE_DIR/swap_bad.json" \
+    || { echo "bad swap response missing promoted:false" >&2; exit 1; }
+grep -q 'FR009' "$TRACE_DIR/swap_bad.json" \
+    || { echo "bad swap response missing the FR009 finding" >&2; exit 1; }
+"$FIXCTL" client get /readyz --addr "$ADDR" > "$TRACE_DIR/readyz_after_bad.json" \
+    || { echo "fixd /readyz went red after a rejected swap" >&2; exit 1; }
+grep -q '"generation":0' "$TRACE_DIR/readyz_after_bad.json" \
+    || { echo "rejected swap must not advance the generation" >&2; exit 1; }
+echo "-- uncertified candidate rejected, old program still ready"
+# A certified candidate promotes atomically: generation advances, the
+# warm plan cache is discarded, and repairs reflect the new rules.
+cat > "$TRACE_DIR/good_rules.frl" <<'EOF'
+IF zip = "36545" AND city IN {"Jackson Heights", "Jaxon"} THEN city := "Jacksonville"
+IF zip = "36545" AND state IN {"AK"} THEN state := "AL"
+EOF
+"$FIXCTL" client rules "$TRACE_DIR/good_rules.frl" --addr "$ADDR" \
+    > "$TRACE_DIR/swap_good.json" 2>/dev/null \
+    || { echo "fixd rejected a certified rule set" >&2; exit 1; }
+grep -q '"promoted":true' "$TRACE_DIR/swap_good.json" \
+    || { echo "good swap response missing promoted:true" >&2; exit 1; }
+grep -q '"generation":1' "$TRACE_DIR/swap_good.json" \
+    || { echo "good swap did not advance to generation 1" >&2; exit 1; }
+# The promoted bundle starts with an EMPTY plan cache (the invalidation):
+# the same signatures repaired before the swap must now be recomputed
+# under the new rules, not replayed from stale plans.
+"$FIXCTL" client get /readyz --addr "$ADDR" > "$TRACE_DIR/readyz_after_good.json" || true
+grep -q '"cache_plans":0' "$TRACE_DIR/readyz_after_good.json" \
+    || { echo "promotion did not invalidate the plan cache" >&2; exit 1; }
+"$FIXCTL" client repair examples/data/hosp_dirty.csv --addr "$ADDR" \
+    > "$TRACE_DIR/fixd_repair_swapped.json" 2>/dev/null \
+    || { echo "fixd POST /repair failed after the swap" >&2; exit 1; }
+grep -q '"new":"Jacksonville"' "$TRACE_DIR/fixd_repair_swapped.json" \
+    || { echo "post-swap repair does not reflect the new rules" >&2; exit 1; }
+if grep -q '"new":"Jackson"' "$TRACE_DIR/fixd_repair_swapped.json"; then
+    echo "post-swap repair replayed a stale plan from the old rules" >&2
+    exit 1
+fi
+"$FIXCTL" client get /readyz --addr "$ADDR" | grep -q '"ready":true' \
+    || { echo "fixd /readyz not green after the promoted swap warmed" >&2; exit 1; }
+echo "-- certified candidate promoted, cache invalidated, new rules serving"
 "$FIXCTL" client shutdown --addr "$ADDR" | grep -q draining \
     || { echo "fixd /shutdown did not acknowledge the drain" >&2; exit 1; }
 wait "$FIXD_PID" \
