@@ -21,11 +21,16 @@
 //! fixctl scrape http://HOST:PORT/metrics [--require NAME] # fetch + validate exposition
 //!                                                         # NAME may be a labeled series:
 //!                                                         #   http.requests{endpoint="repair"}
+//! fixctl quality http://HOST:PORT [--window W]            # repair-quality window table
+//!                [--require-green]                        # (also reads a snapshot file;
+//!                                                         #  exit 1 on active alerts)
 //! fixctl serve  --rules rules.frl [--addr 127.0.0.1:0]    # long-running repair daemon
 //!               [--threads N] [--engine chase|linear] [--schema a,b,c]
 //!               [--warm data.csv] [--journal trace.jsonl] [--cache-shards N]
 //!               [--slo-window N] [--slo-min-samples N]
 //!               [--slo-max-error-rate F] [--slo-max-p99-ms N]
+//!               [--trace-sample N] [--quality-window N]
+//!               [--quality-alert drift>0.5,repair_rate:city>0.25] [--quality-gate]
 //! fixctl client repair rows.csv --addr HOST:PORT [--format csv]
 //! fixctl client check  rows.csv --addr HOST:PORT          # dry run, nothing recorded
 //! fixctl client get    /readyz  --addr HOST:PORT          # any GET endpoint
@@ -82,8 +87,9 @@ use fixrules::repair::{
 use fixrules::RuleSet;
 use obs::trace::{chrome_trace, parse_jsonl, TracePhase, TraceSpan};
 use obs::{
-    http_get, parse_prometheus, AttributionObserver, Json, MetricsObserver, MetricsRegistry,
-    MetricsServer, RepairObserver, RuleLabel, Tee, TraceClock, TraceJournal,
+    http_get, parse_prometheus, render_snapshot, AlertRule, AttributionObserver, Json,
+    MetricsObserver, MetricsRegistry, MetricsServer, QualityConfig, QualityMonitor, RepairObserver,
+    RuleLabel, Tee, TraceClock, TraceJournal,
 };
 use relation::{Schema, Symbol, SymbolTable, Table};
 
@@ -175,7 +181,7 @@ struct Flags {
 }
 
 /// Flags that are plain switches: present or absent, consuming no value.
-const SWITCH_FLAGS: &[&str] = &["profile", "lint"];
+const SWITCH_FLAGS: &[&str] = &["profile", "lint", "quality-gate", "require-green"];
 
 impl Flags {
     fn parse(args: &[String]) -> Result<Flags, String> {
@@ -224,7 +230,7 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
     // (like rustc), `trace` has an `export` subcommand; every other
     // command is pure `--flag value` pairs.
     let (positional, flag_args) = match command.as_str() {
-        "lint" | "certify" | "explain" | "scrape" => match args.get(1) {
+        "lint" | "certify" | "explain" | "scrape" | "quality" => match args.get(1) {
             Some(arg) if !arg.starts_with("--") => (Some(arg.as_str()), &args[2..]),
             _ => (None, &args[1..]),
         },
@@ -271,6 +277,7 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
         "resolve" => cmd_resolve(&flags, &obs_ctx).map(|()| ExitCode::SUCCESS),
         "repair" => cmd_repair(&flags, &obs_ctx).map(|()| ExitCode::SUCCESS),
         "scrape" => cmd_scrape(positional, &flags),
+        "quality" => cmd_quality(positional, &flags),
         "serve" => cmd_serve(&flags).map(|()| ExitCode::SUCCESS),
         "client" => cmd_client(args[1].as_str(), positional, &flags),
         "serve-metrics" => cmd_serve_metrics(&flags, &obs_ctx).map(|()| ExitCode::SUCCESS),
@@ -292,6 +299,7 @@ fn usage() -> String {
      [--plan-cache on|off|CAPACITY] [--threads N] [--strategy shrink|drop] [--updates-log FILE] \
      [--metrics FILE.json] [--log off|info|debug] [--trace FILE.jsonl] [--trace-clock logical|wall] \
      [--profile] [--profile-json FILE] [--expose ADDR] [--expose-hold N] \
+     [--quality-window N] [--quality-alert SPEC,...] [--quality-json FILE] \
      | lint RULES.frl [--schema a,b,c | --data FILE.csv] [--format human|json|sarif] \
      [--deny warnings|FR001,...] \
      | certify RULES.frl [--schema a,b,c | --data FILE.csv] [--format human|json|sarif] \
@@ -301,10 +309,12 @@ fn usage() -> String {
      | serve --rules FILE [--addr HOST:PORT] [--threads N] [--engine chase|linear] \
      [--schema a,b,c] [--warm FILE.csv] [--journal FILE.jsonl] [--cache-shards N] \
      [--slo-window N] [--slo-min-samples N] [--slo-max-error-rate F] [--slo-max-p99-ms N] \
+     [--trace-sample N] [--quality-window N] [--quality-alert SPEC,...] [--quality-gate] \
      | client repair|check FILE --addr HOST:PORT [--format csv|json] \
      | client rules RULES.frl --addr HOST:PORT \
      | client get PATH --addr HOST:PORT | client shutdown --addr HOST:PORT \
      | scrape URL|FILE [--require METRIC[{k=\"v\",...}]] \
+     | quality URL|SNAPSHOT.json [--window W] [--require-green] \
      | explain TRACE.jsonl --row N --attr NAME \
      | trace export TRACE.jsonl --chrome OUT.json \
      | discover --data FILE.csv --fds FILE --out rules.frl [--min-support N] [--min-confidence F]"
@@ -985,6 +995,66 @@ fn require_present(samples: &[obs::PromSample], required: &str) -> Result<bool, 
     }))
 }
 
+/// Parse `--quality-alert` as comma-separated [`AlertRule`] specs, e.g.
+/// `drift>0.5,repair_rate:city>0.25`.
+fn quality_alerts_flag(flags: &Flags) -> Result<Vec<AlertRule>, String> {
+    match flags.optional("quality-alert") {
+        Some(specs) => specs
+            .split(',')
+            .map(|spec| AlertRule::parse(spec.trim()))
+            .collect(),
+        None => Ok(Vec::new()),
+    }
+}
+
+/// Fetch a repair-quality snapshot — from a running daemon's
+/// `GET /quality`, or from a file written by `repair --quality-json` —
+/// and render the per-window signal table. Exit 1 when `--require-green`
+/// finds active alerts (the CI spelling of "is the data still healthy?").
+fn cmd_quality(positional: Option<&str>, flags: &Flags) -> Result<ExitCode, String> {
+    let target = positional
+        .ok_or("quality needs a target: fixctl quality http://HOST:PORT | snapshot.json")?;
+    let text = if target.starts_with("http://") {
+        // Accept both a daemon base URL and the endpoint itself.
+        let url = if target.ends_with("/quality") {
+            target.to_string()
+        } else {
+            format!("{}/quality", target.trim_end_matches('/'))
+        };
+        let (status, body) = http_get(&url).map_err(|e| format!("fetching {url}: {e}"))?;
+        if status != 200 {
+            return Err(format!("{url} answered HTTP {status}"));
+        }
+        body
+    } else {
+        std::fs::read_to_string(target).map_err(|e| format!("reading {target}: {e}"))?
+    };
+    let snapshot =
+        obs::json::parse(&text).map_err(|e| format!("invalid snapshot from {target}: {e}"))?;
+    let last = match flags.optional("window") {
+        Some(n) => Some(
+            n.parse()
+                .ok()
+                .filter(|&w| w >= 1)
+                .ok_or_else(|| format!("--window: bad value `{n}` (newest N windows)"))?,
+        ),
+        None => None,
+    };
+    print!("{}", render_snapshot(&snapshot, last)?);
+    if flags.switch("require-green") {
+        let alerts = snapshot
+            .get("alerts")
+            .and_then(|j| j.as_arr())
+            .map_or(0, |arr| arr.len());
+        if alerts > 0 {
+            println!("require-green: {alerts} active alert(s)");
+            return Ok(ExitCode::from(1));
+        }
+        println!("require-green: no active alerts");
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
 /// Run the long-lived `fixd` repair daemon in the foreground: rules are
 /// loaded, linted, and compiled once, then every `POST /repair` batch
 /// shares one warm plan cache. Blocks until `POST /shutdown` drains it.
@@ -1057,6 +1127,21 @@ fn cmd_serve(flags: &Flags) -> Result<(), String> {
             .parse()
             .map_err(|_| format!("--slo-max-p99-ms: bad value `{ms}`"))?;
         config.slo.max_p99_ns = ms.saturating_mul(1_000_000);
+    }
+    if let Some(sample) = flags.optional("trace-sample") {
+        config.trace_sample = sample
+            .parse()
+            .map_err(|_| format!("--trace-sample: bad value `{sample}` (rows per request)"))?;
+    }
+    if let Some(window) = flags.optional("quality-window") {
+        config.quality_window = window
+            .parse()
+            .map_err(|_| format!("--quality-window: bad value `{window}` (rows, 0 disables)"))?;
+    }
+    config.quality_alerts = quality_alerts_flag(flags)?;
+    config.quality_gate = flags.switch("quality-gate");
+    if config.quality_gate && config.quality_window == 0 {
+        return Err("--quality-gate needs quality monitoring (--quality-window > 0)".to_string());
     }
     let daemon = fixd::Daemon::start(config).map_err(|e| format!("starting fixd: {e}"))?;
     println!("fixd listening on http://{}", daemon.addr());
@@ -1192,6 +1277,11 @@ fn cmd_repair(flags: &Flags, obs_ctx: &ObsCtx) -> Result<(), String> {
             "--plan-cache only applies to the compiled and stream engines (got `{algo}`)"
         ));
     }
+    if algo != "stream" && flags.optional("quality-window").is_some() {
+        return Err(format!(
+            "--quality-window only applies to the stream engine (got `{algo}`)"
+        ));
+    }
     if algo == "stream" {
         // One-pass constant-memory repair: re-read the data file and write
         // records as they are repaired.
@@ -1226,6 +1316,30 @@ fn cmd_repair(flags: &Flags, obs_ctx: &ObsCtx) -> Result<(), String> {
             CacheSpec::On => Some(PlanCache::bounded_lru(4096)),
             CacheSpec::Bounded(c) => Some(PlanCache::bounded_lru(c)),
         };
+        // `--quality-window` hangs a QualityMonitor off the same observer
+        // chain: tumbling windows of pre/post sketches over the stream,
+        // summarized as a per-window table after the run.
+        let quality = match flags.optional("quality-window") {
+            Some(n) => {
+                let window: usize = n
+                    .parse()
+                    .ok()
+                    .filter(|&w| w >= 1)
+                    .ok_or_else(|| format!("--quality-window: bad value `{n}` (rows >= 1)"))?;
+                let cfg = QualityConfig {
+                    window_rows: window,
+                    alerts: quality_alerts_flag(flags)?,
+                    ..QualityConfig::default()
+                };
+                let names = header_table
+                    .schema()
+                    .attr_names()
+                    .map(str::to_string)
+                    .collect();
+                Some(QualityMonitor::new(cfg, names).with_registry(&obs_ctx.registry))
+            }
+            None => None,
+        };
         // Optional observers tee onto the metrics observer as trait
         // objects; the blanket `&T` impl lets the generic drivers take the
         // assembled `&dyn` chain without monomorphizing every combination.
@@ -1236,6 +1350,7 @@ fn cmd_repair(flags: &Flags, obs_ctx: &ObsCtx) -> Result<(), String> {
             .then(|| ProvenanceObserver::new(&rules2, &ledger));
         let tee_prov;
         let tee_attr;
+        let tee_quality;
         let mut observer: &dyn RepairObserver = &obs_ctx.observer;
         if let Some(p) = &prov {
             tee_prov = Tee(observer, p as &dyn RepairObserver);
@@ -1244,6 +1359,10 @@ fn cmd_repair(flags: &Flags, obs_ctx: &ObsCtx) -> Result<(), String> {
         if let Some(a) = &attribution {
             tee_attr = Tee(observer, a as &dyn RepairObserver);
             observer = &tee_attr;
+        }
+        if let Some(q) = &quality {
+            tee_quality = Tee(observer, q as &dyn RepairObserver);
+            observer = &tee_quality;
         }
         let stats = {
             let _span = obs_ctx.span("repair");
@@ -1294,6 +1413,17 @@ fn cmd_repair(flags: &Flags, obs_ctx: &ObsCtx) -> Result<(), String> {
         );
         if let Some(cache) = &stream_cache {
             report_plan_cache(cache);
+        }
+        if let Some(quality) = &quality {
+            // Seal the trailing partial window so the table covers every
+            // row, then print the per-window signal summary.
+            quality.flush();
+            print!("{}", quality.render_table());
+            if let Some(path) = flags.optional("quality-json") {
+                std::fs::write(path, quality.snapshot().to_string_pretty() + "\n")
+                    .map_err(|e| format!("writing {path}: {e}"))?;
+                obs::info!("quality.written", path = path);
+            }
         }
         println!("wrote {out}");
         emit_profile(flags, attribution.as_ref())?;

@@ -1506,3 +1506,134 @@ fn client_surfaces_daemon_errors_as_exit_one() {
     assert!(out.status.success());
     assert!(child.wait().unwrap().success());
 }
+
+#[test]
+fn stream_quality_window_prints_a_deterministic_table() {
+    let dir = tmpdir("quality_stream");
+    let data = dir.join("t.csv");
+    let rules = dir.join("r.frl");
+    std::fs::write(&data, TRAVEL_CSV).unwrap();
+    std::fs::write(&rules, GOOD_RULES).unwrap();
+    let mut runs = Vec::new();
+    for tag in ["a", "b"] {
+        let out_path = dir.join(format!("{tag}.csv"));
+        let snap_path = dir.join(format!("{tag}.json"));
+        let out = fixctl(&[
+            "repair",
+            "--rules",
+            rules.to_str().unwrap(),
+            "--data",
+            data.to_str().unwrap(),
+            "--out",
+            out_path.to_str().unwrap(),
+            "--engine",
+            "stream",
+            "--quality-window",
+            "2",
+            "--quality-json",
+            snap_path.to_str().unwrap(),
+        ]);
+        assert!(
+            out.status.success(),
+            "{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        let stdout = String::from_utf8_lossy(&out.stdout).into_owned();
+        assert!(stdout.contains("window"), "missing table header: {stdout}");
+        assert!(stdout.contains("capital"), "missing attr rows: {stdout}");
+        // Drop the `wrote <path>` line — the paths differ by run tag.
+        let table: String = stdout
+            .lines()
+            .filter(|l| !l.starts_with("wrote "))
+            .map(|l| format!("{l}\n"))
+            .collect();
+        runs.push((table, std::fs::read_to_string(&snap_path).unwrap()));
+    }
+    // Both the printed table and the JSON snapshot are byte-identical
+    // across runs — the CI cmp gate depends on this.
+    assert_eq!(runs[0], runs[1]);
+    // 4 rows through 2-row windows: both sealed windows are in history.
+    let snapshot = runs[0].1.clone();
+    assert!(snapshot.contains("\"clock\": 2"), "two sealed windows");
+}
+
+#[test]
+fn quality_command_renders_snapshots_and_gates_on_alerts() {
+    let dir = tmpdir("quality_cmd");
+    let data = dir.join("t.csv");
+    let rules = dir.join("r.frl");
+    let out_path = dir.join("out.csv");
+    let snap_path = dir.join("snap.json");
+    std::fs::write(&data, TRAVEL_CSV).unwrap();
+    std::fs::write(&rules, GOOD_RULES).unwrap();
+    // Half the rows in each window repair `capital`, so a 10% repair-rate
+    // threshold is guaranteed to fire.
+    let out = fixctl(&[
+        "repair",
+        "--rules",
+        rules.to_str().unwrap(),
+        "--data",
+        data.to_str().unwrap(),
+        "--out",
+        out_path.to_str().unwrap(),
+        "--engine",
+        "stream",
+        "--quality-window",
+        "2",
+        "--quality-alert",
+        "repair_rate>0.1",
+        "--quality-json",
+        snap_path.to_str().unwrap(),
+    ]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(String::from_utf8_lossy(&out.stdout).contains("alert:"));
+
+    // Plain rendering succeeds and shows the window table.
+    let out = fixctl(&["quality", snap_path.to_str().unwrap()]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout).into_owned();
+    assert!(stdout.starts_with("quality: clock 2"), "header: {stdout}");
+    assert!(stdout.contains("active alert:"), "alerts: {stdout}");
+
+    // `--window 1` trims the table to the newest sealed window.
+    let out = fixctl(&["quality", snap_path.to_str().unwrap(), "--window", "1"]);
+    let trimmed = String::from_utf8_lossy(&out.stdout).into_owned();
+    assert!(trimmed.matches("capital").count() < stdout.matches("capital").count());
+
+    // `--require-green` turns the active alert into exit status 1.
+    let out = fixctl(&["quality", snap_path.to_str().unwrap(), "--require-green"]);
+    assert_eq!(out.status.code(), Some(1));
+    assert!(String::from_utf8_lossy(&out.stdout).contains("active alert(s)"));
+}
+
+#[test]
+fn quality_window_rejects_non_stream_engines() {
+    let dir = tmpdir("quality_engine");
+    let data = dir.join("t.csv");
+    let rules = dir.join("r.frl");
+    std::fs::write(&data, TRAVEL_CSV).unwrap();
+    std::fs::write(&rules, GOOD_RULES).unwrap();
+    let out = fixctl(&[
+        "repair",
+        "--rules",
+        rules.to_str().unwrap(),
+        "--data",
+        data.to_str().unwrap(),
+        "--out",
+        dir.join("out.csv").to_str().unwrap(),
+        "--engine",
+        "lrepair",
+        "--quality-window",
+        "4",
+    ]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("stream engine"));
+}

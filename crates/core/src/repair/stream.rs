@@ -46,7 +46,10 @@ pub fn stream_repair_csv<R: Read, W: Write>(
 /// [`stream_repair_csv`] with observer hooks: per-tuple hooks from
 /// `lRepair`, one `cell_repaired` per applied update (`row` = 0-based
 /// record index), plus one `stream_record(vocab)` per record carrying the
-/// interner size (the memory-bounding quantity of this driver).
+/// interner size (the memory-bounding quantity of this driver). When the
+/// observer answers `wants_rows`, each record's *pre-repair* symbol ids
+/// are also reported through `row_observed` (before any rule fires), so a
+/// quality monitor sees the incoming distribution, not the repaired one.
 pub fn stream_repair_csv_observed<R: Read, W: Write, O: RepairObserver>(
     rules: &RuleSet,
     index: &LRepairIndex,
@@ -75,11 +78,17 @@ pub fn stream_repair_csv_observed<R: Read, W: Write, O: RepairObserver>(
 
     let mut scratch = LRepairScratch::new(rules.len());
     let mut row: Vec<Symbol> = Vec::with_capacity(schema.arity());
+    let mut pre: Vec<u32> = Vec::with_capacity(schema.arity());
     let mut stats = StreamStats::default();
     for record in rdr.records() {
         let record = record?;
         row.clear();
         row.extend(record.iter().map(|cell| symbols.intern(cell)));
+        if observer.wants_rows() {
+            pre.clear();
+            pre.extend(row.iter().map(|s| s.0));
+            observer.row_observed(&pre);
+        }
         let mut updates = lrepair_tuple_observed(rules, index, &mut scratch, &mut row, observer);
         if !updates.is_empty() {
             stats.rows_touched += 1;
@@ -159,11 +168,17 @@ pub fn stream_repair_csv_compiled_observed<R: Read, W: Write, O: RepairObserver>
 
     let mut scratch = CompiledScratch::new(rules.len());
     let mut row: Vec<Symbol> = Vec::with_capacity(schema.arity());
+    let mut pre: Vec<u32> = Vec::with_capacity(schema.arity());
     let mut stats = StreamStats::default();
     for record in rdr.records() {
         let record = record?;
         row.clear();
         row.extend(record.iter().map(|cell| symbols.intern(cell)));
+        if observer.wants_rows() {
+            pre.clear();
+            pre.extend(row.iter().map(|s| s.0));
+            observer.row_observed(&pre);
+        }
         let mut updates = repair_row_compiled(
             rules,
             program,
@@ -327,6 +342,38 @@ Mike,Canada,Toronto,Toronto,VLDB
         assert_eq!(cs.misses, 6);
         assert_eq!(cs.evictions, 5);
         assert_eq!(cs.entries, 1);
+    }
+
+    #[test]
+    fn quality_monitor_watches_the_stream() {
+        use obs::{QualityConfig, QualityMonitor};
+        let (rules, mut sy) = setup();
+        let index = LRepairIndex::build(&rules);
+        let names: Vec<String> = rules.schema().attr_names().map(str::to_string).collect();
+        let monitor = QualityMonitor::new(QualityConfig::with_window(2), names);
+        let mut out = Vec::new();
+        stream_repair_csv_observed(
+            &rules,
+            &index,
+            &mut sy,
+            DIRTY.as_bytes(),
+            &mut out,
+            &monitor,
+        )
+        .unwrap();
+        monitor.flush();
+        let windows = monitor.summaries();
+        assert_eq!(windows.len(), 2, "3 records at window 2 → 2 windows");
+        assert_eq!(windows[0].rows, 2);
+        assert_eq!(windows[1].rows, 1);
+        // `capital` is attribute 2; Ian's row repaired in window 0,
+        // Mike's in window 1 — and the monitor saw the *pre-repair*
+        // values (Shanghai, Toronto), not the fixed ones.
+        assert_eq!(windows[0].attrs[2].attr, "capital");
+        assert_eq!(windows[0].attrs[2].repaired, 1);
+        assert_eq!(windows[1].attrs[2].repaired, 1);
+        assert_eq!(windows[0].attrs[2].repair_rate_permille, 500);
+        assert_eq!(windows[1].attrs[2].repair_rate_permille, 1000);
     }
 
     #[test]

@@ -26,6 +26,13 @@
 //! * repairs append to a [`ProvenanceLedger`] with daemon-global row ids
 //!   (`row_base` in each response), so `GET /explain/{row}/{attr}` can
 //!   justify any cell the daemon ever changed;
+//! * every repaired batch also feeds a windowed
+//!   [`QualityMonitor`]: per-attribute repair rate,
+//!   new-value ratio, and sketch-based frequency drift over tumbling row
+//!   windows, served at `GET /quality` and exported as
+//!   `quality.drift{attr=...}` gauges; firing
+//!   [`AlertRule`]s optionally gate `GET /readyz`
+//!   (`quality_gate` in [`DaemonConfig`]);
 //! * `POST /rules` hot-swaps the rule set behind a **certified promotion
 //!   gate**: the candidate text is linted, certified by `fixcert`
 //!   (termination + confluence), and semantically diffed against the
@@ -46,6 +53,7 @@
 //! | `POST /rules` | Hot-swap the rule set (lint + certify + diff gate) |
 //! | `GET /explain/{row}/{attr}` | Provenance chain for a repaired cell, JSONL |
 //! | `GET /trace/{id}` | One request's trace records (`?format=chrome` optional) |
+//! | `GET /quality` | Repair-quality snapshot: current window, history, alerts |
 //! | `GET /metrics` | Prometheus text v0.0.4 (`/metrics.json` for the snapshot) |
 //! | `GET /healthz` | Liveness — always `200 ok` while the process serves |
 //! | `GET /readyz` | Readiness — `200`/`503` with a JSON explanation |
@@ -93,15 +101,20 @@ use obs::{
     prometheus_text, Json, MetricsObserver, MetricsRegistry, RepairObserver, SloConfig, TraceClock,
     TraceJournal, TracePhase, TraceRecord,
 };
-use obs::{HealthEvaluator, Tee};
+use obs::{AlertRule, HealthEvaluator, QualityConfig, QualityMonitor, Tee};
 use relation::{csv_io, Schema, Symbol, SymbolTable};
 
 /// How many recent trace ids stay resolvable via `GET /trace/{id}`.
 const TRACE_INDEX_CAP: usize = 1024;
 
-/// Per-request cap on `row.repaired` journal events. Aggregate totals
-/// always land in the request's `request.end` record.
+/// Default per-request cap on `row.repaired` journal events
+/// ([`DaemonConfig::trace_sample`]; 0 disables row events entirely).
+/// Aggregate totals always land in the request's `request.end` record.
 const ROW_EVENT_SAMPLE: usize = 16;
+
+/// Default rows per repair-quality window ([`DaemonConfig::quality_window`];
+/// 0 disables quality monitoring entirely).
+const QUALITY_WINDOW: usize = 256;
 
 /// Where the daemon's rule text comes from.
 #[derive(Debug, Clone)]
@@ -154,6 +167,18 @@ pub struct DaemonConfig {
     /// exists for the `bench serve` ablation — every row then pays full
     /// engine evaluation.
     pub plan_cache: bool,
+    /// Per-request cap on sampled `row.repaired` journal events
+    /// (default 16; 0 = no row events). Recorded in the journal's
+    /// `trace.meta` record so a trace reader knows the sampling regime.
+    pub trace_sample: usize,
+    /// Rows per repair-quality window (default 256; 0 disables the
+    /// quality monitor and `GET /quality` reports `enabled: false`).
+    pub quality_window: usize,
+    /// Alert thresholds evaluated whenever a quality window seals.
+    pub quality_alerts: Vec<AlertRule>,
+    /// Fold firing quality alerts into `GET /readyz` (opt-in: a drifting
+    /// upstream then flips readiness until a calm window seals).
+    pub quality_gate: bool,
 }
 
 impl Default for DaemonConfig {
@@ -170,6 +195,10 @@ impl Default for DaemonConfig {
             journal_path: None,
             warm: None,
             plan_cache: true,
+            trace_sample: ROW_EVENT_SAMPLE,
+            quality_window: QUALITY_WINDOW,
+            quality_alerts: Vec::new(),
+            quality_gate: false,
         }
     }
 }
@@ -236,6 +265,9 @@ struct DaemonState {
     trace_seq: AtomicU64,
     rows_served: AtomicUsize,
     use_cache: bool,
+    trace_sample: usize,
+    quality: Option<QualityMonitor>,
+    quality_gate: bool,
     stop: AtomicBool,
     journal_path: Option<String>,
 }
@@ -354,6 +386,16 @@ impl Daemon {
             .map_err(|e| invalid(e.message()))?;
         cert.observe(&MetricsObserver::new(&registry));
 
+        let quality = (config.quality_window > 0).then(|| {
+            let qcfg = QualityConfig {
+                window_rows: config.quality_window,
+                alerts: config.quality_alerts.clone(),
+                ..QualityConfig::default()
+            };
+            let names = schema.attr_names().map(str::to_string).collect();
+            QualityMonitor::new(qcfg, names).with_registry(&registry)
+        });
+
         let state = Arc::new(DaemonState {
             schema,
             bundle: RwLock::new(Arc::new(bundle)),
@@ -368,9 +410,23 @@ impl Daemon {
             trace_seq: AtomicU64::new(0),
             rows_served: AtomicUsize::new(0),
             use_cache: config.plan_cache,
+            trace_sample: config.trace_sample,
+            quality,
+            quality_gate: config.quality_gate,
             stop: AtomicBool::new(false),
             journal_path: config.journal_path.clone(),
         });
+        // The journal leads with the configuration a reader needs to
+        // interpret it — in particular the row-event sampling regime.
+        state.journal.event(
+            "trace.meta",
+            0,
+            Json::obj([
+                ("quality_window", Json::from(config.quality_window)),
+                ("row_event_sample", Json::from(config.trace_sample)),
+                ("source", Json::from("fixd")),
+            ]),
+        );
 
         if let Some(warm_path) = &config.warm {
             warm_cache(&state, warm_path).map_err(|e| invalid(e.message))?;
@@ -530,6 +586,7 @@ fn endpoint_label(request: &Request) -> &'static str {
         "/check" => "check",
         "/rules" => "rules",
         "/metrics" | "/metrics.json" => "metrics",
+        "/quality" => "quality",
         "/healthz" => "healthz",
         "/readyz" => "readyz",
         "/shutdown" => "shutdown",
@@ -601,6 +658,7 @@ fn route(
         ("GET", "explain") => handle_explain(state, request),
         ("GET", "trace") => handle_trace(state, request),
         ("GET", "metrics") => Ok(handle_metrics(state, request)),
+        ("GET", "quality") => Ok(handle_quality(state)),
         ("GET", "healthz") => Ok(Response::text(200, "ok\n")),
         ("GET", "readyz") => Ok(handle_readyz(state)),
         ("POST", "shutdown") => {
@@ -732,9 +790,29 @@ fn parse_json_rows(state: &DaemonState, body: &str) -> Result<Vec<Vec<Symbol>>, 
     Ok(intern_rows(state, &rows))
 }
 
-/// Allocate the next trace id and register `span` under it.
-fn new_trace_id(state: &DaemonState, span: u64) -> String {
-    let trace_id = format!("t{:08x}", state.trace_seq.fetch_add(1, Ordering::SeqCst));
+/// `t` plus exactly eight lowercase hex digits — the shape every
+/// daemon-generated id has, and the only shape accepted from callers.
+fn valid_trace_id(id: &str) -> bool {
+    let bytes = id.as_bytes();
+    bytes.len() == 9
+        && bytes[0] == b't'
+        && bytes[1..]
+            .iter()
+            .all(|b| b.is_ascii_digit() || (b'a'..=b'f').contains(b))
+}
+
+/// Register `span` under the request's trace id and return it. A caller
+/// may supply its own id in an `X-Trace-Id` request header to correlate
+/// its logs with the daemon's journal end-to-end; it is honored iff it
+/// has the canonical `t%08x` shape (anything else falls back to a
+/// generated id — a malformed or hostile header must not pollute the
+/// index). `GET /trace/{id}` resolves the newest request under an id, so
+/// a caller reusing one id simply shadows its older requests.
+fn new_trace_id(state: &DaemonState, span: u64, request: &Request) -> String {
+    let trace_id = match request.header("x-trace-id").filter(|id| valid_trace_id(id)) {
+        Some(id) => id.to_string(),
+        None => format!("t{:08x}", state.trace_seq.fetch_add(1, Ordering::SeqCst)),
+    };
     state
         .trace_index
         .lock()
@@ -749,7 +827,7 @@ fn handle_repair(
     request: &Request,
 ) -> SrvResult {
     let span = state.journal.span("request", 0);
-    let trace_id = new_trace_id(state, span.id());
+    let trace_id = new_trace_id(state, span.id(), request);
     state.journal.event(
         "request.begin",
         span.id(),
@@ -772,7 +850,15 @@ fn handle_repair(
     let repair_started = Instant::now();
     {
         let repair_span = state.journal.span("repair", span.id());
+        let mut pre: Vec<u32> = Vec::with_capacity(state.schema.arity());
         for (i, row) in rows.iter_mut().enumerate() {
+            // The quality monitor scores the *incoming* distribution, so
+            // it sees each row before any rule fires.
+            if let Some(quality) = &state.quality {
+                pre.clear();
+                pre.extend(row.iter().map(|s| s.0));
+                quality.row_observed(&pre);
+            }
             let mut updates = repair_row_compiled(
                 &bundle.rules,
                 &bundle.program,
@@ -788,14 +874,18 @@ fn handle_repair(
             repaired_rows += 1;
             for (ordinal, update) in updates.iter_mut().enumerate() {
                 update.row = row_base + i;
-                observer.cell_repaired(update.as_fix(ordinal));
+                let fix = update.as_fix(ordinal);
+                observer.cell_repaired(fix);
+                if let Some(quality) = &state.quality {
+                    quality.cell_repaired(fix);
+                }
             }
             // Row-level detail is sampled: a large dirty batch would
             // otherwise append thousands of journal records per request
             // (one global mutex hit each) and grow the in-memory journal
             // without bound under sustained traffic. The request.end
             // record always carries the exact totals.
-            if repaired_rows <= ROW_EVENT_SAMPLE {
+            if repaired_rows <= state.trace_sample {
                 state.journal.event(
                     "row.repaired",
                     repair_span.id(),
@@ -825,7 +915,7 @@ fn handle_repair(
             ("repaired_rows", Json::from(repaired_rows)),
             (
                 "rows_sampled",
-                Json::from(repaired_rows.min(ROW_EVENT_SAMPLE)),
+                Json::from(repaired_rows.min(state.trace_sample)),
             ),
             ("rows", Json::from(rows.len())),
             ("updates", Json::from(all_updates.len())),
@@ -902,7 +992,7 @@ fn handle_check(
     request: &Request,
 ) -> SrvResult {
     let span = state.journal.span("request", 0);
-    let trace_id = new_trace_id(state, span.id());
+    let trace_id = new_trace_id(state, span.id(), request);
     state.journal.event(
         "request.begin",
         span.id(),
@@ -965,7 +1055,7 @@ fn handle_check(
 ///   from the old rules must never replay against the new ones.
 fn handle_rules(state: &DaemonState, request: &Request) -> SrvResult {
     let span = state.journal.span("request", 0);
-    let trace_id = new_trace_id(state, span.id());
+    let trace_id = new_trace_id(state, span.id(), request);
     let text = request.body_str();
     if text.trim().is_empty() {
         return Err(bad_request("empty rule text"));
@@ -1123,6 +1213,24 @@ fn handle_trace(state: &DaemonState, request: &Request) -> SrvResult {
     ))
 }
 
+/// `GET /quality` — the [`QualityMonitor`] snapshot: configuration,
+/// logical window clock, the in-progress window's signals, sealed window
+/// history, and the active alert set. Byte-deterministic for a given
+/// request sequence (integer counts and per-mille ratios only).
+fn handle_quality(state: &DaemonState) -> Response {
+    match &state.quality {
+        Some(quality) => {
+            let mut snapshot = quality.snapshot();
+            snapshot.set("enabled", true);
+            Response::json(200, format!("{}\n", snapshot.to_string_pretty()))
+        }
+        None => Response::json(
+            200,
+            format!("{}\n", Json::obj([("enabled", Json::from(false))])),
+        ),
+    }
+}
+
 fn handle_metrics(state: &DaemonState, request: &Request) -> Response {
     let snapshot = state.registry.snapshot();
     if request.path == "/metrics.json" {
@@ -1138,8 +1246,10 @@ fn handle_metrics(state: &DaemonState, request: &Request) -> Response {
 
 /// Readiness: lint-clean rules, a consistent rule set, a green `fixcert`
 /// certificate (termination + confluence), at least one memoized plan
-/// (the cache is warm), and green SLOs. `503` otherwise, with every
-/// sub-verdict in the JSON body.
+/// (the cache is warm), and green SLOs. With the opt-in quality gate,
+/// active quality alerts also flip readiness (without the gate they are
+/// reported but never gate). `503` otherwise, with every sub-verdict in
+/// the JSON body.
 fn handle_readyz(state: &DaemonState) -> Response {
     let report = state.health.report();
     let bundle = state.bundle();
@@ -1147,7 +1257,17 @@ fn handle_readyz(state: &DaemonState) -> Response {
     // With the cache disabled there is nothing to warm; don't gate
     // readiness on it.
     let cache_warm = !state.use_cache || !bundle.cache.is_empty();
-    let ready = lint_clean && bundle.consistent && bundle.certified && cache_warm && report.healthy;
+    let quality_alerts = state
+        .quality
+        .as_ref()
+        .map_or(0, |quality| quality.active_alerts().len());
+    let quality_ok = !state.quality_gate || quality_alerts == 0;
+    let ready = lint_clean
+        && bundle.consistent
+        && bundle.certified
+        && cache_warm
+        && report.healthy
+        && quality_ok;
     let body = Json::obj([
         ("cache_plans", Json::from(bundle.cache.len())),
         ("cache_warm", Json::from(cache_warm)),
@@ -1158,6 +1278,9 @@ fn handle_readyz(state: &DaemonState) -> Response {
         ("health", report.to_json()),
         ("lint_clean", Json::from(lint_clean)),
         ("lint_errors", Json::from(bundle.lint_errors)),
+        ("quality_alerts", Json::from(quality_alerts)),
+        ("quality_gate", Json::from(state.quality_gate)),
+        ("quality_ok", Json::from(quality_ok)),
         ("ready", Json::from(ready)),
         (
             "rows_served",

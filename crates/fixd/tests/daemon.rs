@@ -578,3 +578,199 @@ IF zip = "1" AND city IN {"a"} THEN city := "c"
     assert_eq!(json.get("consistent").unwrap().as_bool(), Some(false));
     daemon.shutdown();
 }
+
+#[test]
+fn caller_supplied_trace_id_is_honored_and_resolvable() {
+    let daemon = daemon();
+    let body = "zip,city,state\n36545,Jaxon,AK\n";
+    let reply = obs::http_request_with_headers(
+        "POST",
+        &url(&daemon, "/repair"),
+        "text/csv",
+        body.as_bytes(),
+        &[("X-Trace-Id", "t00c0ffee")],
+    )
+    .unwrap();
+    assert_eq!(reply.status, 200);
+    let json = parse_json(&reply.body);
+    assert_eq!(json.get("trace_id").unwrap().as_str(), Some("t00c0ffee"));
+    assert_eq!(reply.header("x-trace-id"), Some("t00c0ffee"));
+    // The caller's id resolves through the trace index like a generated
+    // one: the subtree holds the request span and its row events.
+    let (status, trace) = http_get(&url(&daemon, "/trace/t00c0ffee")).unwrap();
+    assert_eq!(status, 200);
+    let records = obs::trace::parse_jsonl(&trace).unwrap();
+    assert!(records.iter().any(|r| r.name == "request"));
+    assert!(records.iter().any(|r| r.name == "row.repaired"));
+
+    // A header without the canonical t%08x shape is ignored: the daemon
+    // falls back to a generated id rather than indexing hostile input.
+    for bad in ["not-a-trace", "tZZZZZZZZ", "t123", "T00c0ffee"] {
+        let reply = obs::http_request_with_headers(
+            "POST",
+            &url(&daemon, "/repair"),
+            "text/csv",
+            body.as_bytes(),
+            &[("X-Trace-Id", bad)],
+        )
+        .unwrap();
+        assert_eq!(reply.status, 200);
+        let json = parse_json(&reply.body);
+        let id = json.get("trace_id").unwrap().as_str().unwrap().to_string();
+        assert_ne!(id, bad, "malformed id must not be honored");
+        assert!(
+            id.starts_with('t') && id.len() == 9,
+            "generated shape: {id}"
+        );
+    }
+    daemon.shutdown();
+}
+
+#[test]
+fn trace_sample_zero_disables_row_events_and_is_recorded() {
+    let dir = std::env::temp_dir().join("fixd-test-trace-sample");
+    std::fs::create_dir_all(&dir).unwrap();
+    let journal_path = dir.join("journal.jsonl");
+    let _ = std::fs::remove_file(&journal_path);
+    let daemon = Daemon::start(DaemonConfig {
+        rules: RulesSource::Inline(RULES.to_string()),
+        journal_path: Some(journal_path.display().to_string()),
+        trace_sample: 0,
+        ..DaemonConfig::default()
+    })
+    .unwrap();
+    let body = "zip,city,state\n36545,Jaxon,AK\n10001,NYC,NJ\n";
+    let reply = http_post(&url(&daemon, "/repair"), "text/csv", body.as_bytes()).unwrap();
+    assert_eq!(reply.status, 200);
+    let json = parse_json(&reply.body);
+    assert_eq!(json.get("repaired_rows").unwrap().as_i64(), Some(2));
+    let reply = http_post(&url(&daemon, "/shutdown"), "text/plain", b"").unwrap();
+    assert_eq!(reply.status, 202);
+    daemon.wait();
+    let text = std::fs::read_to_string(&journal_path).unwrap();
+    let records = obs::trace::parse_jsonl(&text).unwrap();
+    assert!(
+        !records.iter().any(|r| r.name == "row.repaired"),
+        "trace_sample 0 must suppress every row event"
+    );
+    let end = records
+        .iter()
+        .find(|r| r.name == "request.end")
+        .expect("request.end event");
+    assert_eq!(end.fields.get("rows_sampled").unwrap().as_i64(), Some(0));
+    // The journal leads with the sampling regime so a reader knows the
+    // absence of row events is policy, not a quiet batch.
+    let meta = records
+        .iter()
+        .find(|r| r.name == "trace.meta")
+        .expect("boot trace.meta event");
+    assert_eq!(
+        meta.fields.get("row_event_sample").unwrap().as_i64(),
+        Some(0)
+    );
+    assert_eq!(meta.fields.get("source").unwrap().as_str(), Some("fixd"));
+}
+
+/// One dirty batch: every row matches a rule, so each sealed window's
+/// per-attribute repair rate is 1000‰ — enough to trip a 50% alert.
+const SKEWED_BATCH: &str = "zip,city,state\n\
+    36545,Jaxon,AK\n36545,Jaxon,AK\n36545,Jaxon,AK\n36545,Jaxon,AK\n";
+
+#[test]
+fn quality_snapshot_tracks_windows_and_alerts() {
+    let daemon = Daemon::start(DaemonConfig {
+        rules: RulesSource::Inline(RULES.to_string()),
+        quality_window: 2,
+        quality_alerts: vec!["repair_rate>0.5".parse().unwrap()],
+        ..DaemonConfig::default()
+    })
+    .unwrap();
+    // Before any traffic the monitor is enabled but empty.
+    let (status, body) = http_get(&url(&daemon, "/quality")).unwrap();
+    assert_eq!(status, 200);
+    let json = parse_json(&body);
+    assert_eq!(json.get("enabled").unwrap().as_bool(), Some(true));
+    assert_eq!(json.get("clock").unwrap().as_i64(), Some(0));
+
+    let reply = http_post(
+        &url(&daemon, "/repair"),
+        "text/csv",
+        SKEWED_BATCH.as_bytes(),
+    )
+    .unwrap();
+    assert_eq!(reply.status, 200);
+    let (status, body) = http_get(&url(&daemon, "/quality")).unwrap();
+    assert_eq!(status, 200);
+    let json = parse_json(&body);
+    // 4 rows through a 2-row window: at least one sealed window, and the
+    // all-repaired batch fired the repair-rate alert.
+    assert!(json.get("clock").unwrap().as_i64().unwrap() >= 1);
+    let alerts = json.get("alerts").unwrap().as_arr().unwrap();
+    assert!(!alerts.is_empty(), "skewed batch must fire an alert");
+    assert_eq!(
+        alerts[0].get("signal").unwrap().as_str(),
+        Some("repair_rate")
+    );
+    // Drift gauges for the sealed window are live on /metrics.
+    let (_, text) = http_get(&url(&daemon, "/metrics")).unwrap();
+    assert!(
+        text.contains("quality_drift{"),
+        "missing quality_drift gauge in exposition"
+    );
+    assert!(text.contains("quality_alert{"), "missing alert counter");
+    daemon.shutdown();
+
+    // With the monitor disabled the endpoint says so instead of 404ing.
+    let off = Daemon::start(DaemonConfig {
+        rules: RulesSource::Inline(RULES.to_string()),
+        quality_window: 0,
+        ..DaemonConfig::default()
+    })
+    .unwrap();
+    let (status, body) = http_get(&url(&off, "/quality")).unwrap();
+    assert_eq!(status, 200);
+    assert_eq!(
+        parse_json(&body).get("enabled").unwrap().as_bool(),
+        Some(false)
+    );
+    off.shutdown();
+}
+
+#[test]
+fn quality_gate_flips_readyz_only_when_opted_in() {
+    let config = |gate: bool| DaemonConfig {
+        rules: RulesSource::Inline(RULES.to_string()),
+        quality_window: 2,
+        quality_alerts: vec!["repair_rate>0.5".parse().unwrap()],
+        quality_gate: gate,
+        ..DaemonConfig::default()
+    };
+    // Without the gate a firing alert is reported but never gates.
+    let ungated = Daemon::start(config(false)).unwrap();
+    http_post(
+        &url(&ungated, "/repair"),
+        "text/csv",
+        SKEWED_BATCH.as_bytes(),
+    )
+    .unwrap();
+    let (status, body) = http_get(&url(&ungated, "/readyz")).unwrap();
+    assert_eq!(status, 200, "alerts must not gate without opt-in: {body}");
+    let json = parse_json(&body);
+    assert!(json.get("quality_alerts").unwrap().as_i64().unwrap() >= 1);
+    assert_eq!(json.get("quality_ok").unwrap().as_bool(), Some(true));
+    assert_eq!(json.get("quality_gate").unwrap().as_bool(), Some(false));
+    ungated.shutdown();
+
+    // With the gate the same traffic turns readiness red, and liveness
+    // stays green — the daemon is degraded, not down.
+    let gated = Daemon::start(config(true)).unwrap();
+    http_post(&url(&gated, "/repair"), "text/csv", SKEWED_BATCH.as_bytes()).unwrap();
+    let (status, body) = http_get(&url(&gated, "/readyz")).unwrap();
+    assert_eq!(status, 503, "gated alert must flip readiness: {body}");
+    let json = parse_json(&body);
+    assert_eq!(json.get("quality_ok").unwrap().as_bool(), Some(false));
+    assert_eq!(json.get("quality_gate").unwrap().as_bool(), Some(true));
+    let (status, _) = http_get(&url(&gated, "/healthz")).unwrap();
+    assert_eq!(status, 200);
+    gated.shutdown();
+}

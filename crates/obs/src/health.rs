@@ -282,6 +282,72 @@ mod tests {
     }
 
     #[test]
+    fn exactly_at_ceiling_error_rate_is_still_healthy() {
+        // The SLO comparison is `<=`: a window sitting *exactly* on the
+        // ceiling must not flip readiness — only exceeding it does.
+        let h = HealthEvaluator::new(SloConfig {
+            window: 10,
+            min_samples: 10,
+            max_error_rate: 0.2,
+            max_p99_ns: 1000,
+        });
+        for i in 0..10 {
+            h.record(i < 8, 10); // exactly 2 failures of 10 = 20.0%
+        }
+        let r = h.report();
+        assert_eq!(r.errors, 2);
+        assert!(r.error_rate_ok, "error_rate == max_error_rate is green");
+        assert!(r.healthy);
+        h.record(false, 10); // displaces a success: 3 of 10 → 30% > 20%
+        assert!(!h.report().error_rate_ok);
+    }
+
+    #[test]
+    fn p99_with_a_single_sample_is_that_sample() {
+        let h = HealthEvaluator::new(SloConfig {
+            window: 10,
+            min_samples: 1,
+            max_error_rate: 1.0,
+            max_p99_ns: 1000,
+        });
+        h.record(true, 999);
+        let r = h.report();
+        // Rank ceil(0.99·1) = 1 clamps to the only sample.
+        assert_eq!(r.p99_ns, 999);
+        assert!(r.latency_ok, "at-threshold single sample stays green");
+        let h2 = HealthEvaluator::new(SloConfig {
+            window: 10,
+            min_samples: 1,
+            max_error_rate: 1.0,
+            max_p99_ns: 1000,
+        });
+        h2.record(true, 1001);
+        assert!(!h2.report().latency_ok);
+    }
+
+    #[test]
+    fn idle_window_never_flips_green_to_red() {
+        // The readyz pin: once a window is green, the mere passage of
+        // requests *not* arriving can never degrade it — the ring only
+        // changes on `record`, so repeated idle evaluations are stable.
+        let h = HealthEvaluator::new(config());
+        for _ in 0..10 {
+            h.record(true, 10);
+        }
+        let first = h.report();
+        assert!(first.healthy);
+        for _ in 0..100 {
+            assert_eq!(h.report(), first, "idle re-evaluation is a fixpoint");
+        }
+        // Same holds for the empty post-boot window: idle from the start
+        // stays vacuously green forever.
+        let idle = HealthEvaluator::new(config());
+        for _ in 0..100 {
+            assert!(idle.report().healthy);
+        }
+    }
+
+    #[test]
     fn concurrent_records_never_exceed_window() {
         let h = HealthEvaluator::new(config());
         std::thread::scope(|s| {

@@ -246,6 +246,19 @@ pub fn http_request(
     content_type: &str,
     body: &[u8],
 ) -> io::Result<HttpResponse> {
+    http_request_with_headers(method, url, content_type, body, &[])
+}
+
+/// [`http_request`] plus caller-supplied request headers (`(name, value)`
+/// pairs appended verbatim) — how a client hands `fixd` an `X-Trace-Id`
+/// to correlate its own logs with the daemon journal.
+pub fn http_request_with_headers(
+    method: &str,
+    url: &str,
+    content_type: &str,
+    body: &[u8],
+    extra_headers: &[(&str, &str)],
+) -> io::Result<HttpResponse> {
     let rest = url.strip_prefix("http://").ok_or_else(|| {
         io::Error::new(io::ErrorKind::InvalidInput, "only http:// URLs supported")
     })?;
@@ -262,6 +275,9 @@ pub fn http_request(
             "Content-Type: {content_type}\r\nContent-Length: {}\r\n",
             body.len()
         ));
+    }
+    for (name, value) in extra_headers {
+        head.push_str(&format!("{name}: {value}\r\n"));
     }
     head.push_str("\r\n");
     stream.write_all(head.as_bytes())?;

@@ -29,7 +29,13 @@
 //!   `fixd` repair daemon ([`http`]);
 //! * [`HealthEvaluator`] — a rolling window of request outcomes judged
 //!   against error-rate and p99-latency SLO thresholds, the readiness
-//!   signal behind `fixd`'s `GET /readyz` ([`health`]).
+//!   signal behind `fixd`'s `GET /readyz` ([`health`]);
+//! * streaming sketches — mergeable, deterministic [`CountMinSketch`],
+//!   [`DistinctCounter`], and [`Reservoir`] summaries ([`sketch`]) — and
+//!   the [`QualityMonitor`] built on them: tumbling row windows scoring
+//!   per-attribute repair rate, new-value ratio, and frequency drift,
+//!   with [`AlertRule`] thresholds feeding `quality.alert{attr,signal}`
+//!   counters and `fixd`'s quality gate ([`quality`]).
 //!
 //! The paper's evaluation (§7) is entirely about measured behavior —
 //! repair counts and wall-clock scaling of `cRepair` vs `lRepair` — and
@@ -67,16 +73,23 @@ pub mod json;
 pub mod log;
 pub mod metrics;
 pub mod observer;
+pub mod quality;
 pub mod serve;
+pub mod sketch;
 pub mod trace;
 
 pub use attribution::{AttributionObserver, AttributionProfile, ProfileRow, RuleLabel};
 pub use expose::{parse_label_pairs, parse_prometheus, prometheus_text, PromSample};
 pub use health::{HealthEvaluator, HealthReport, SloConfig};
-pub use http::{http_get, http_post, http_request, HttpResponse};
+pub use http::{http_get, http_post, http_request, http_request_with_headers, HttpResponse};
 pub use json::Json;
 pub use log::Level;
 pub use metrics::{series_key, Counter, Gauge, Histogram, MetricsRegistry, SpanTimer};
 pub use observer::{CellFix, MetricsObserver, NoopObserver, RepairObserver, Tee, METRIC_NAMES};
+pub use quality::{
+    render_snapshot, AlertEvent, AlertRule, AttrSummary, QualityConfig, QualityMonitor, Signal,
+    WindowSummary,
+};
 pub use serve::MetricsServer;
+pub use sketch::{CountMinSketch, DistinctCounter, Reservoir, SlotBloom};
 pub use trace::{TraceClock, TraceJournal, TracePhase, TraceRecord};

@@ -190,6 +190,26 @@ pub trait RepairObserver: Sync {
     fn wants_rule_timing(&self) -> bool {
         false
     }
+
+    /// A driver is about to repair one row; `values` are the row's
+    /// *pre-repair* interned symbol ids in attribute order. The quality
+    /// monitor's window-feeding hook — pairs with
+    /// [`RepairObserver::cell_repaired`], which reports what changed.
+    /// Drivers only call this when [`RepairObserver::wants_rows`]
+    /// returns true, so the pre-repair copy is skipped entirely
+    /// otherwise.
+    #[inline]
+    fn row_observed(&self, values: &[u32]) {
+        let _ = values;
+    }
+
+    /// Whether this observer consumes [`RepairObserver::row_observed`].
+    /// Defaults to false; under [`NoopObserver`] the drivers' row-copy
+    /// branches monomorphize away, keeping the uninstrumented hot path.
+    #[inline]
+    fn wants_rows(&self) -> bool {
+        false
+    }
 }
 
 /// Observers forward through references, so generic drivers can take a
@@ -309,6 +329,16 @@ impl<T: RepairObserver + ?Sized> RepairObserver for &T {
     #[inline]
     fn wants_rule_timing(&self) -> bool {
         (**self).wants_rule_timing()
+    }
+
+    #[inline]
+    fn row_observed(&self, values: &[u32]) {
+        (**self).row_observed(values);
+    }
+
+    #[inline]
+    fn wants_rows(&self) -> bool {
+        (**self).wants_rows()
     }
 }
 
@@ -459,6 +489,17 @@ impl<A: RepairObserver + ?Sized, B: RepairObserver + ?Sized> RepairObserver for 
     #[inline]
     fn wants_rule_timing(&self) -> bool {
         self.0.wants_rule_timing() || self.1.wants_rule_timing()
+    }
+
+    #[inline]
+    fn row_observed(&self, values: &[u32]) {
+        self.0.row_observed(values);
+        self.1.row_observed(values);
+    }
+
+    #[inline]
+    fn wants_rows(&self) -> bool {
+        self.0.wants_rows() || self.1.wants_rows()
     }
 }
 

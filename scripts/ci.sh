@@ -69,8 +69,11 @@ echo "== SARIF output smoke =="
     > "$TRACE_DIR/conflicting.sarif" || true
 cmp "$TRACE_DIR/conflicting.sarif" examples/lint/conflicting.sarif \
     || { echo "SARIF output drifted from the golden file" >&2; exit 1; }
+# Capture to a file rather than piping into grep -q: an early grep exit
+# closes the pipe and turns the writer's println into an EPIPE panic.
 "$FIXCTL" certify examples/rulesets/hosp_zip.frl --format sarif \
-    | grep -q '"version": "2.1.0"' \
+    > "$TRACE_DIR/certify_hosp.sarif"
+grep -q '"version": "2.1.0"' "$TRACE_DIR/certify_hosp.sarif" \
     || { echo "certify --format sarif is not SARIF 2.1.0" >&2; exit 1; }
 echo "-- SARIF matches the golden file; certify emits SARIF 2.1.0"
 
@@ -266,6 +269,75 @@ wait "$FIXD_PID" \
 grep -q traceEvents "$TRACE_DIR/fixd_chrome.json" \
     || { echo "fixd journal chrome export has no traceEvents" >&2; exit 1; }
 echo "-- daemon served repair/readyz/metrics/trace and drained cleanly"
+
+echo "== repair-quality observatory smoke =="
+# Windowed quality monitoring is deterministic under the logical clock:
+# two identical stream-engine runs must render byte-identical window
+# summaries and --quality-json snapshots (DESIGN.md §16).
+for run in 1 2; do
+    "$FIXCTL" repair \
+        --rules examples/rulesets/hosp_zip.frl \
+        --data examples/data/hosp_dirty.csv \
+        --engine stream --quality-window 2 \
+        --out "$TRACE_DIR/quality_$run.csv" \
+        --quality-json "$TRACE_DIR/quality_$run.json" \
+        | grep -v '^wrote ' > "$TRACE_DIR/quality_table_$run.txt"
+done
+cmp "$TRACE_DIR/quality_1.json" "$TRACE_DIR/quality_2.json" \
+    || { echo "quality snapshots differ between identical runs" >&2; exit 1; }
+cmp "$TRACE_DIR/quality_table_1.txt" "$TRACE_DIR/quality_table_2.txt" \
+    || { echo "quality window summaries differ between identical runs" >&2; exit 1; }
+"$FIXCTL" quality "$TRACE_DIR/quality_1.json" --require-green \
+    | grep -q 'require-green: no active alerts' \
+    || { echo "snapshot with no alert rules must be green" >&2; exit 1; }
+echo "-- window summaries and snapshots byte-identical across two runs"
+# A skewed batch (one dirty tuple repeated) must fire the repair-rate
+# alert, and the alert flips /readyz only when the daemon opted into
+# --quality-gate; without the gate it is reported but never gates.
+printf 'zip,city,state\n36545,Jaxon,AK\n36545,Jaxon,AK\n36545,Jaxon,AK\n36545,Jaxon,AK\n' \
+    > "$TRACE_DIR/skewed.csv"
+for gate in on off; do
+    GATE_FLAG=""
+    [ "$gate" = on ] && GATE_FLAG="--quality-gate"
+    "$FIXCTL" serve \
+        --rules examples/rulesets/hosp_zip.frl \
+        --quality-window 2 --quality-alert 'repair_rate>0.5' $GATE_FLAG \
+        > "$TRACE_DIR/fixd_quality_$gate.log" &
+    QPID=$!
+    QADDR=""
+    for _ in $(seq 1 100); do
+        QADDR=$(grep -o 'http://[0-9.:]*' "$TRACE_DIR/fixd_quality_$gate.log" || true)
+        [ -n "$QADDR" ] && break
+        sleep 0.05
+    done
+    [ -n "$QADDR" ] || { echo "quality fixd (gate $gate) never announced its address" >&2; exit 1; }
+    "$FIXCTL" client repair "$TRACE_DIR/skewed.csv" --addr "$QADDR" >/dev/null 2>&1 \
+        || { echo "skewed batch repair failed (gate $gate)" >&2; exit 1; }
+    "$FIXCTL" scrape "$QADDR/metrics" --require quality_drift \
+        || { echo "live /metrics missing the quality_drift gauge" >&2; exit 1; }
+    if "$FIXCTL" quality "$QADDR" --require-green > "$TRACE_DIR/quality_live_$gate.txt"; then
+        echo "fixctl quality --require-green ignored an active alert (gate $gate)" >&2
+        exit 1
+    fi
+    grep -q 'require-green: [1-9]' "$TRACE_DIR/quality_live_$gate.txt" \
+        || { echo "fixctl quality did not report the active alert count" >&2; exit 1; }
+    if [ "$gate" = on ]; then
+        if "$FIXCTL" client get /readyz --addr "$QADDR" > "$TRACE_DIR/readyz_gated.json"; then
+            echo "gated daemon stayed ready despite a firing quality alert" >&2
+            exit 1
+        fi
+        grep -q '"quality_ok":false' "$TRACE_DIR/readyz_gated.json" \
+            || { echo "gated /readyz body missing quality_ok:false" >&2; exit 1; }
+    else
+        "$FIXCTL" client get /readyz --addr "$QADDR" | grep -q '"ready":true' \
+            || { echo "ungated daemon went unready on a quality alert" >&2; exit 1; }
+    fi
+    "$FIXCTL" client shutdown --addr "$QADDR" >/dev/null \
+        || { echo "quality fixd (gate $gate) refused the drain" >&2; exit 1; }
+    wait "$QPID" \
+        || { echo "quality fixd (gate $gate) exited nonzero" >&2; exit 1; }
+done
+echo "-- skewed batch fires the alert; /readyz flips only under --quality-gate"
 
 echo "== coverage lint smoke =="
 # Attribution joined against fixlint: rules that never fired on the data
