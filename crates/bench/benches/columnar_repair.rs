@@ -1,0 +1,158 @@
+//! Columnar group-by-plan bench: the row-at-a-time compiled engine vs the
+//! columnar driver on duplicated-tuple tables at 20k and 200k rows.
+//!
+//! The columnar driver groups a batch by relevant-attribute signature and
+//! runs the engine (or probes the plan cache) once per *group*, scattering
+//! the plan to members — so its per-duplicate cost is a memcpy-scatter
+//! instead of a signature allocation + cache probe + replay. Configurations
+//! over the same table, per size:
+//!
+//! * `compiled_cold` / `compiled_warm` — the §12 row-at-a-time baseline
+//!   with a fresh / pre-warmed plan cache;
+//! * `columnar_cold` — group-by-plan with a fresh cache per iteration
+//!   (each group's first row runs the engine);
+//! * `columnar_warm` — group-by-plan with a pre-warmed cache (every group
+//!   representative hits; this is the steady state and must beat
+//!   `compiled_warm` by ≥2× at 200k rows — gated on
+//!   `results/BENCH_columnar_repair.json`).
+//!
+//! Each benchmark embeds its metrics snapshot, so the report records the
+//! `repair.batch.*` group-by shape and cache hit/miss counts alongside
+//! wall-clock.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use fixrules::repair::{
+    columnar_table_observed, compiled_table_observed, CompiledEngine, PlanCache, RuleProgram,
+};
+use obs::MetricsObserver;
+use relation::{ColumnTable, Table};
+
+/// Distinct source rows cycled into each benched table.
+const DISTINCT_ROWS: usize = 400;
+/// Benched table sizes (each distinct row appears total/400 times).
+const SIZES: [(&str, usize); 2] = [("20k", 20_000), ("200k", 200_000)];
+
+/// Tile the first `DISTINCT_ROWS` rows of the workload's dirty table up to
+/// `total` rows — real dirty data is dominated by repeated records, which
+/// is exactly what signature grouping exploits.
+fn duplicated_table(src: &Table, total: usize) -> Table {
+    let mut dup = Table::with_capacity(src.schema().clone(), total);
+    for i in 0..total {
+        dup.push_row(src.row(i % DISTINCT_ROWS)).unwrap();
+    }
+    dup
+}
+
+fn bench_columnar_repair(c: &mut Criterion) {
+    let workload = bench::hosp_workload(DISTINCT_ROWS, 200);
+    let rules = &workload.rules;
+    let program = RuleProgram::compile(rules);
+
+    let mut group = c.benchmark_group("columnar_repair");
+    for (label, total) in SIZES {
+        let table = duplicated_table(&workload.dirty, total);
+        let columns = ColumnTable::from(&table);
+        group.throughput(Throughput::Elements(total as u64));
+
+        group.bench_with_input(BenchmarkId::new("compiled_cold", label), &(), |b, _| {
+            let observer = MetricsObserver::new(b.metrics());
+            b.iter_batched(
+                || (table.clone(), PlanCache::unbounded()),
+                |(mut t, cache)| {
+                    compiled_table_observed(
+                        rules,
+                        &program,
+                        CompiledEngine::Linear,
+                        Some(&cache),
+                        &mut t,
+                        &observer,
+                    )
+                },
+                criterion::BatchSize::LargeInput,
+            )
+        });
+
+        group.bench_with_input(BenchmarkId::new("compiled_warm", label), &(), |b, _| {
+            let observer = MetricsObserver::new(b.metrics());
+            let cache = PlanCache::unbounded();
+            let mut warmup = table.clone();
+            compiled_table_observed(
+                rules,
+                &program,
+                CompiledEngine::Linear,
+                Some(&cache),
+                &mut warmup,
+                &obs::NoopObserver,
+            );
+            b.iter_batched(
+                || table.clone(),
+                |mut t| {
+                    compiled_table_observed(
+                        rules,
+                        &program,
+                        CompiledEngine::Linear,
+                        Some(&cache),
+                        &mut t,
+                        &observer,
+                    )
+                },
+                criterion::BatchSize::LargeInput,
+            )
+        });
+
+        group.bench_with_input(BenchmarkId::new("columnar_cold", label), &(), |b, _| {
+            let observer = MetricsObserver::new(b.metrics());
+            b.iter_batched(
+                || (columns.clone(), PlanCache::unbounded()),
+                |(mut t, cache)| {
+                    columnar_table_observed(
+                        rules,
+                        &program,
+                        CompiledEngine::Linear,
+                        Some(&cache),
+                        &mut t,
+                        &observer,
+                    )
+                },
+                criterion::BatchSize::LargeInput,
+            )
+        });
+
+        group.bench_with_input(BenchmarkId::new("columnar_warm", label), &(), |b, _| {
+            let observer = MetricsObserver::new(b.metrics());
+            let cache = PlanCache::unbounded();
+            let mut warmup = columns.clone();
+            columnar_table_observed(
+                rules,
+                &program,
+                CompiledEngine::Linear,
+                Some(&cache),
+                &mut warmup,
+                &obs::NoopObserver,
+            );
+            b.iter_batched(
+                || columns.clone(),
+                |mut t| {
+                    columnar_table_observed(
+                        rules,
+                        &program,
+                        CompiledEngine::Linear,
+                        Some(&cache),
+                        &mut t,
+                        &observer,
+                    )
+                },
+                criterion::BatchSize::LargeInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_columnar_repair
+}
+criterion_main!(benches);

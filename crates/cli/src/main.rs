@@ -7,7 +7,7 @@
 //! fixctl resolve --rules rules.frl --data data.csv --out fixed_rules.frl
 //!                [--strategy shrink|drop]                 # §5.3 workflow
 //! fixctl repair  --rules rules.frl --data dirty.csv --out repaired.csv
-//!                [--engine lrepair|chase|compiled|compiled-chase|stream]
+//!                [--engine lrepair|chase|compiled|compiled-chase|columnar|columnar-chase|stream]
 //!                [--plan-cache on|off|CAPACITY] [--threads N]
 //!                [--updates-log updates.csv]
 //!                [--trace trace.jsonl]                    # provenance journal
@@ -80,9 +80,10 @@ use fixrules::consistency::{
 use fixrules::io::{format_rule, format_rules, parse_rules, parse_rules_spanned, Span};
 use fixrules::provenance::{ProvenanceLedger, ProvenanceObserver, ProvenanceRecord};
 use fixrules::repair::{
-    compiled_table_observed, crepair_table_observed, lrepair_table_observed,
-    par_compiled_table_observed, par_lrepair_table_observed, stream_repair_csv_compiled_observed,
-    CompiledEngine, LRepairIndex, PlanCache, RepairOutcome, RuleProgram,
+    columnar_table_observed, compiled_table_observed, crepair_table_observed,
+    lrepair_table_observed, par_columnar_table_observed, par_compiled_table_observed,
+    par_lrepair_table_observed, stream_repair_csv_compiled_observed, CompiledEngine, LRepairIndex,
+    PlanCache, RepairOutcome, RuleProgram,
 };
 use fixrules::RuleSet;
 use obs::trace::{chrome_trace, parse_jsonl, TracePhase, TraceSpan};
@@ -91,7 +92,7 @@ use obs::{
     MetricsObserver, MetricsRegistry, MetricsServer, QualityConfig, QualityMonitor, RepairObserver,
     RuleLabel, Tee, TraceClock, TraceJournal,
 };
-use relation::{Schema, Symbol, SymbolTable, Table};
+use relation::{ColumnTable, Schema, Symbol, SymbolTable, Table};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -295,7 +296,7 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
 
 fn usage() -> String {
     "usage: fixctl <check|detect|discover|resolve|repair|stats|convert> --rules FILE --data FILE.csv \
-     [--out FILE] [--engine lrepair|chase|compiled|compiled-chase|stream] \
+     [--out FILE] [--engine lrepair|chase|compiled|compiled-chase|columnar|columnar-chase|stream] \
      [--plan-cache on|off|CAPACITY] [--threads N] [--strategy shrink|drop] [--updates-log FILE] \
      [--metrics FILE.json] [--log off|info|debug] [--trace FILE.jsonl] [--trace-clock logical|wall] \
      [--profile] [--profile-json FILE] [--expose ADDR] [--expose-hold N] \
@@ -1269,12 +1270,14 @@ fn cmd_repair(flags: &Flags, obs_ctx: &ObsCtx) -> Result<(), String> {
         .optional("engine")
         .or_else(|| flags.optional("algo"))
         .unwrap_or("lrepair");
-    if !matches!(algo, "compiled" | "compiled-chase" | "stream")
-        && cache_spec.is_some()
+    if !matches!(
+        algo,
+        "compiled" | "compiled-chase" | "columnar" | "columnar-chase" | "stream"
+    ) && cache_spec.is_some()
         && cache_spec != Some(CacheSpec::Off)
     {
         return Err(format!(
-            "--plan-cache only applies to the compiled and stream engines (got `{algo}`)"
+            "--plan-cache only applies to the compiled, columnar, and stream engines (got `{algo}`)"
         ));
     }
     if algo != "stream" && flags.optional("quality-window").is_some() {
@@ -1517,9 +1520,57 @@ fn cmd_repair(flags: &Flags, obs_ctx: &ObsCtx) -> Result<(), String> {
             }
             outcome
         }
+        "columnar" | "columnar-chase" => {
+            let engine = if algo == "columnar" {
+                CompiledEngine::Linear
+            } else {
+                CompiledEngine::Chase
+            };
+            let program = {
+                let _span = obs_ctx.span("compile");
+                RuleProgram::compile(&rules)
+            };
+            let cache = {
+                let _span = obs_ctx.span("plan_cache");
+                build_plan_cache(cache_spec.unwrap_or(CacheSpec::On), threads)
+            };
+            let mut columns = ColumnTable::from(&table);
+            let (outcome, batch) = {
+                let _span = obs_ctx.span("repair");
+                if threads > 1 {
+                    par_columnar_table_observed(
+                        &rules,
+                        &program,
+                        engine,
+                        cache.as_ref(),
+                        &mut columns,
+                        threads,
+                        &observer,
+                    )
+                } else {
+                    columnar_table_observed(
+                        &rules,
+                        &program,
+                        engine,
+                        cache.as_ref(),
+                        &mut columns,
+                        &observer,
+                    )
+                }
+            };
+            table = columns.to_table();
+            println!(
+                "batch: {} rows, {} distinct signatures ({} scattered)",
+                batch.rows, batch.groups, batch.scattered
+            );
+            if let Some(cache) = &cache {
+                report_plan_cache(cache);
+            }
+            outcome
+        }
         other => {
             return Err(format!(
-                "unknown engine `{other}` (lrepair|chase|crepair|compiled|compiled-chase|stream)"
+                "unknown engine `{other}` (lrepair|chase|crepair|compiled|compiled-chase|columnar|columnar-chase|stream)"
             ))
         }
     };

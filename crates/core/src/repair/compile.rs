@@ -158,10 +158,63 @@ impl RuleProgram {
         TupleSignature(self.relevant_attrs.iter().map(|a| row[a.index()]).collect())
     }
 
+    /// Gather every row's signature into `flat` as a dense row-major
+    /// `rows × closure-width` matrix: one tight pass per relevant
+    /// attribute instead of one strided row walk per tuple. Row `i`'s
+    /// signature is `flat[i*w..(i+1)*w]` for `w = relevant_attrs().len()`
+    /// — the same projection [`RuleProgram::signature`] computes, laid
+    /// out for the columnar group-by driver.
+    pub fn signatures_batch<C: AsRef<[Symbol]>>(
+        &self,
+        columns: &[C],
+        rows: usize,
+        flat: &mut Vec<Symbol>,
+    ) {
+        let w = self.relevant_attrs.len();
+        flat.clear();
+        flat.resize(rows * w, Symbol(0));
+        for (j, attr) in self.relevant_attrs.iter().enumerate() {
+            let col = columns[attr.index()].as_ref();
+            for (i, &sym) in col[..rows].iter().enumerate() {
+                flat[i * w + j] = sym;
+            }
+        }
+    }
+
+    /// Fingerprint every row's relevant-attribute projection into
+    /// `hashes`: one sequential pass per relevant column folds each cell
+    /// into the row's running 64-bit hash (the fxhash rotate–xor–multiply
+    /// step over an FNV offset seed). Two rows with equal signatures
+    /// always hash equal; the converse is *not* guaranteed, so callers
+    /// grouping by fingerprint must confirm candidates by comparing the
+    /// projected cells — the columnar driver keeps exactness that way
+    /// while avoiding a per-row signature materialization.
+    pub fn signature_hashes<C: AsRef<[Symbol]>>(
+        &self,
+        columns: &[C],
+        rows: usize,
+        hashes: &mut Vec<u64>,
+    ) {
+        hashes.clear();
+        hashes.resize(rows, 0xcbf2_9ce4_8422_2325);
+        for attr in &self.relevant_attrs {
+            let col = columns[attr.index()].as_ref();
+            for (h, &sym) in hashes.iter_mut().zip(col[..rows].iter()) {
+                *h = (h.rotate_left(5) ^ u64::from(sym.0)).wrapping_mul(0x517c_c1b7_2722_0a95);
+            }
+        }
+    }
+
     /// The relevant attribute closure: every attribute some rule reads or
     /// writes.
     pub fn relevant(&self) -> AttrSet {
         self.relevant
+    }
+
+    /// The relevant attribute closure as a sorted slice — the signature
+    /// layout ([`RuleProgram::signatures_batch`]'s column order).
+    pub fn relevant_attrs(&self) -> &[AttrId] {
+        &self.relevant_attrs
     }
 
     /// Number of evidence groups (distinct X-sets) — the probes per round.
@@ -181,6 +234,12 @@ impl RuleProgram {
 pub struct TupleSignature(Box<[Symbol]>);
 
 impl TupleSignature {
+    /// Build a signature from an already-gathered projection (a row of
+    /// [`RuleProgram::signatures_batch`]'s matrix).
+    pub(crate) fn from_slice(symbols: &[Symbol]) -> Self {
+        TupleSignature(symbols.into())
+    }
+
     /// The projected symbols, in relevant-attribute order.
     pub fn symbols(&self) -> &[Symbol] {
         &self.0
@@ -202,7 +261,7 @@ pub struct RepairPlan {
 }
 
 impl RepairPlan {
-    fn new(updates: Vec<CellUpdate>, rounds: usize, assured: AttrSet) -> Self {
+    pub(crate) fn new(updates: Vec<CellUpdate>, rounds: usize, assured: AttrSet) -> Self {
         RepairPlan {
             updates,
             rounds,
@@ -213,6 +272,11 @@ impl RepairPlan {
     /// The planned updates, in application order.
     pub fn updates(&self) -> &[CellUpdate] {
         &self.updates
+    }
+
+    /// Chase rounds / queue pops of the engine run that produced the plan.
+    pub fn rounds(&self) -> usize {
+        self.rounds
     }
 
     /// The assured-set delta the plan establishes.
@@ -637,7 +701,7 @@ fn linear_compiled<O: RepairObserver>(
 }
 
 #[inline]
-fn run_engine<O: RepairObserver>(
+pub(crate) fn run_engine<O: RepairObserver>(
     rules: &RuleSet,
     program: &RuleProgram,
     engine: CompiledEngine,

@@ -25,6 +25,7 @@
 //! asserted by the cross-algorithm tests and property tests.
 
 pub mod chase;
+pub mod columnar;
 pub mod compile;
 pub mod detect;
 pub mod linear;
@@ -32,6 +33,11 @@ pub mod parallel;
 pub mod stream;
 
 pub use chase::{crepair_table, crepair_table_observed, crepair_tuple, crepair_tuple_observed};
+pub use columnar::{
+    columnar_table, columnar_table_observed, crepair_columnar, crepair_columnar_observed,
+    lrepair_columnar, lrepair_columnar_observed, par_columnar_table, par_columnar_table_observed,
+    repair_columns_grouped, BatchStats,
+};
 pub use compile::{
     compiled_table, compiled_table_observed, crepair_compiled, crepair_compiled_observed,
     crepair_compiled_tuple, lrepair_compiled, lrepair_compiled_observed, lrepair_compiled_tuple,
@@ -47,8 +53,9 @@ pub use parallel::{
     par_compiled_table, par_compiled_table_observed, par_lrepair_table, par_lrepair_table_observed,
 };
 pub use stream::{
-    stream_repair_csv, stream_repair_csv_compiled, stream_repair_csv_compiled_observed,
-    stream_repair_csv_observed, StreamStats,
+    stream_repair_csv, stream_repair_csv_columnar, stream_repair_csv_columnar_observed,
+    stream_repair_csv_compiled, stream_repair_csv_compiled_observed, stream_repair_csv_observed,
+    StreamStats,
 };
 
 use relation::{AttrId, Symbol};

@@ -15,6 +15,7 @@ use std::io::{Read, Write};
 use obs::{NoopObserver, RepairObserver};
 use relation::{RelationError, Symbol, SymbolTable};
 
+use crate::repair::columnar::{repair_columns_grouped, BatchStats};
 use crate::repair::compile::{
     repair_row_compiled, CompiledEngine, CompiledScratch, PlanCache, RuleProgram,
 };
@@ -204,6 +205,134 @@ pub fn stream_repair_csv_compiled_observed<R: Read, W: Write, O: RepairObserver>
     Ok(stats)
 }
 
+/// Repair CSV records from `reader` to `writer` in batches of up to
+/// `batch_rows` records, using the columnar group-by-plan path: each
+/// batch is read into per-attribute columns, grouped by tuple signature,
+/// and each distinct signature runs the compiled engine (or probes
+/// `cache`) exactly once. Memory is bounded by `batch_rows × arity`
+/// cells plus the vocabulary; output CSV and fix stream are
+/// byte-identical to [`stream_repair_csv_compiled`] with the same
+/// engine.
+#[allow(clippy::too_many_arguments)]
+pub fn stream_repair_csv_columnar<R: Read, W: Write>(
+    rules: &RuleSet,
+    program: &RuleProgram,
+    engine: CompiledEngine,
+    cache: Option<&PlanCache>,
+    symbols: &mut SymbolTable,
+    reader: R,
+    writer: W,
+    batch_rows: usize,
+) -> Result<(StreamStats, BatchStats), RelationError> {
+    stream_repair_csv_columnar_observed(
+        rules,
+        program,
+        engine,
+        cache,
+        symbols,
+        reader,
+        writer,
+        batch_rows,
+        &NoopObserver,
+    )
+}
+
+/// [`stream_repair_csv_columnar`] with observer hooks; same hook
+/// contract as [`stream_repair_csv_compiled_observed`] minus the
+/// per-member cache probes, plus one `batch_grouped` per non-empty
+/// batch. `row_observed` still fires per record at read time (before any
+/// rule fires), so a quality monitor sees the incoming distribution.
+#[allow(clippy::too_many_arguments)]
+pub fn stream_repair_csv_columnar_observed<R: Read, W: Write, O: RepairObserver>(
+    rules: &RuleSet,
+    program: &RuleProgram,
+    engine: CompiledEngine,
+    cache: Option<&PlanCache>,
+    symbols: &mut SymbolTable,
+    reader: R,
+    writer: W,
+    batch_rows: usize,
+    observer: &O,
+) -> Result<(StreamStats, BatchStats), RelationError> {
+    let mut rdr = csv::ReaderBuilder::new()
+        .has_headers(true)
+        .flexible(false)
+        .from_reader(reader);
+    let headers = rdr.headers()?.clone();
+    let schema = rules.schema();
+    if headers.len() != schema.arity()
+        || !headers.iter().zip(schema.attr_names()).all(|(h, a)| h == a)
+    {
+        return Err(RelationError::UnknownAttribute(format!(
+            "CSV header [{}] does not match rule schema {}",
+            headers.iter().collect::<Vec<_>>().join(", "),
+            schema
+        )));
+    }
+    let mut wtr = csv::Writer::from_writer(writer);
+    wtr.write_record(&headers)?;
+
+    let batch_rows = batch_rows.max(1);
+    let arity = schema.arity();
+    let mut scratch = CompiledScratch::new(rules.len());
+    let mut cols: Vec<Vec<Symbol>> = vec![Vec::with_capacity(batch_rows); arity];
+    let mut pre: Vec<u32> = Vec::with_capacity(arity);
+    let mut stats = StreamStats::default();
+    let mut batch_stats = BatchStats::default();
+    let mut records = rdr.records();
+    loop {
+        for col in &mut cols {
+            col.clear();
+        }
+        let mut n = 0usize;
+        while n < batch_rows {
+            let Some(record) = records.next() else { break };
+            let record = record?;
+            for (col, cell) in cols.iter_mut().zip(record.iter()) {
+                col.push(symbols.intern(cell));
+            }
+            if observer.wants_rows() {
+                pre.clear();
+                pre.extend(cols.iter().map(|c| c[n].0));
+                observer.row_observed(&pre);
+            }
+            n += 1;
+        }
+        if n == 0 {
+            break;
+        }
+        let base = stats.rows;
+        let mut col_slices: Vec<&mut [Symbol]> =
+            cols.iter_mut().map(|c| c.as_mut_slice()).collect();
+        let (updates, bstats) = repair_columns_grouped(
+            rules,
+            program,
+            engine,
+            cache,
+            &mut scratch,
+            &mut col_slices,
+            base,
+            observer,
+        );
+        batch_stats.merge(bstats);
+        stats.updates += updates.len();
+        let mut last = usize::MAX;
+        for u in &updates {
+            if u.row != last {
+                stats.rows_touched += 1;
+                last = u.row;
+            }
+        }
+        for i in 0..n {
+            stats.rows += 1;
+            observer.stream_record(symbols.len());
+            wtr.write_record(cols.iter().map(|c| symbols.resolve(c[i])))?;
+        }
+    }
+    wtr.flush()?;
+    Ok((stats, batch_stats))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -302,6 +431,55 @@ Mike,Canada,Toronto,Toronto,VLDB
             .unwrap();
             assert_eq!(stats, plain_stats);
             assert_eq!(out, plain, "CSV output must be byte-identical");
+        }
+    }
+
+    #[test]
+    fn columnar_stream_matches_compiled_stream() {
+        let (rules, mut sy) = setup();
+        let program = RuleProgram::compile(&rules);
+        // Duplicate the dirty body so batches cross group boundaries.
+        let mut input = String::from("name,country,capital,city,conf\n");
+        for _ in 0..4 {
+            for line in DIRTY.lines().skip(1) {
+                input.push_str(line);
+                input.push('\n');
+            }
+        }
+        let mut reference = Vec::new();
+        let ref_stats = stream_repair_csv_compiled(
+            &rules,
+            &program,
+            CompiledEngine::Chase,
+            None,
+            &mut sy,
+            input.as_bytes(),
+            &mut reference,
+        )
+        .unwrap();
+        for batch_rows in [1, 2, 5, 64] {
+            for cache in [None, Some(PlanCache::unbounded())] {
+                let mut out = Vec::new();
+                let (stats, batch) = stream_repair_csv_columnar(
+                    &rules,
+                    &program,
+                    CompiledEngine::Chase,
+                    cache.as_ref(),
+                    &mut sy,
+                    input.as_bytes(),
+                    &mut out,
+                    batch_rows,
+                )
+                .unwrap();
+                assert_eq!(stats, ref_stats);
+                assert_eq!(out, reference, "CSV output must be byte-identical");
+                assert_eq!(batch.rows, 12);
+                assert_eq!(batch.scattered, 12 - batch.groups);
+                if let Some(cache) = &cache {
+                    let cs = cache.stats();
+                    assert_eq!(cs.hits + cs.misses, batch.groups as u64);
+                }
+            }
         }
     }
 

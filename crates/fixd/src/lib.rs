@@ -93,7 +93,8 @@ use std::time::{Duration, Instant};
 use fixrules::io::{infer_schema, parse_rules_spanned};
 use fixrules::provenance::{ProvenanceLedger, ProvenanceObserver};
 use fixrules::repair::{
-    repair_row_compiled, CompiledEngine, CompiledScratch, PlanCache, RuleProgram,
+    repair_columns_grouped, repair_row_compiled, CompiledEngine, CompiledScratch, PlanCache,
+    RuleProgram,
 };
 use fixrules::RuleSet;
 use obs::http::{Request, Response};
@@ -846,38 +847,54 @@ fn handle_repair(
     let provenance = ProvenanceObserver::new(&bundle.rules, &state.ledger);
     let observer = Tee(&metrics, &provenance);
     let mut repaired_rows = 0usize;
-    let mut all_updates = Vec::new();
     let repair_started = Instant::now();
-    {
+    let all_updates = {
         let repair_span = state.journal.span("repair", span.id());
+        // Column-major copy of the batch for the group-by-plan core;
+        // `rows` keeps the pre-repair values until the quality replay
+        // below has scored the incoming distribution.
+        let mut cols: Vec<Vec<Symbol>> = vec![Vec::with_capacity(rows.len()); state.schema.arity()];
+        for row in &rows {
+            for (col, &sym) in cols.iter_mut().zip(row.iter()) {
+                col.push(sym);
+            }
+        }
+        let mut col_slices: Vec<&mut [Symbol]> =
+            cols.iter_mut().map(|c| c.as_mut_slice()).collect();
+        let (all_updates, _batch) = repair_columns_grouped(
+            &bundle.rules,
+            &bundle.program,
+            state.engine,
+            plan_cache(state, &bundle),
+            scratch,
+            &mut col_slices,
+            row_base,
+            &observer,
+        );
+        // Replay the fix stream per row for the quality monitor, which
+        // attributes repairs to the window that observed the row — so
+        // each row's `row_observed` (on the *incoming* values) must
+        // immediately precede its `cell_repaired`s, exactly as in the
+        // row-at-a-time loop.
         let mut pre: Vec<u32> = Vec::with_capacity(state.schema.arity());
-        for (i, row) in rows.iter_mut().enumerate() {
-            // The quality monitor scores the *incoming* distribution, so
-            // it sees each row before any rule fires.
+        let mut cursor = 0usize;
+        for (i, row) in rows.iter().enumerate() {
             if let Some(quality) = &state.quality {
                 pre.clear();
                 pre.extend(row.iter().map(|s| s.0));
                 quality.row_observed(&pre);
             }
-            let mut updates = repair_row_compiled(
-                &bundle.rules,
-                &bundle.program,
-                state.engine,
-                plan_cache(state, &bundle),
-                scratch,
-                row,
-                &metrics,
-            );
-            if updates.is_empty() {
+            let start = cursor;
+            while cursor < all_updates.len() && all_updates[cursor].row == row_base + i {
+                cursor += 1;
+            }
+            if start == cursor {
                 continue;
             }
             repaired_rows += 1;
-            for (ordinal, update) in updates.iter_mut().enumerate() {
-                update.row = row_base + i;
-                let fix = update.as_fix(ordinal);
-                observer.cell_repaired(fix);
-                if let Some(quality) = &state.quality {
-                    quality.cell_repaired(fix);
+            if let Some(quality) = &state.quality {
+                for (ordinal, update) in all_updates[start..cursor].iter().enumerate() {
+                    quality.cell_repaired(update.as_fix(ordinal));
                 }
             }
             // Row-level detail is sampled: a large dirty batch would
@@ -891,13 +908,19 @@ fn handle_repair(
                     repair_span.id(),
                     Json::obj([
                         ("row", Json::from(row_base + i)),
-                        ("updates", Json::from(updates.len())),
+                        ("updates", Json::from(cursor - start)),
                     ]),
                 );
             }
-            all_updates.extend(updates);
         }
-    }
+        // Apply the fixes to the row-major batch for the response (the
+        // updates are in application order per row, so the last write to
+        // a cell wins — the same final value the columns hold).
+        for update in &all_updates {
+            rows[update.row - row_base][update.attr.index()] = update.new;
+        }
+        all_updates
+    };
     // Stage-level latency: end-to-end `http.latency_ns` is dominated by
     // transport and (de)serialization, so the plan-cache effect is only
     // visible on the repair loop itself.

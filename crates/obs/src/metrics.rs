@@ -139,6 +139,20 @@ impl Histogram {
         inner.max.fetch_max(v, Ordering::Relaxed);
     }
 
+    /// Record the same sample `n` times in O(1): the bucket count and sum
+    /// are bulk-added and `max` is one `fetch_max`, so aggregating callers
+    /// (batched observer hooks) pay three atomics instead of `3n`.
+    #[inline]
+    pub fn record_n(&self, v: u64, n: u64) {
+        if n == 0 {
+            return;
+        }
+        let inner = &*self.buckets;
+        inner.counts[bucket_of(v)].fetch_add(n, Ordering::Relaxed);
+        inner.sum.fetch_add(v.wrapping_mul(n), Ordering::Relaxed);
+        inner.max.fetch_max(v, Ordering::Relaxed);
+    }
+
     /// Number of recorded samples.
     pub fn count(&self) -> u64 {
         self.buckets

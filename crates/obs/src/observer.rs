@@ -60,6 +60,20 @@ pub trait RepairObserver: Sync {
         let _ = (rounds, updates);
     }
 
+    /// `count` tuples finished with identical per-tuple stats — the
+    /// columnar driver coalesces the members of one signature group into a
+    /// single call so aggregating observers pay O(1) instead of O(members).
+    /// The default replays [`RepairObserver::tuple_done`] `count` times, so
+    /// per-tuple observers see the same call multiset (batched calls are
+    /// flushed per batch, so ordering relative to other hooks may differ
+    /// from the row-at-a-time drivers; final aggregates do not).
+    #[inline]
+    fn tuples_done(&self, rounds: usize, updates: usize, count: usize) {
+        for _ in 0..count {
+            self.tuple_done(rounds, updates);
+        }
+    }
+
     /// `lRepair` consulted an inverted list and found `rules_hit` rules.
     #[inline]
     fn index_probe(&self, rules_hit: usize) {
@@ -74,6 +88,15 @@ pub trait RepairObserver: Sync {
     #[inline]
     fn worker_done(&self, worker: usize, rows: usize, updates: usize, busy_ns: u64) {
         let _ = (worker, rows, updates, busy_ns);
+    }
+
+    /// The columnar driver grouped one batch by tuple signature: `rows`
+    /// rows fell into `groups` distinct signatures, and `scattered` rows
+    /// were repaired by scattering a group plan instead of an engine run
+    /// or cache probe.
+    #[inline]
+    fn batch_grouped(&self, rows: usize, groups: usize, scattered: usize) {
+        let _ = (rows, groups, scattered);
     }
 
     /// The streaming driver wrote one record; `vocab` is the interner size.
@@ -232,6 +255,11 @@ impl<T: RepairObserver + ?Sized> RepairObserver for &T {
     }
 
     #[inline]
+    fn tuples_done(&self, rounds: usize, updates: usize, count: usize) {
+        (**self).tuples_done(rounds, updates, count);
+    }
+
+    #[inline]
     fn index_probe(&self, rules_hit: usize) {
         (**self).index_probe(rules_hit);
     }
@@ -244,6 +272,11 @@ impl<T: RepairObserver + ?Sized> RepairObserver for &T {
     #[inline]
     fn worker_done(&self, worker: usize, rows: usize, updates: usize, busy_ns: u64) {
         (**self).worker_done(worker, rows, updates, busy_ns);
+    }
+
+    #[inline]
+    fn batch_grouped(&self, rows: usize, groups: usize, scattered: usize) {
+        (**self).batch_grouped(rows, groups, scattered);
     }
 
     #[inline]
@@ -373,6 +406,12 @@ impl<A: RepairObserver + ?Sized, B: RepairObserver + ?Sized> RepairObserver for 
     }
 
     #[inline]
+    fn tuples_done(&self, rounds: usize, updates: usize, count: usize) {
+        self.0.tuples_done(rounds, updates, count);
+        self.1.tuples_done(rounds, updates, count);
+    }
+
+    #[inline]
     fn index_probe(&self, rules_hit: usize) {
         self.0.index_probe(rules_hit);
         self.1.index_probe(rules_hit);
@@ -388,6 +427,12 @@ impl<A: RepairObserver + ?Sized, B: RepairObserver + ?Sized> RepairObserver for 
     fn worker_done(&self, worker: usize, rows: usize, updates: usize, busy_ns: u64) {
         self.0.worker_done(worker, rows, updates, busy_ns);
         self.1.worker_done(worker, rows, updates, busy_ns);
+    }
+
+    #[inline]
+    fn batch_grouped(&self, rows: usize, groups: usize, scattered: usize) {
+        self.0.batch_grouped(rows, groups, scattered);
+        self.1.batch_grouped(rows, groups, scattered);
     }
 
     #[inline]
@@ -515,6 +560,9 @@ pub const METRIC_NAMES: &[&str] = &[
     "consistency.pairs_checked",
     "consistency.witness_found",
     "lint.findings",
+    "repair.batch.groups",
+    "repair.batch.rows",
+    "repair.batch.scattered",
     "repair.chase.rounds",
     "repair.index.probe_hits",
     "repair.index.probes",
@@ -540,6 +588,9 @@ pub const METRIC_NAMES: &[&str] = &[
 #[derive(Debug, Clone)]
 pub struct MetricsObserver {
     registry: MetricsRegistry,
+    batch_rows: Counter,
+    batch_groups: Counter,
+    batch_scattered: Counter,
     chase_rounds: Counter,
     rules_applied: Counter,
     tuples: Counter,
@@ -570,6 +621,9 @@ pub struct MetricsObserver {
 impl MetricsObserver {
     pub fn new(registry: &MetricsRegistry) -> Self {
         MetricsObserver {
+            batch_rows: registry.counter("repair.batch.rows"),
+            batch_groups: registry.counter("repair.batch.groups"),
+            batch_scattered: registry.counter("repair.batch.scattered"),
             chase_rounds: registry.counter("repair.chase.rounds"),
             rules_applied: registry.counter("repair.rules_applied"),
             tuples: registry.counter("repair.tuples"),
@@ -628,6 +682,21 @@ impl RepairObserver for MetricsObserver {
     }
 
     #[inline]
+    fn tuples_done(&self, rounds: usize, updates: usize, count: usize) {
+        if count == 0 {
+            return;
+        }
+        let n = count as u64;
+        self.tuples.add(n);
+        if updates > 0 {
+            self.tuples_touched.add(n);
+            self.updates.add(updates as u64 * n);
+        }
+        self.tuple_rounds.record_n(rounds as u64, n);
+        self.tuple_updates.record_n(updates as u64, n);
+    }
+
+    #[inline]
     fn index_probe(&self, rules_hit: usize) {
         self.probes.inc();
         self.probe_hits.add(rules_hit as u64);
@@ -656,6 +725,13 @@ impl RepairObserver for MetricsObserver {
     #[inline]
     fn plan_cache_evicted(&self) {
         self.plan_evictions.inc();
+    }
+
+    #[inline]
+    fn batch_grouped(&self, rows: usize, groups: usize, scattered: usize) {
+        self.batch_rows.add(rows as u64);
+        self.batch_groups.add(groups as u64);
+        self.batch_scattered.add(scattered as u64);
     }
 
     fn worker_done(&self, worker: usize, rows: usize, updates: usize, busy_ns: u64) {
@@ -748,6 +824,26 @@ mod tests {
     }
 
     #[test]
+    fn batched_tuples_done_matches_repeated_tuple_done() {
+        // The columnar driver's coalesced hook must leave every counter
+        // and histogram exactly where `count` individual calls would.
+        let reg_one = MetricsRegistry::new();
+        let reg_n = MetricsRegistry::new();
+        let one = MetricsObserver::new(&reg_one);
+        let batched = MetricsObserver::new(&reg_n);
+        for _ in 0..7 {
+            one.tuple_done(2, 3);
+        }
+        for _ in 0..5 {
+            one.tuple_done(1, 0);
+        }
+        batched.tuples_done(2, 3, 7);
+        batched.tuples_done(1, 0, 5);
+        batched.tuples_done(9, 9, 0); // no-op
+        assert_eq!(reg_one.snapshot().to_string(), reg_n.snapshot().to_string());
+    }
+
+    #[test]
     fn metrics_observer_aggregates_hooks() {
         let reg = MetricsRegistry::new();
         let obs = MetricsObserver::new(&reg);
@@ -765,6 +861,7 @@ mod tests {
         obs.plan_cache_lookup(true);
         obs.plan_cache_lookup(false);
         obs.plan_cache_evicted();
+        obs.batch_grouped(100, 7, 93);
         obs.worker_done(1, 500, 20, 1_000);
         obs.stream_record(128);
         obs.stream_record(256);
@@ -789,6 +886,9 @@ mod tests {
         assert_eq!(get("repair.plan_cache.hits"), 2);
         assert_eq!(get("repair.plan_cache.misses"), 1);
         assert_eq!(get("repair.plan_cache.evictions"), 1);
+        assert_eq!(get("repair.batch.rows"), 100);
+        assert_eq!(get("repair.batch.groups"), 7);
+        assert_eq!(get("repair.batch.scattered"), 93);
         assert_eq!(get("repair.worker.1.rows"), 500);
         assert_eq!(get("stream.records"), 2);
         assert_eq!(get("consistency.pairs_checked"), 6);
@@ -830,6 +930,7 @@ mod tests {
         obs.plan_cache_lookup(true);
         obs.plan_cache_lookup(false);
         obs.plan_cache_evicted();
+        obs.batch_grouped(2, 1, 1);
         obs.stream_record(1);
         obs.pairs_checked(1);
         obs.conflict_found("BiInXj");

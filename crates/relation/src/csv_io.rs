@@ -17,17 +17,30 @@ use crate::{Result, Schema, SymbolTable, Table};
 /// The header names become the schema attributes; `relation_name` names the
 /// schema. Rows with a different arity than the header are rejected.
 pub fn read_csv<R: Read>(
-    reader: R,
+    mut reader: R,
     relation_name: &str,
     symbols: &mut SymbolTable,
 ) -> Result<Table> {
+    // Buffer the whole input up front: the table retains every cell anyway,
+    // and a newline count gives a row estimate that lets the symbol table
+    // and the cell storage allocate once instead of rehashing/reallocating
+    // through a million-row load. (Quoted embedded newlines only make the
+    // estimate generous — capacity is a hint, not a contract.)
+    let mut buf = Vec::new();
+    reader.read_to_end(&mut buf)?;
+    let estimated_rows = buf
+        .iter()
+        .filter(|&&b| b == b'\n')
+        .count()
+        .saturating_sub(1);
     let mut rdr = csv::ReaderBuilder::new()
         .has_headers(true)
         .flexible(false)
-        .from_reader(reader);
+        .from_reader(buf.as_slice());
     let headers = rdr.headers()?.clone();
     let schema = Schema::new(relation_name, headers.iter())?;
-    let mut table = Table::new(schema);
+    symbols.reserve(estimated_rows);
+    let mut table = Table::with_capacity(schema, estimated_rows);
     let mut row: Vec<crate::Symbol> = Vec::with_capacity(headers.len());
     for record in rdr.records() {
         let record = record?;

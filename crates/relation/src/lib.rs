@@ -25,6 +25,7 @@
 //! ```
 
 pub mod attrset;
+pub mod column;
 pub mod csv_io;
 pub mod error;
 pub mod schema;
@@ -32,6 +33,7 @@ pub mod symbol;
 pub mod table;
 
 pub use attrset::AttrSet;
+pub use column::ColumnTable;
 pub use error::RelationError;
 pub use schema::{AttrId, Schema};
 pub use symbol::{Symbol, SymbolTable};

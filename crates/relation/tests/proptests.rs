@@ -84,6 +84,32 @@ proptest! {
         }
     }
 
+    /// Row-major ↔ column-major conversion is lossless in both
+    /// directions, and the columnar cell view agrees with the row view.
+    #[test]
+    fn column_table_round_trip(
+        rows in proptest::collection::vec(("[a-z]{0,6}", "[a-z]{0,6}", "[a-z]{0,6}"), 0..24),
+    ) {
+        let schema = Schema::new("R", ["a", "b", "c"]).unwrap();
+        let mut sy = SymbolTable::new();
+        let mut t = Table::new(schema);
+        for (x, y, z) in &rows {
+            t.push_strs(&mut sy, &[x, y, z]).unwrap();
+        }
+        let cols = relation::ColumnTable::from(&t);
+        prop_assert_eq!(cols.len(), t.len());
+        for i in 0..t.len() {
+            for a in 0..3u16 {
+                prop_assert_eq!(cols.cell(i, AttrId(a)), t.cell(i, AttrId(a)));
+            }
+        }
+        let back = cols.to_table();
+        prop_assert!(back.diff_positions(&t).unwrap().is_empty());
+        // And the other direction: Table built from columns round-trips.
+        let cols2 = relation::ColumnTable::from(&back);
+        prop_assert_eq!(cols2.to_table().diff_positions(&t).unwrap(), vec![]);
+    }
+
     /// CSV round-trips arbitrary printable content, including separators.
     #[test]
     fn csv_round_trip(rows in proptest::collection::vec(("[ -~]{0,10}", "[ -~]{0,10}"), 1..16)) {

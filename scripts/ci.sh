@@ -131,6 +131,37 @@ grep -q '"repair\.plan_cache\.hits": [1-9]' "$TRACE_DIR/metrics_on.json" \
     || { echo "cached run recorded no plan-cache hits" >&2; exit 1; }
 echo "-- compiled output and repair counters byte-identical, cache on/off"
 
+echo "== columnar group-by-plan equivalence smoke =="
+# The columnar engine must reproduce the row-at-a-time compiled engine
+# byte for byte (DESIGN.md §17): same repaired CSV, same repair counters
+# — only the repair.plan_cache.* probe counts (k probes instead of n)
+# and the columnar-only repair.batch.* group-by counters may differ —
+# and the same repair.cell provenance records. Journal seq numbers are
+# position-dependent, so they are stripped before comparing.
+for engine in compiled columnar; do
+    "$FIXCTL" repair \
+        --rules examples/rulesets/hosp_zip.frl \
+        --data "$TRACE_DIR/hosp_dup.csv" \
+        --engine "$engine" \
+        --out "$TRACE_DIR/eng_$engine.csv" \
+        --metrics "$TRACE_DIR/eng_metrics_$engine.json" \
+        --trace "$TRACE_DIR/eng_trace_$engine.jsonl" >/dev/null
+    grep -o '"repair\.[a-z_.]*": [0-9][0-9]*' "$TRACE_DIR/eng_metrics_$engine.json" \
+        | grep -v 'repair\.plan_cache' | grep -v 'repair\.batch' \
+        > "$TRACE_DIR/eng_counters_$engine.txt"
+    grep '"repair\.cell"' "$TRACE_DIR/eng_trace_$engine.jsonl" \
+        | sed -E 's/"seq": *[0-9]+, *//' > "$TRACE_DIR/eng_cells_$engine.txt"
+done
+cmp "$TRACE_DIR/eng_compiled.csv" "$TRACE_DIR/eng_columnar.csv" \
+    || { echo "columnar output differs from compiled" >&2; exit 1; }
+diff "$TRACE_DIR/eng_counters_compiled.txt" "$TRACE_DIR/eng_counters_columnar.txt" \
+    || { echo "repair counters differ, compiled vs columnar" >&2; exit 1; }
+cmp "$TRACE_DIR/eng_cells_compiled.txt" "$TRACE_DIR/eng_cells_columnar.txt" \
+    || { echo "repair.cell provenance differs, compiled vs columnar" >&2; exit 1; }
+grep -q '"repair\.batch\.groups": [1-9]' "$TRACE_DIR/eng_metrics_columnar.json" \
+    || { echo "columnar run recorded no signature groups" >&2; exit 1; }
+echo "-- columnar matches compiled: CSV, repair counters, provenance"
+
 echo "== attribution profile determinism smoke =="
 # Two identical --profile-json runs must be byte-identical: the profile
 # deliberately excludes measured nanoseconds (DESIGN.md §13).
